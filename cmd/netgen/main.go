@@ -1,0 +1,87 @@
+// Command netgen emits the paper's experimental workloads as SPICE decks
+// for use with rcfit, spicesim, or any other SPICE tool.
+//
+// Usage:
+//
+//	netgen -kind ladder -nseg 100 > line.sp
+//	netgen -kind inverterpair > fig2.sp
+//	netgen -kind mesh -nx 13 -ny 13 -nz 9 -ports 25 > substrate.sp
+//	netgen -kind adder > adder_on_mesh.sp
+//	netgen -kind multiplier -stages 8 -sidenets 24 > mult.sp
+//	netgen -kind supply > grid.sp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/netgen"
+	"repro/internal/netlist"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "netgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("netgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("kind", "ladder", "ladder | inverterpair | mesh | adder | multiplier | supply")
+	nseg := fs.Int("nseg", 100, "ladder segments")
+	rtot := fs.Float64("r", 250, "ladder total resistance (ohm)")
+	ctot := fs.Float64("c", 1.35e-12, "ladder total capacitance (F)")
+	nx := fs.Int("nx", 13, "mesh x nodes")
+	ny := fs.Int("ny", 13, "mesh y nodes")
+	nz := fs.Int("nz", 9, "mesh z nodes")
+	ports := fs.Int("ports", 25, "mesh surface contacts")
+	redge := fs.Float64("redge", 630, "mesh edge resistance (ohm)")
+	csurf := fs.Float64("csurf", 30e-15, "mesh surface capacitance (F)")
+	stages := fs.Int("stages", 8, "multiplier path stages")
+	fanout := fs.Int("fanout", 3, "multiplier net fanout")
+	segs := fs.Int("segs", 6, "multiplier net segments per branch")
+	sideNets := fs.Int("sidenets", 24, "multiplier side nets")
+	seed := fs.Int64("seed", 7, "random seed for net parameters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var deck *netlist.Deck
+	switch *kind {
+	case "ladder":
+		deck = netgen.Ladder(*nseg, *rtot, *ctot)
+	case "inverterpair":
+		deck = netgen.InverterPair(*nseg, *rtot, *ctot, netgen.LineFull)
+	case "mesh":
+		o := netgen.MeshOpts{NX: *nx, NY: *ny, NZ: *nz, REdge: *redge, CSurf: *csurf, NPorts: *ports}
+		var portNames []string
+		deck, portNames = netgen.Mesh3D(o)
+		fmt.Fprintf(stderr, "netgen: port nodes: %v\n", portNames)
+	case "adder":
+		o := netgen.MeshOpts{NX: *nx, NY: *ny, NZ: *nz, REdge: *redge, CSurf: *csurf, NPorts: *ports}
+		var info *netgen.AdderInfo
+		var err error
+		deck, info, err = netgen.FullAdderOnMesh(o)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "netgen: monitor node: %s\n", info.Monitor)
+	case "multiplier":
+		deck = netgen.Multiplier(*stages, *fanout, *segs, *sideNets, *seed)
+	case "supply":
+		var info *netgen.SupplyInfo
+		var err error
+		deck, info, err = netgen.Supply(netgen.DefaultSupplyOpts())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "netgen: supply pin %s, far tap %s\n", info.Pin, info.Far)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	return deck.Write(stdout)
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestRunKinds(t *testing.T) {
+	for _, kind := range []string{"ladder", "inverterpair", "mesh", "adder", "multiplier", "supply"} {
+		var out, errw bytes.Buffer
+		args := []string{"-kind", kind}
+		if kind == "adder" {
+			args = append(args, "-nx", "5", "-ny", "5", "-nz", "3")
+		}
+		if err := run(args, &out, &errw); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		// Every generated deck must re-parse.
+		if _, err := netlist.ParseString(out.String()); err != nil {
+			t.Fatalf("%s deck does not re-parse: %v", kind, err)
+		}
+		if !strings.Contains(out.String(), ".end") {
+			t.Fatalf("%s deck incomplete", kind)
+		}
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-kind", "zzz"}, &out, &errw); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

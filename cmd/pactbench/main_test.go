@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"eq20", "fig3", "table1", "table2", "table3", "table4", "sec4", "awe", "sparsify", "ordering"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("experiment %q missing from -list:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-ex", "eq20"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "4.65 GHz") && !strings.Contains(out.String(), "4.7") {
+		t.Fatalf("eq20 output unexpected:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-ex", "zzz"}, &out, &errw); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunOutputDir(t *testing.T) {
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	if err := run([]string{"-ex", "eq20", "-o", dir}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "eq20.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "passive: true") {
+		t.Fatalf("report content:\n%s", data)
+	}
+}

@@ -1,0 +1,111 @@
+// Command rcfit is the SPICE-in, SPICE-out RC network reduction tool of
+// the paper's Section 5: it parses a SPICE deck, extracts the RC
+// networks, reduces them with PACT to the requested maximum frequency and
+// error tolerance, and writes back a deck in which the RC networks are
+// replaced by their reduced equivalents.
+//
+// Usage:
+//
+//	rcfit -fmax 1e9 [-tol 0.05] [-ports n1,n2] [-verify] [-o out.sp] [in.sp]
+//
+// With no input file the deck is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	pact "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "rcfit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rcfit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fmax := fs.Float64("fmax", 0, "maximum frequency of interest in Hz (required)")
+	tol := fs.Float64("tol", 0.05, "relative error tolerance at fmax")
+	sparsify := fs.Float64("sparsify", 1e-8, "sparsity-enhancement threshold (0 disables)")
+	portsFlag := fs.String("ports", "", "comma-separated extra port nodes")
+	out := fs.String("o", "", "output file (default stdout)")
+	prefix := fs.String("prefix", "pact", "name prefix for generated elements")
+	maxPoles := fs.Int("maxpoles", 0, "cap on retained poles (0 = no cap)")
+	twoPass := fs.Bool("twopass", false, "use the memory-minimal two-pass Lanczos")
+	verify := fs.Bool("verify", false, "sample exact vs reduced admittance and report errors on stderr")
+	asSubckt := fs.Bool("subckt", false, "emit the reduced network as a .subckt + instance")
+	quiet := fs.Bool("q", false, "suppress the statistics report on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fmax <= 0 {
+		fs.Usage()
+		return fmt.Errorf("-fmax is required and must be positive")
+	}
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	deck, err := pact.Parse(in)
+	if err != nil {
+		return err
+	}
+	var extra []string
+	if *portsFlag != "" {
+		extra = strings.Split(*portsFlag, ",")
+	}
+	red, err := pact.ReduceDeck(deck, pact.Options{
+		FMax:        *fmax,
+		Tol:         *tol,
+		SparsifyTol: *sparsify,
+		Prefix:      *prefix,
+		ExtraPorts:  extra,
+		MaxPoles:    *maxPoles,
+		TwoPass:     *twoPass,
+		AsSubckt:    *asSubckt,
+	})
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := red.Deck.Write(w); err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(stderr, "rcfit: %d ports, %d internal nodes -> %d poles (cutoff %.4g Hz)\n",
+			red.Stats.Ports, red.Stats.Internal, red.Model.K(), red.Stats.CutoffHz)
+		fmt.Fprintf(stderr, "rcfit: nodes %d -> %d, R %d -> %d, C %d -> %d in %v\n",
+			red.OriginalNodes, red.ReducedNodes, red.OriginalR, red.ReducedR,
+			red.OriginalC, red.ReducedC, red.Elapsed)
+	}
+	if *verify {
+		pts, err := red.Verify(*fmax, 7)
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			fmt.Fprintf(stderr, "rcfit: verify f=%-12.4g rel err %.3f%%\n", p.Freq, 100*p.RelErr)
+		}
+	}
+	return nil
+}

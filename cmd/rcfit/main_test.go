@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/netgen"
+)
+
+func TestRunLadder(t *testing.T) {
+	in := strings.NewReader(netgen.Ladder(100, 250, 1.35e-12).String())
+	var out, errw bytes.Buffer
+	if err := run([]string{"-fmax", "5e9", "-verify"}, in, &out, &errw); err != nil {
+		t.Fatalf("%v\nstderr:\n%s", err, errw.String())
+	}
+	if !strings.Contains(out.String(), "rpact1") || !strings.Contains(out.String(), ".end") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "-> 1 poles") {
+		t.Fatalf("stats missing:\n%s", errw.String())
+	}
+	if !strings.Contains(errw.String(), "verify") {
+		t.Fatalf("verify lines missing:\n%s", errw.String())
+	}
+}
+
+func TestRunRequiresFmax(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(nil, strings.NewReader("t\n.end\n"), &out, &errw); err == nil {
+		t.Fatal("missing -fmax accepted")
+	}
+}
+
+func TestRunBadDeck(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-fmax", "1e9"}, strings.NewReader("t\nz1 bogus\n.end\n"), &out, &errw); err == nil {
+		t.Fatal("bad deck accepted")
+	}
+}
+
+func TestRunExtraPorts(t *testing.T) {
+	deck := `pure rc with forced port
+v1 a 0 dc 1
+r1 a b 1
+r2 b c 1
+c1 c 0 1p
+.end
+`
+	var out, errw bytes.Buffer
+	if err := run([]string{"-fmax", "1e9", "-ports", "c", "-q"}, strings.NewReader(deck), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), " c ") && !strings.Contains(out.String(), " c\n") {
+		t.Fatalf("forced port c missing from reduced deck:\n%s", out.String())
+	}
+}
+
+func TestRunSubcktOutput(t *testing.T) {
+	in := strings.NewReader(netgen.Ladder(40, 250, 1.35e-12).String())
+	var out, errw bytes.Buffer
+	if err := run([]string{"-fmax", "5e9", "-subckt", "-q"}, in, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), ".subckt pactnet") {
+		t.Fatalf("subckt output missing:\n%s", out.String())
+	}
+}

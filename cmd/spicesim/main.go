@@ -1,0 +1,72 @@
+// Command spicesim runs the analysis cards of a SPICE deck (.op, .tran,
+// .ac) through this repository's circuit simulator and prints the
+// requested .print variables. It exists so reduced decks from rcfit can
+// be verified end to end without an external simulator:
+//
+//	netgen -kind inverterpair > fig2.sp
+//	rcfit -fmax 5e9 fig2.sp > fig2_red.sp
+//	spicesim -tran "0.05n 6n" -print "tran v(out2)" fig2.sp
+//	spicesim -tran "0.05n 6n" -print "tran v(out2)" fig2_red.sp
+//
+// With no file argument the deck is read from standard input. Decks
+// without analysis cards can be given one with -tran/-ac flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "spicesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("spicesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tran := fs.String("tran", "", "override/add a transient: \"step stop\" (SPICE values)")
+	ac := fs.String("ac", "", "override/add an AC sweep: \"dec npts fstart fstop\"")
+	dc := fs.String("dc", "", "override/add a DC transfer sweep: \"src start stop step\"")
+	printVars := fs.String("print", "", "override/add print variables, e.g. \"tran v(out)\"")
+	op := fs.Bool("op", false, "add an operating-point analysis")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	deck, err := netlist.Parse(in)
+	if err != nil {
+		return err
+	}
+	if *op {
+		deck.Controls = append(deck.Controls, ".op")
+	}
+	if *tran != "" {
+		deck.Controls = append(deck.Controls, ".tran "+*tran)
+	}
+	if *ac != "" {
+		deck.Controls = append(deck.Controls, ".ac "+*ac)
+	}
+	if *dc != "" {
+		deck.Controls = append(deck.Controls, ".dc "+*dc)
+	}
+	if *printVars != "" {
+		deck.Controls = append(deck.Controls, ".print "+*printVars)
+	}
+	return sim.RunDeck(deck, stdout)
+}

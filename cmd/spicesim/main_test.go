@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const rcDeck = `rc lowpass
+v1 a 0 dc 1 ac 1
+r1 a b 1k
+c1 b 0 159.155p
+.end
+`
+
+func TestRunOP(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-op"}, strings.NewReader(rcDeck), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "v(b) = 1") {
+		t.Fatalf("op output:\n%s", out.String())
+	}
+}
+
+func TestRunACFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-ac", "dec 2 1e4 1e8", "-print", "ac vm(b)"}, strings.NewReader(rcDeck), &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Passband magnitude ~ 1 at 10 kHz.
+	for _, l := range strings.Split(out.String(), "\n") {
+		f := strings.Fields(l)
+		if len(f) == 2 && strings.HasPrefix(l, "10000") {
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil || v < 0.99 || v > 1.001 {
+				t.Fatalf("passband row %q", l)
+			}
+			return
+		}
+	}
+	t.Fatalf("10 kHz row missing:\n%s", out.String())
+}
+
+func TestRunTranFlag(t *testing.T) {
+	deck := `rc step
+v1 a 0 dc 0 pulse(0 5 0 1p 1p 1 2)
+r1 a b 1k
+c1 b 0 1n
+.end
+`
+	var out, errw bytes.Buffer
+	if err := run([]string{"-tran", "50n 5u", "-print", "tran v(b)"}, strings.NewReader(deck), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	last := strings.Fields(lines[len(lines)-1])
+	v, err := strconv.ParseFloat(last[len(last)-1], 64)
+	if err != nil || v < 4.9 || v > 5.01 {
+		t.Fatalf("final value %q", lines[len(lines)-1])
+	}
+}
+
+func TestRunNoAnalysis(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(nil, strings.NewReader(rcDeck), &out, &errw); err == nil {
+		t.Fatal("deck without analysis accepted")
+	}
+}

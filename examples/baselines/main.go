@@ -1,0 +1,105 @@
+// Baselines: PACT versus the methods the paper compares against — AWE
+// (moment matching + Padé, which loses stability as the order grows) and
+// the block-Lanczos Padé congruence method (stable and passive, but with
+// memory that grows with ports × order).
+//
+//	go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/cmplx"
+
+	pact "repro"
+	"repro/internal/awe"
+	"repro/internal/core"
+	"repro/internal/netgen"
+	"repro/internal/order"
+	"repro/internal/pade"
+	"repro/internal/prima"
+	"repro/internal/sparse"
+	"repro/internal/stamp"
+)
+
+func main() {
+	// --- AWE stability on the 100-segment ladder -----------------------
+	n := 100
+	gb := sparse.NewBuilder(n, n)
+	cb := sparse.NewBuilder(n, n)
+	gseg := float64(n) / 250.0
+	cseg := 1.35e-12 / float64(n)
+	gb.Add(0, 0, gseg)
+	for i := 0; i+1 < n; i++ {
+		gb.Add(i, i, gseg)
+		gb.Add(i+1, i+1, gseg)
+		gb.AddSym(i, i+1, -gseg)
+	}
+	for i := 0; i < n; i++ {
+		cb.Add(i, i, cseg)
+	}
+	b := make([]float64, n)
+	l := make([]float64, n)
+	b[0] = 1
+	l[n-1] = 1
+	moments, err := awe.Moments(gb.Build(), cb.Build(), b, l, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("AWE on the 100-segment RC ladder:")
+	for q := 2; q <= 10; q += 2 {
+		model, err := awe.Pade(moments, q)
+		if err != nil {
+			fmt.Printf("  q=%-2d Hankel system singular (%v)\n", q, err)
+			continue
+		}
+		fmt.Printf("  q=%-2d stable=%-5v real-negative-poles=%v\n", q, model.Stable(), model.RealNegative())
+	}
+
+	// --- PACT and Padé congruence on the same two-port ladder ----------
+	deck := netgen.Ladder(100, 250, 1.35e-12)
+	ex, err := stamp.Extract(deck)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pactModel, pactStats, err := pact.ReduceSystem(ex.Sys, pact.Options{FMax: 5e9, Tol: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	padeModel, padeStats, err := pade.Reduce(ex.Sys, 1, core.Options{FMax: 5e9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	primaModel, primaStats, err := prima.Reduce(ex.Sys, 2, 2*math.Pi*1e9, order.MinimumDegree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPACT:  %d pole(s), passive=%v, Lanczos working set %d vectors\n",
+		pactModel.K(), pactModel.CheckPassive(1e-9), pactStats.PeakVectors)
+	fmt.Printf("Padé:  %d pole(s), passive=%v, peak %d stored vectors (basis %d)\n",
+		padeModel.K(), padeModel.CheckPassive(1e-9), padeStats.PeakVectors, padeStats.BasisSize)
+	fmt.Printf("PRIMA: %d states,  passive=%v, peak %d stored vectors (1997 successor)\n",
+		primaModel.Dims, primaModel.CheckPassive(1e-9), primaStats.PeakVectors)
+
+	fmt.Printf("\n%12s %14s %12s %12s %12s\n", "f (Hz)", "|Y12| exact", "PACT err", "Padé err", "PRIMA err")
+	for _, f := range []float64{1e8, 1e9, 3e9, 5e9} {
+		s := complex(0, 2*math.Pi*f)
+		yE, err := ex.Sys.Y(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		yPr, err := primaModel.Y(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := cmplx.Abs(yE.At(0, 1))
+		ep := cmplx.Abs(pactModel.Y(s).At(0, 1)-yE.At(0, 1)) / e
+		eq := cmplx.Abs(padeModel.Y(s).At(0, 1)-yE.At(0, 1)) / e
+		er := cmplx.Abs(yPr.At(0, 1)-yE.At(0, 1)) / e
+		fmt.Printf("%12.3g %14.6g %11.2f%% %11.2f%% %11.2f%%\n", f, e, 100*ep, 100*eq, 100*er)
+	}
+	fmt.Println("\nall three congruence methods stay passive; AWE does not. PACT additionally")
+	fmt.Println("keeps its working set independent of the port count (Section 4).")
+	_ = math.Pi
+}

@@ -1,0 +1,89 @@
+// Quickstart: reduce a small RC interconnect deck with PACT and compare
+// the reduced multiport admittance against the exact one.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/cmplx"
+
+	pact "repro"
+	"repro/internal/stamp"
+)
+
+// A 20-segment RC line between two inverter-connected nodes plus a side
+// branch — small enough to print, large enough to have structure.
+const deckText = `quickstart rc network
+* a driver (v1) and a receiver marker (i1) make in/out ports
+v1 in 0 dc 0 pulse(0 5 1n 0.1n 0.1n 8n 20n)
+i1 out 0 dc 0
+rline1 in a1 25
+cline1 a1 0 67.5f
+rline2 a1 a2 25
+cline2 a2 0 67.5f
+rline3 a2 a3 25
+cline3 a3 0 67.5f
+rline4 a3 a4 25
+cline4 a4 0 67.5f
+rline5 a4 a5 25
+cline5 a5 0 67.5f
+rline6 a5 a6 25
+cline6 a6 0 67.5f
+rline7 a6 a7 25
+cline7 a7 0 67.5f
+rline8 a7 a8 25
+cline8 a8 0 67.5f
+rline9 a8 a9 25
+cline9 a9 0 67.5f
+rline10 a9 out 25
+cline10 out 0 67.5f
+rbr a5 b1 100
+cbr b1 0 200f
+.end
+`
+
+func main() {
+	deck, err := pact.ParseString(deckText)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reduce: keep the network accurate to 5% up to 5 GHz.
+	red, err := pact.ReduceDeck(deck, pact.Options{FMax: 5e9, Tol: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ports: %v\n", red.PortNames)
+	fmt.Printf("internal nodes: %d -> %d retained poles\n", red.Stats.Internal, red.Model.K())
+	for i, f := range red.Model.PoleFreqs() {
+		fmt.Printf("  pole %d: %.3g Hz\n", i+1, f)
+	}
+	fmt.Printf("elements: %d R + %d C  ->  %d R + %d C\n",
+		red.OriginalR, red.OriginalC, red.ReducedR, red.ReducedC)
+	fmt.Printf("reduced network passive: %v\n\n", red.Model.CheckPassive(1e-9))
+
+	// Compare reduced vs exact admittance. The exact Y(s) comes from the
+	// extracted (unreduced) system.
+	ex, err := stamp.Extract(deck)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%12s %16s %16s %10s\n", "f (Hz)", "|Y11| exact", "|Y11| reduced", "rel err")
+	for _, f := range []float64{1e7, 1e8, 1e9, 5e9} {
+		s := complex(0, 2*math.Pi*f)
+		yExact, err := ex.Sys.Y(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		yRed := red.Model.Y(s)
+		e := cmplx.Abs(yExact.At(0, 0))
+		r := cmplx.Abs(yRed.At(0, 0))
+		fmt.Printf("%12.3g %16.6g %16.6g %9.2f%%\n", f, e, r, 100*math.Abs(r-e)/e)
+	}
+
+	fmt.Println("\nreduced SPICE deck:")
+	fmt.Print(red.Deck)
+}

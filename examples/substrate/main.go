@@ -1,0 +1,97 @@
+// Substrate: the paper's Table 2 / Figure 5 scenario. A 1521-node 3-D RC
+// substrate mesh with 25 surface contacts is reduced at three maximum
+// frequencies, and the small-signal transimpedance between two contacts
+// is swept for the original and each reduced model.
+//
+//	go run ./examples/substrate
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/cmplx"
+
+	pact "repro"
+	"repro/internal/core"
+	"repro/internal/netgen"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+)
+
+func main() {
+	deck, ports := netgen.Mesh3D(netgen.SmallMeshOpts())
+	ex, err := stamp.Extract(deck, ports...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes, rs, cs := ex.Sys.RCStats()
+	fmt.Printf("substrate mesh: %d nodes (%d ports), %d resistors, %d capacitors\n\n",
+		nodes, ex.Sys.M, rs, cs)
+
+	type reduction struct {
+		label string
+		fmax  float64
+		model *pact.Model
+	}
+	var reds []reduction
+	for _, fmax := range []float64{3e9, 1e9, 300e6} {
+		model, stats, err := pact.ReduceSystem(ex.Sys, pact.Options{FMax: fmax, Tol: 0.05})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fmax %8.3g Hz: %2d poles kept (cutoff %.3g Hz, %d Lanczos iterations)\n",
+			fmax, model.K(), stats.CutoffHz, stats.LanczosIters)
+		reds = append(reds, reduction{fmt.Sprintf("%.2g Hz", fmax), fmax, model})
+	}
+
+	// Transimpedance |Z(monitor, drive)| over frequency.
+	iMon, jDrv := 2, 12
+	freqs := sim.LogSpace(10e6, 10e9, 21)
+	fmt.Printf("\n|Z| between contacts %d and %d (Ω)\n%12s %12s", iMon, jDrv, "f (Hz)", "original")
+	for _, r := range reds {
+		fmt.Printf(" %12s", r.label)
+	}
+	fmt.Println()
+	zorig := make([]complex128, len(freqs))
+	for k, f := range freqs {
+		s := complex(0, 2*math.Pi*f)
+		y, err := ex.Sys.Y(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		z, err := core.TransimpedanceOf(y, iMon, jDrv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		zorig[k] = z
+		fmt.Printf("%12.3g %12.4g", f, cmplx.Abs(z))
+		for _, r := range reds {
+			zr, err := core.TransimpedanceOf(r.model.Y(s), iMon, jDrv)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %12.4g", cmplx.Abs(zr))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nmaximum |Z| error below each reduction's fmax:")
+	for _, r := range reds {
+		maxErr := 0.0
+		for k, f := range freqs {
+			if f > r.fmax {
+				continue
+			}
+			s := complex(0, 2*math.Pi*f)
+			zr, err := core.TransimpedanceOf(r.model.Y(s), iMon, jDrv)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if e := cmplx.Abs(zr-zorig[k]) / cmplx.Abs(zorig[k]); e > maxErr {
+				maxErr = e
+			}
+		}
+		fmt.Printf("  %-10s %.2f%%\n", r.label, 100*maxErr)
+	}
+}

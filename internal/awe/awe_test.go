@@ -1,0 +1,202 @@
+package awe
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// ladderGC builds the grounded G, C matrices of an n-segment RC ladder
+// driven at node 0 (nodes 0..n-1, far end open).
+func ladderGC(n int, rtot, ctot float64) (g, c *sparse.CSR) {
+	gseg := float64(n) / rtot
+	cseg := ctot / float64(n)
+	gb := sparse.NewBuilder(n, n)
+	cb := sparse.NewBuilder(n, n)
+	// Segment 1 connects node 0 to ground-driven source side: model the
+	// drive as a conductance to ground at node 0.
+	gb.Add(0, 0, gseg)
+	for i := 0; i+1 < n; i++ {
+		gb.Add(i, i, gseg)
+		gb.Add(i+1, i+1, gseg)
+		gb.AddSym(i, i+1, -gseg)
+	}
+	for i := 0; i < n; i++ {
+		cb.Add(i, i, cseg)
+	}
+	return gb.Build(), cb.Build()
+}
+
+func denseMoments(g, c *sparse.CSR, b, l []float64, count int) []float64 {
+	n := g.Rows
+	gd := dense.NewFromRows(g.Dense())
+	cd := dense.NewFromRows(c.Dense())
+	x := append([]float64(nil), b...)
+	lu, err := dense.FactorLU(gd.Clone())
+	if err != nil {
+		panic(err)
+	}
+	lu.Solve(x)
+	out := make([]float64, count)
+	for k := 0; k < count; k++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += l[i] * x[i]
+		}
+		out[k] = s
+		cx := cd.MulVec(x)
+		lu.Solve(cx)
+		for i := range x {
+			x[i] = -cx[i]
+		}
+	}
+	return out
+}
+
+func TestMomentsMatchDense(t *testing.T) {
+	g, c := ladderGC(20, 1000, 1e-9)
+	n := g.Rows
+	b := make([]float64, n)
+	l := make([]float64, n)
+	b[0] = 1
+	l[n-1] = 1
+	got, err := Moments(g, c, b, l, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := denseMoments(g, c, b, l, 8)
+	for k := range want {
+		if math.Abs(got[k]-want[k]) > 1e-9*math.Abs(want[k]) {
+			t.Fatalf("moment %d = %g, want %g", k, got[k], want[k])
+		}
+	}
+}
+
+func TestPadeLowOrderAccurate(t *testing.T) {
+	// A q=2 AWE model of the ladder must be accurate well below the first
+	// pole.
+	g, c := ladderGC(40, 1000, 1e-9)
+	n := g.Rows
+	b := make([]float64, n)
+	l := make([]float64, n)
+	b[0] = 1
+	l[n-1] = 1
+	moments, err := Moments(g, c, b, l, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := Pade(moments, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.Stable() {
+		t.Fatalf("q=2 model unstable: poles %v", model.Poles)
+	}
+	// Exact H(s) via dense solve.
+	exact := func(s complex128) complex128 {
+		gd, cd := g.Dense(), c.Dense()
+		a := dense.NewC(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, complex(gd[i][j], 0)+s*complex(cd[i][j], 0))
+			}
+		}
+		f, err := dense.FactorCLU(a)
+		if err != nil {
+			panic(err)
+		}
+		x := make([]complex128, n)
+		x[0] = 1
+		f.Solve(x)
+		return x[n-1]
+	}
+	// The first pole of the ladder is at ~1/(R C) scale; test a decade
+	// below.
+	for _, f := range []float64{1e3, 1e4, 1e5} {
+		s := complex(0, 2*math.Pi*f)
+		h := exact(s)
+		hm := model.Eval(s)
+		if cmplx.Abs(h-hm) > 0.03*cmplx.Abs(h) {
+			t.Fatalf("f=%g: AWE q=2 error %g", f, cmplx.Abs(h-hm)/cmplx.Abs(h))
+		}
+	}
+}
+
+func TestPadeHighOrderIllConditioned(t *testing.T) {
+	// The classic AWE failure: on a 100-segment ladder, raising the order
+	// eventually produces poles that are complex or non-negative — the
+	// instability PACT structurally cannot produce.
+	g, c := ladderGC(100, 250, 1.35e-12)
+	n := g.Rows
+	b := make([]float64, n)
+	l := make([]float64, n)
+	b[0] = 1
+	l[n-1] = 1
+	moments, err := Moments(g, c, b, l, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := -1
+	for q := 2; q <= 12; q++ {
+		model, err := Pade(moments, q)
+		if err != nil {
+			broken = q // Hankel singular: also an ill-conditioning symptom
+			break
+		}
+		if !model.RealNegative() {
+			broken = q
+			break
+		}
+	}
+	if broken < 0 {
+		t.Fatal("AWE stayed well-conditioned to q=12 on a 100-segment ladder; expected the documented breakdown")
+	}
+	t.Logf("AWE breaks down at q=%d (complex/unstable/singular)", broken)
+}
+
+func TestMomentsDecaySanity(t *testing.T) {
+	// RC moment sequences alternate in sign (poles all real negative).
+	g, c := ladderGC(15, 100, 1e-12)
+	n := g.Rows
+	b := make([]float64, n)
+	l := make([]float64, n)
+	b[0] = 1
+	l[0] = 1
+	moments, err := Moments(g, c, b, l, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(moments); k++ {
+		if moments[k]*moments[k-1] >= 0 {
+			t.Fatalf("moments must alternate sign: %v", moments)
+		}
+	}
+}
+
+func TestPadeArgValidation(t *testing.T) {
+	if _, err := Pade([]float64{1, 2}, 2); err == nil {
+		t.Error("insufficient moments accepted")
+	}
+}
+
+func TestDurandKernerKnownRoots(t *testing.T) {
+	// (z-1)(z-2)(z-3) = z³ -6z² +11z -6.
+	roots, err := durandKerner([]complex128{-6, 11, -6, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[int]bool{}
+	for _, r := range roots {
+		for _, w := range []float64{1, 2, 3} {
+			if cmplx.Abs(r-complex(w, 0)) < 1e-8 {
+				found[int(w)] = true
+			}
+		}
+	}
+	if len(found) != 3 {
+		t.Fatalf("roots = %v", roots)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// extremeSystem builds RC networks with component values spread over
+// many orders of magnitude (1 Ω–1 MΩ, 1 fF–1 µF), the conditioning
+// regime real extractions produce.
+func extremeSystem(rng *rand.Rand, m, n int) *System {
+	tot := m + n
+	gb := sparse.NewBuilder(tot, tot)
+	cb := sparse.NewBuilder(tot, tot)
+	stamp := func(b *sparse.Builder, i, j int, v float64) {
+		if i >= 0 {
+			b.Add(i, i, v)
+		}
+		if j >= 0 {
+			b.Add(j, j, v)
+		}
+		if i >= 0 && j >= 0 {
+			b.AddSym(i, j, -v)
+		}
+	}
+	logUniform := func(lo, hi float64) float64 {
+		return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+	}
+	stamp(gb, 0, -1, 1/logUniform(1, 1e6))
+	for i := 1; i < tot; i++ {
+		stamp(gb, i, rng.Intn(i), 1/logUniform(1, 1e6))
+	}
+	for k := 0; k < 2*tot; k++ {
+		i, j := rng.Intn(tot), rng.Intn(tot)
+		if i != j && rng.Intn(2) == 0 {
+			stamp(gb, i, j, 1/logUniform(1, 1e6))
+		} else {
+			stamp(cb, i, -1, logUniform(1e-15, 1e-6))
+		}
+	}
+	stamp(cb, tot-1, -1, 1e-12)
+	ports := make([]int, m)
+	for i := range ports {
+		ports[i] = i
+	}
+	sys, err := Partition(gb.Build(), cb.Build(), ports)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// TestStressExtremeValueSpreads runs the whole reduction across networks
+// whose element values span 6–9 orders of magnitude, checking DC
+// exactness, passivity and Lanczos/dense agreement under stiff
+// conditioning.
+func TestStressExtremeValueSpreads(t *testing.T) {
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	rng := rand.New(rand.NewSource(314))
+	for trial := 0; trial < trials; trial++ {
+		m := 1 + rng.Intn(4)
+		n := 10 + rng.Intn(30)
+		sys := extremeSystem(rng, m, n)
+		fmax := math.Pow(10, 3+6*rng.Float64()) // 1 kHz .. 1 GHz
+		model, stats, err := Reduce(sys, Options{FMax: fmax, Tol: 0.05, DenseThreshold: -1})
+		if err != nil {
+			t.Fatalf("trial %d (m=%d n=%d fmax=%.3g): %v", trial, m, n, fmax, err)
+		}
+		if !model.CheckPassive(1e-7) {
+			t.Fatalf("trial %d: passivity lost under extreme spreads", trial)
+		}
+		for _, lam := range model.Lambda {
+			if !(lam > 0) || math.IsInf(lam, 0) {
+				t.Fatalf("trial %d: bad pole λ=%v", trial, lam)
+			}
+		}
+		// DC exactness regardless of conditioning.
+		y0, err := sys.Y(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g0 := model.Y(0)
+		scale := 0.0
+		for _, v := range y0.Data {
+			if a := cmplx.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		if d := dense.MaxAbsDiff(g0, y0); d > 1e-7*(scale+1e-300) {
+			t.Fatalf("trial %d: DC error %g (scale %g)", trial, d, scale)
+		}
+		// Cross-validate Lanczos poles against the dense path.
+		md, _, err := Reduce(sys, Options{FMax: fmax, Tol: 0.05, DenseThreshold: 1 << 20})
+		if err != nil {
+			t.Fatalf("trial %d dense path: %v", trial, err)
+		}
+		if md.K() != model.K() {
+			t.Fatalf("trial %d: dense kept %d poles, Lanczos %d", trial, md.K(), model.K())
+		}
+		for i := range md.Lambda {
+			if rel := math.Abs(md.Lambda[i]-model.Lambda[i]) / md.Lambda[i]; rel > 1e-5 {
+				t.Fatalf("trial %d: pole %d differs by %g", trial, i, rel)
+			}
+		}
+		_ = stats
+	}
+}

@@ -1,0 +1,504 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chol"
+	"repro/internal/dense"
+	"repro/internal/lanczos"
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+// Options configures the PACT reduction.
+type Options struct {
+	// FMax is the maximum frequency (Hz) at which the reduced model must
+	// track the original within Tol. Required.
+	FMax float64
+	// Tol is the per-pole relative admittance error tolerance at FMax
+	// (default 0.05, the 5% of the paper; it maps to the cutoff frequency
+	// f_c = CutoffFactor(Tol)·FMax — 3.04 for 5%).
+	Tol float64
+	// Ordering selects the fill-reducing ordering for the Cholesky of D
+	// (default minimum degree).
+	Ordering order.Method
+	// LanczosMode selects the reorthogonalization strategy (default
+	// Selective, i.e. LASO as in the paper's RCFIT).
+	LanczosMode lanczos.Mode
+	// LanczosConvTol is the Ritz convergence tolerance (default 1e-8).
+	LanczosConvTol float64
+	// TwoPass uses the memory-minimal two-pass Lanczos instead of storing
+	// the Lanczos basis.
+	TwoPass bool
+	// DenseThreshold: when the number of internal nodes is at or below
+	// this, the eigenproblem is solved densely (exact), which doubles as
+	// the cross-validation path (default 96; set negative to disable).
+	DenseThreshold int
+	// XCacheBudget bounds the bytes used to cache the columns of
+	// X = D⁻¹Q between the two passes that need them (default 512 MiB;
+	// set to 0 to force the paper's column-at-a-time recomputation).
+	XCacheBudget int64
+	// Seed seeds the Lanczos starting vector (default 1).
+	Seed int64
+	// MaxPoles, when positive, caps the number of retained poles (orders
+	// the kept eigenvalues descending and keeps the largest). Zero keeps
+	// everything above the cutoff.
+	MaxPoles int
+	// ResiduePruneTol, when positive, additionally drops retained poles
+	// whose worst-case admittance contribution below FMax is smaller than
+	// this fraction of the port-block admittance scale — an extension
+	// beyond the paper: a pole can be below the frequency cutoff yet
+	// couple so weakly to the ports that carrying its internal node is
+	// pointless. Pruning preserves passivity (it is a further congruence
+	// restriction) and adds at most ResiduePruneTol relative error per
+	// pruned pole.
+	ResiduePruneTol float64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Tol == 0 {
+		out.Tol = 0.05
+	}
+	if out.DenseThreshold == 0 {
+		out.DenseThreshold = 96
+	}
+	if out.XCacheBudget == 0 {
+		out.XCacheBudget = 512 << 20
+	}
+	if out.LanczosConvTol == 0 {
+		out.LanczosConvTol = 1e-8
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out
+}
+
+// Stats reports the work done by a reduction, the quantities Section 4 of
+// the paper analyzes.
+type Stats struct {
+	Ports         int
+	Internal      int
+	PolesFound    int
+	CutoffHz      float64
+	LambdaC       float64
+	PolesPruned   int // poles dropped by residue pruning
+	Solves        int // sparse triangular solve pairs (D backsolves)
+	MatVecs       int // E (or E') matrix-vector products
+	LanczosIters  int
+	Reorths       int
+	PeakVectors   int // length-n vectors simultaneously live in Lanczos
+	CholeskyNNZ   int
+	CholeskyBytes int64
+	DenseEig      bool // eigenproblem solved densely (small n)
+	XCached       bool
+}
+
+// CutoffFactor maps a relative error tolerance to the ratio f_c/f_max.
+// Dropping a pole term s²rᵀr/(1+sλ) perturbs the admittance by the factor
+// 1 − 1/√(1+(ω/ω_pole)²) at ω; bounding that by tol at ω_max gives
+//
+//	f_c/f_max = 1 / √( 1/(1−tol)² − 1 ).
+//
+// tol = 5% yields 3.04, the constant quoted in Section 5 of the paper.
+func CutoffFactor(tol float64) float64 {
+	if tol <= 0 || tol >= 1 {
+		panic(fmt.Sprintf("core: tolerance %g outside (0,1)", tol))
+	}
+	x := math.Sqrt(1/((1-tol)*(1-tol)) - 1)
+	return 1 / x
+}
+
+// CutoffFrequency returns f_c (Hz) for a maximum frequency and tolerance.
+func CutoffFrequency(fmax, tol float64) float64 { return fmax * CutoffFactor(tol) }
+
+// LambdaCutoff converts a cutoff frequency to the eigenvalue threshold of
+// E′: poles at −1/λ (rad/s) with λ ≥ λ_c lie below f_c.
+func LambdaCutoff(fc float64) float64 { return 1 / (2 * math.Pi * fc) }
+
+// ePrimeOp is the matrix-free operator E′ = L⁻¹ E L⁻ᵀ.
+type ePrimeOp struct {
+	n     int
+	fact  *chol.Factor
+	ep    *sparse.CSR
+	tmp   []float64
+	stats *Stats
+}
+
+func (o *ePrimeOp) Dim() int { return o.n }
+
+func (o *ePrimeOp) Apply(dst, src []float64) {
+	copy(o.tmp, src)
+	o.fact.LTSolve(o.tmp) // y = L⁻ᵀ x
+	o.ep.MulVec(dst, o.tmp)
+	o.fact.LSolve(dst) // L⁻¹ E y
+	if o.stats != nil {
+		o.stats.MatVecs++
+	}
+}
+
+// Transformed is the state after the first (Cholesky-based) congruence
+// transform: the exact port moment blocks A′ and B′, the Cholesky factor
+// of D, and enough permuted sparse state to apply the E′ operator and
+// recover connection columns. It is exported so the Padé-congruence
+// baseline (internal/pade) can share Transform 1 and differ only in how
+// it treats the internal block.
+type Transformed struct {
+	M, N           int
+	APrime, BPrime *dense.Mat
+
+	fact     *chol.Factor
+	ep       *sparse.CSR
+	qpT, rpT *sparse.CSR
+	xCache   [][]float64
+	cacheX   bool
+	stats    *Stats
+}
+
+// Reduce runs the full PACT reduction on sys and returns the reduced
+// model together with work statistics.
+func Reduce(sys *System, opts Options) (*ReducedModel, *Stats, error) {
+	opts = opts.withDefaults()
+	if opts.FMax <= 0 {
+		return nil, nil, fmt.Errorf("core: Options.FMax must be positive, got %g", opts.FMax)
+	}
+	t, stats, err := Transform1(sys, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := t.Transform2(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return model, stats, nil
+}
+
+// Transform1 performs the Cholesky congruence transform (Section 3.1 of
+// the paper): it orders and factors D, zeroes the connection conductance
+// block, and produces the exact port blocks A′ and B′.
+func Transform1(sys *System, opts Options) (*Transformed, *Stats, error) {
+	opts = opts.withDefaults()
+	m, n := sys.M, sys.N
+	stats := &Stats{Ports: m, Internal: n}
+	if opts.FMax > 0 {
+		stats.CutoffHz = CutoffFrequency(opts.FMax, opts.Tol)
+		stats.LambdaC = LambdaCutoff(stats.CutoffHz)
+	}
+
+	if n == 0 {
+		return &Transformed{
+			M: m, N: 0,
+			APrime: denseFromCSR(sys.A, m),
+			BPrime: denseFromCSR(sys.B, m),
+			stats:  stats,
+		}, stats, nil
+	}
+
+	sym := order.Analyze(sys.D, opts.Ordering)
+	dp := sys.D.PermuteSym(sym.Perm)
+	ep := sys.E.PermuteSym(sym.Perm)
+	qp := sys.Q.PermuteRows(sym.Perm)
+	rp := sys.R.PermuteRows(sym.Perm)
+	fact, err := chol.Factorize(dp, sym)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: Cholesky of internal conductance block: %w", err)
+	}
+	stats.CholeskyNNZ = fact.NNZ()
+	stats.CholeskyBytes = fact.Bytes()
+	qpT := qp.Transpose() // m×n, row j = column j of Q (in permuted internal order)
+	rpT := rp.Transpose()
+
+	t := &Transformed{
+		M: m, N: n,
+		fact: fact, ep: ep, qpT: qpT, rpT: rpT,
+		stats: stats,
+	}
+	// Column cache for X = D⁻¹Q. When it fits the budget the second pass
+	// (connection susceptance projection) reuses it; otherwise columns are
+	// recomputed one at a time, the paper's memory-conserving strategy.
+	t.cacheX = int64(n)*int64(m)*8 <= opts.XCacheBudget
+	stats.XCached = t.cacheX
+	if t.cacheX {
+		t.xCache = make([][]float64, m)
+	}
+
+	// A′ = A − QᵀX,  B′ = B − S − Sᵀ + T with S = RᵀX and T = QᵀZ,
+	// Z = D⁻¹EX (so T_ij = x_iᵀ E x_j, computed with sparse dots only).
+	aPrime := denseFromCSR(sys.A, m)
+	bPrime := denseFromCSR(sys.B, m)
+	sMat := dense.New(m, m)
+	tMat := dense.New(m, m)
+	qtx := make([]float64, m)
+	rtx := make([]float64, m)
+	qtz := make([]float64, m)
+	w := make([]float64, n)
+	xbuf := make([]float64, n)
+	for j := 0; j < m; j++ {
+		x := t.columnX(j, xbuf)
+		qpT.MulVec(qtx, x)
+		rpT.MulVec(rtx, x)
+		ep.MulVec(w, x)
+		stats.MatVecs++
+		fact.Solve(w) // w := z_j = D⁻¹ E x_j
+		stats.Solves++
+		qpT.MulVec(qtz, w)
+		for i := 0; i < m; i++ {
+			aPrime.Add(i, j, -qtx[i])
+			sMat.Set(i, j, rtx[i])
+			tMat.Set(i, j, qtz[i])
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			bPrime.Add(i, j, -sMat.At(i, j)-sMat.At(j, i)+tMat.At(i, j))
+		}
+	}
+	aPrime.Symmetrize()
+	bPrime.Symmetrize()
+	t.APrime = aPrime
+	t.BPrime = bPrime
+	return t, stats, nil
+}
+
+// columnX returns column j of X = D⁻¹Q, from the cache when enabled,
+// recomputed into buf otherwise.
+func (t *Transformed) columnX(j int, buf []float64) []float64 {
+	if t.cacheX && t.xCache[j] != nil {
+		return t.xCache[j]
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	cols, vals := t.qpT.Row(j)
+	for p, i := range cols {
+		buf[i] = vals[p]
+	}
+	t.fact.Solve(buf)
+	t.stats.Solves++
+	if t.cacheX {
+		t.xCache[j] = append([]float64(nil), buf...)
+		return t.xCache[j]
+	}
+	return buf
+}
+
+// EOp returns the matrix-free operator E′ = L⁻¹ E L⁻ᵀ.
+func (t *Transformed) EOp() lanczos.Operator {
+	return &ePrimeOp{n: t.N, fact: t.fact, ep: t.ep, tmp: make([]float64, t.N), stats: t.stats}
+}
+
+// RPrimeColumn computes column j of R′ = L⁻¹(R − EX) into dst (length N).
+// Forming all of R′ takes the m·n memory the Padé-based methods need and
+// PACT avoids; it is exported for exactly that comparison.
+func (t *Transformed) RPrimeColumn(j int, dst []float64) {
+	x := t.columnX(j, make([]float64, t.N))
+	t.ep.MulVec(dst, x)
+	t.stats.MatVecs++
+	for i := range dst {
+		dst[i] = -dst[i]
+	}
+	cols, vals := t.rpT.Row(j)
+	for p, i := range cols {
+		dst[i] += vals[p]
+	}
+	t.fact.LSolve(dst)
+	t.stats.Solves++
+}
+
+// Stats returns the running statistics of this transform.
+func (t *Transformed) Stats() *Stats { return t.stats }
+
+// Transform2 performs the pole-analysis congruence transform (Section
+// 3.2): eigenvalues of E′ above λ_c are found (densely for small N,
+// otherwise with LASO), and the kept eigenspace is projected onto the
+// connection block.
+func (t *Transformed) Transform2(opts Options) (*ReducedModel, error) {
+	opts = opts.withDefaults()
+	if opts.FMax <= 0 {
+		return nil, fmt.Errorf("core: Options.FMax must be positive, got %g", opts.FMax)
+	}
+	m, n := t.M, t.N
+	stats := t.stats
+	if n == 0 {
+		return &ReducedModel{M: m, A: t.APrime, B: t.BPrime, R: dense.New(0, m)}, nil
+	}
+	op := t.EOp()
+	var vals []float64
+	var uk *dense.Mat
+	var err error
+	if opts.DenseThreshold >= 0 && n <= opts.DenseThreshold {
+		stats.DenseEig = true
+		vals, uk, err = denseEigAbove(op, stats.LambdaC)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		lopts := lanczos.Options{
+			Cutoff:  stats.LambdaC,
+			Mode:    opts.LanczosMode,
+			ConvTol: opts.LanczosConvTol,
+			Seed:    opts.Seed,
+		}
+		var res *lanczos.Result
+		if opts.TwoPass {
+			res, err = lanczos.TwoPass(op, lopts)
+		} else {
+			res, err = lanczos.FindAbove(op, lopts)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: pole analysis (LASO): %w", err)
+		}
+		vals = res.Values
+		uk = res.Vectors
+		stats.LanczosIters = res.Iterations
+		stats.Reorths = res.Reorths
+		stats.PeakVectors = res.PeakVectors
+	}
+	if opts.MaxPoles > 0 && len(vals) > opts.MaxPoles {
+		vals = vals[:opts.MaxPoles]
+	}
+	k := len(vals)
+	stats.PolesFound = k
+
+	// R_k = Ukᵀ R′ = Zkᵀ P with Zk = L⁻ᵀ Uk and P = R − EX, assembled
+	// column by column: R_k[c][j] = z_cᵀ r_j − (E z_c)ᵀ x_j.
+	rk := dense.New(k, m)
+	if k > 0 {
+		zk := make([][]float64, k)
+		ez := make([][]float64, k)
+		for c := 0; c < k; c++ {
+			z := make([]float64, n)
+			for i := 0; i < n; i++ {
+				z[i] = uk.At(i, c)
+			}
+			t.fact.LTSolve(z)
+			stats.Solves++
+			zk[c] = z
+			e := make([]float64, n)
+			t.ep.MulVec(e, z)
+			stats.MatVecs++
+			ez[c] = e
+		}
+		xbuf := make([]float64, n)
+		for j := 0; j < m; j++ {
+			x := t.columnX(j, xbuf)
+			cols, vals2 := t.rpT.Row(j) // column j of permuted R
+			for c := 0; c < k; c++ {
+				s := 0.0
+				for p, i := range cols {
+					s += vals2[p] * zk[c][i]
+				}
+				s -= sparse.Dot(ez[c], x)
+				rk.Set(c, j, s)
+			}
+		}
+	}
+
+	model := &ReducedModel{M: m, Lambda: vals, A: t.APrime, B: t.BPrime, R: rk}
+	if opts.ResiduePruneTol > 0 && k > 0 {
+		model = pruneWeakPoles(model, opts, stats)
+	}
+	return model, nil
+}
+
+// pruneWeakPoles drops retained poles whose worst-case contribution to
+// the admittance below FMax is negligible relative to the port blocks.
+// The bound on the term −s²rᵢᵀrᵢ/(1+sλᵢ) at s = jω_max is
+// ω_max²·‖rᵢ‖² / √(1+(ω_max λᵢ)²).
+func pruneWeakPoles(model *ReducedModel, opts Options, stats *Stats) *ReducedModel {
+	m := model.M
+	wmax := 2 * math.Pi * opts.FMax
+	// Admittance scale at f_max from the exact port blocks.
+	scale := 0.0
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			v := math.Abs(model.A.At(i, j)) + wmax*math.Abs(model.B.At(i, j))
+			if v > scale {
+				scale = v
+			}
+		}
+	}
+	if scale == 0 {
+		return model
+	}
+	var lambda []float64
+	var rows []int
+	for p, lam := range model.Lambda {
+		norm2 := 0.0
+		for j := 0; j < m; j++ {
+			norm2 += model.R.At(p, j) * model.R.At(p, j)
+		}
+		contrib := wmax * wmax * norm2 / math.Sqrt(1+wmax*lam*wmax*lam)
+		if contrib >= opts.ResiduePruneTol*scale {
+			lambda = append(lambda, lam)
+			rows = append(rows, p)
+		} else {
+			stats.PolesPruned++
+		}
+	}
+	if len(rows) == len(model.Lambda) {
+		return model
+	}
+	rk := dense.New(len(rows), m)
+	for c, p := range rows {
+		for j := 0; j < m; j++ {
+			rk.Set(c, j, model.R.At(p, j))
+		}
+	}
+	stats.PolesFound = len(rows)
+	return &ReducedModel{M: m, Lambda: lambda, A: model.A, B: model.B, R: rk}
+}
+
+// denseEigAbove builds E′ explicitly by applying the operator to unit
+// vectors and solves the dense symmetric eigenproblem — the exact
+// reference path for small internal blocks.
+func denseEigAbove(op lanczos.Operator, cutoff float64) ([]float64, *dense.Mat, error) {
+	n := op.Dim()
+	eMat := dense.New(n, n)
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range src {
+			src[i] = 0
+		}
+		src[j] = 1
+		op.Apply(dst, src)
+		for i := 0; i < n; i++ {
+			eMat.Set(i, j, dst[i])
+		}
+	}
+	eMat.Symmetrize()
+	vals, vecs, err := dense.SymEig(eMat, true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: dense eigensolve of E′: %w", err)
+	}
+	// Select eigenvalues >= cutoff, descending.
+	var keep []int
+	for i := n - 1; i >= 0; i-- {
+		if vals[i] >= cutoff {
+			keep = append(keep, i)
+		}
+	}
+	outVals := make([]float64, len(keep))
+	uk := dense.New(n, len(keep))
+	for c, idx := range keep {
+		outVals[c] = vals[idx]
+		for i := 0; i < n; i++ {
+			uk.Set(i, c, vecs.At(i, idx))
+		}
+	}
+	return outVals, uk, nil
+}
+
+func denseFromCSR(a *sparse.CSR, m int) *dense.Mat {
+	out := dense.New(m, m)
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		for p, j := range cols {
+			out.Set(i, j, vals[p])
+		}
+	}
+	return out
+}

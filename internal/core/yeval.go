@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/chol"
+	"repro/internal/dense"
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+// initYEval prepares the cached state for exact multiport admittance
+// evaluation: a fill-reducing ordering and symbolic factorization of the
+// pattern union of D and E (valid for D + sE at every s), the permuted
+// blocks, and value arrays aligned with the union pattern. It runs once;
+// subsequent Y evaluations only read the cache, so they may run
+// concurrently.
+func (s *System) initYEval() error {
+	s.yOnce.Do(func() { s.yErr = s.buildYEval() })
+	return s.yErr
+}
+
+func (s *System) buildYEval() error {
+	union := sparse.PatternUnion(s.D, s.E)
+	sym := order.Analyze(union, order.MinimumDegree)
+	dp := s.D.PermuteSym(sym.Perm)
+	ep := s.E.PermuteSym(sym.Perm)
+	pat := sparse.PatternUnion(dp, ep)
+	// Align the D and E values with the union pattern storage.
+	dPos := make([]int, pat.NNZ())
+	ePos := make([]int, pat.NNZ())
+	for p := range dPos {
+		dPos[p] = -1
+		ePos[p] = -1
+	}
+	for i := 0; i < s.N; i++ {
+		pd := dp.RowPtr[i]
+		pe := ep.RowPtr[i]
+		for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+			j := pat.Col[p]
+			for pd < dp.RowPtr[i+1] && dp.Col[pd] < j {
+				pd++
+			}
+			if pd < dp.RowPtr[i+1] && dp.Col[pd] == j {
+				dPos[p] = pd
+			}
+			for pe < ep.RowPtr[i+1] && ep.Col[pe] < j {
+				pe++
+			}
+			if pe < ep.RowPtr[i+1] && ep.Col[pe] == j {
+				ePos[p] = pe
+			}
+		}
+	}
+	s.ySym = sym
+	s.yPat = pat
+	s.yDP = dp
+	s.yEP = ep
+	s.yQP = s.Q.PermuteRows(sym.Perm).Transpose() // m×n: row i = column i of permuted Q
+	s.yRP = s.R.PermuteRows(sym.Perm).Transpose()
+	s.yDPos = dPos
+	s.yEPos = ePos
+	return nil
+}
+
+// Y evaluates the exact multiport admittance
+//
+//	Y(s) = A + sB − (Q+sR)ᵀ (D+sE)⁻¹ (Q+sR)
+//
+// at the complex frequency sv by a sparse complex LDLᵀ factorization of
+// D + sE followed by one solve per port. This is the reference the
+// reduced models are verified against; its cost per frequency point is
+// what Tables 2–3 of the paper compare full-network AC analysis with.
+func (s *System) Y(sv complex128) (*dense.CMat, error) {
+	if err := s.initYEval(); err != nil {
+		return nil, err
+	}
+	f, err := chol.FactorizeComplex(s.yPat, func(p int) complex128 {
+		var v complex128
+		if q := s.yDPos[p]; q >= 0 {
+			v += complex(s.yDP.Val[q], 0)
+		}
+		if q := s.yEPos[p]; q >= 0 {
+			v += sv * complex(s.yEP.Val[q], 0)
+		}
+		return v
+	}, s.ySym)
+	if err != nil {
+		return nil, fmt.Errorf("core: factorization of D+sE at s=%v: %w", sv, err)
+	}
+	m := s.M
+	y := dense.NewC(m, m)
+	// Port block A + sB.
+	for i := 0; i < m; i++ {
+		cols, vals := s.A.Row(i)
+		for p, j := range cols {
+			y.Add(i, j, complex(vals[p], 0))
+		}
+		cols, vals = s.B.Row(i)
+		for p, j := range cols {
+			y.Add(i, j, sv*complex(vals[p], 0))
+		}
+	}
+	// Schur complement, one column at a time.
+	x := make([]complex128, s.N)
+	for j := 0; j < m; j++ {
+		for i := range x {
+			x[i] = 0
+		}
+		cols, vals := s.yQP.Row(j) // column j of permuted Q
+		for p, i := range cols {
+			x[i] += complex(vals[p], 0)
+		}
+		cols, vals = s.yRP.Row(j)
+		for p, i := range cols {
+			x[i] += sv * complex(vals[p], 0)
+		}
+		f.Solve(x)
+		for i := 0; i < m; i++ {
+			var acc complex128
+			cols, vals = s.yQP.Row(i)
+			for p, k := range cols {
+				acc += complex(vals[p], 0) * x[k]
+			}
+			cols, vals = s.yRP.Row(i)
+			for p, k := range cols {
+				acc += sv * complex(vals[p], 0) * x[k]
+			}
+			y.Add(i, j, -acc)
+		}
+	}
+	return y, nil
+}
+
+// Transimpedance evaluates Z(s) = Y(s)⁻¹ and returns the (i, j) entry,
+// the quantity plotted in Figure 5 of the paper (small-signal
+// transimpedance between two port nodes).
+func (s *System) Transimpedance(sv complex128, i, j int) (complex128, error) {
+	y, err := s.Y(sv)
+	if err != nil {
+		return 0, err
+	}
+	return TransimpedanceOf(y, i, j)
+}
+
+// TransimpedanceOf inverts the admittance matrix and returns Z[i][j].
+func TransimpedanceOf(y *dense.CMat, i, j int) (complex128, error) {
+	f, err := dense.FactorCLU(y.Clone())
+	if err != nil {
+		return 0, fmt.Errorf("core: admittance matrix singular: %w", err)
+	}
+	b := make([]complex128, y.R)
+	b[j] = 1
+	f.Solve(b)
+	return b[i], nil
+}
+
+// YSweep evaluates the exact multiport admittance at every frequency of
+// the sweep (Hz, evaluated at s = j2πf) using up to workers goroutines
+// (workers <= 1 runs serially). The factorizations per frequency are
+// independent, so this is an embarrassingly parallel version of the
+// dominant cost of full-network AC verification.
+func (s *System) YSweep(freqs []float64, workers int) ([]*dense.CMat, error) {
+	if err := s.initYEval(); err != nil {
+		return nil, err
+	}
+	out := make([]*dense.CMat, len(freqs))
+	if workers <= 1 || len(freqs) < 2 {
+		for k, f := range freqs {
+			y, err := s.Y(complex(0, 2*math.Pi*f))
+			if err != nil {
+				return nil, err
+			}
+			out[k] = y
+		}
+		return out, nil
+	}
+	if workers > len(freqs) {
+		workers = len(freqs)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := range next {
+				if errs[id] != nil {
+					continue // drain so the feeder never blocks
+				}
+				y, err := s.Y(complex(0, 2*math.Pi*freqs[k]))
+				if err != nil {
+					errs[id] = err
+					continue
+				}
+				out[k] = y
+			}
+		}(w)
+	}
+	for k := range freqs {
+		next <- k
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

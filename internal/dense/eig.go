@@ -1,0 +1,263 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// SymEig computes the eigendecomposition of the symmetric matrix a:
+// a = V diag(vals) Vᵀ with eigenvalues sorted ascending and eigenvectors
+// in the columns of V. The input matrix is destroyed. When wantVecs is
+// false the returned matrix is nil (the work is still O(n³) but with a
+// smaller constant since no accumulation correctness is needed by
+// callers).
+//
+// The implementation is the classic EISPACK pair: Householder
+// tridiagonalization (tred2) followed by implicit-shift QL iteration
+// (tql2).
+func SymEig(a *Mat, wantVecs bool) (vals []float64, vecs *Mat, err error) {
+	if a.R != a.C {
+		return nil, nil, fmt.Errorf("dense: SymEig requires square matrix, got %dx%d", a.R, a.C)
+	}
+	n := a.R
+	if n == 0 {
+		return nil, New(0, 0), nil
+	}
+	d := make([]float64, n)
+	e := make([]float64, n)
+	v := a // tridiagonalize in place, accumulating transforms into a
+	tred2(v, d, e)
+	if err := tql2(v, d, e); err != nil {
+		return nil, nil, err
+	}
+	if !wantVecs {
+		return d, nil, nil
+	}
+	return d, v, nil
+}
+
+// TridiagEig computes the full eigensystem of the symmetric tridiagonal
+// matrix with diagonal alpha (length k) and subdiagonal beta (length k-1):
+// T = Z diag(vals) Zᵀ, eigenvalues ascending, eigenvectors in columns of
+// Z. It is the inner solve of every Lanczos step.
+func TridiagEig(alpha, beta []float64) (vals []float64, z *Mat, err error) {
+	k := len(alpha)
+	if len(beta) != k-1 && !(k == 0 && len(beta) == 0) {
+		return nil, nil, fmt.Errorf("dense: TridiagEig needs len(beta) == len(alpha)-1")
+	}
+	if k == 0 {
+		return nil, New(0, 0), nil
+	}
+	d := append([]float64(nil), alpha...)
+	e := make([]float64, k)
+	for i := 1; i < k; i++ {
+		e[i] = beta[i-1]
+	}
+	z = Identity(k)
+	if err := tql2(z, d, e); err != nil {
+		return nil, nil, err
+	}
+	return d, z, nil
+}
+
+// tred2 reduces the symmetric matrix in v to tridiagonal form by
+// Householder similarity transformations, accumulating the orthogonal
+// transform into v. On return d holds the diagonal and e[1..n-1] the
+// subdiagonal (e[0] = 0). Ported from the EISPACK/JAMA routine.
+func tred2(v *Mat, d, e []float64) {
+	n := v.R
+	for j := 0; j < n; j++ {
+		d[j] = v.At(n-1, j)
+	}
+	for i := n - 1; i > 0; i-- {
+		scale := 0.0
+		h := 0.0
+		for k := 0; k < i; k++ {
+			scale += math.Abs(d[k])
+		}
+		if scale == 0 {
+			e[i] = d[i-1]
+			for j := 0; j < i; j++ {
+				d[j] = v.At(i-1, j)
+				v.Set(i, j, 0)
+				v.Set(j, i, 0)
+			}
+		} else {
+			for k := 0; k < i; k++ {
+				d[k] /= scale
+				h += d[k] * d[k]
+			}
+			f := d[i-1]
+			g := math.Sqrt(h)
+			if f > 0 {
+				g = -g
+			}
+			e[i] = scale * g
+			h -= f * g
+			d[i-1] = f - g
+			for j := 0; j < i; j++ {
+				e[j] = 0
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				v.Set(j, i, f)
+				g = e[j] + v.At(j, j)*f
+				for k := j + 1; k <= i-1; k++ {
+					g += v.At(k, j) * d[k]
+					e[k] += v.At(k, j) * f
+				}
+				e[j] = g
+			}
+			f = 0
+			for j := 0; j < i; j++ {
+				e[j] /= h
+				f += e[j] * d[j]
+			}
+			hh := f / (h + h)
+			for j := 0; j < i; j++ {
+				e[j] -= hh * d[j]
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				g = e[j]
+				for k := j; k <= i-1; k++ {
+					v.Add(k, j, -(f*e[k] + g*d[k]))
+				}
+				d[j] = v.At(i-1, j)
+				v.Set(i, j, 0)
+			}
+		}
+		d[i] = h
+	}
+	// Accumulate transformations.
+	for i := 0; i < n-1; i++ {
+		v.Set(n-1, i, v.At(i, i))
+		v.Set(i, i, 1)
+		h := d[i+1]
+		if h != 0 {
+			for k := 0; k <= i; k++ {
+				d[k] = v.At(k, i+1) / h
+			}
+			for j := 0; j <= i; j++ {
+				g := 0.0
+				for k := 0; k <= i; k++ {
+					g += v.At(k, i+1) * v.At(k, j)
+				}
+				for k := 0; k <= i; k++ {
+					v.Add(k, j, -g*d[k])
+				}
+			}
+		}
+		for k := 0; k <= i; k++ {
+			v.Set(k, i+1, 0)
+		}
+	}
+	for j := 0; j < n; j++ {
+		d[j] = v.At(n-1, j)
+		v.Set(n-1, j, 0)
+	}
+	v.Set(n-1, n-1, 1)
+	e[0] = 0
+}
+
+// tql2 diagonalizes a symmetric tridiagonal matrix (diagonal d,
+// subdiagonal e[1..n-1]) by the implicit-shift QL algorithm, accumulating
+// rotations into v. On return d holds the eigenvalues ascending and the
+// columns of v the eigenvectors. Ported from the EISPACK/JAMA routine.
+func tql2(v *Mat, d, e []float64) error {
+	n := len(d)
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+
+	f := 0.0
+	tst1 := 0.0
+	const eps = 2.220446049250313e-16
+	for l := 0; l < n; l++ {
+		tst1 = math.Max(tst1, math.Abs(d[l])+math.Abs(e[l]))
+		m := l
+		for m < n {
+			if math.Abs(e[m]) <= eps*tst1 {
+				break
+			}
+			m++
+		}
+		if m > l {
+			for iter := 0; ; iter++ {
+				if iter > 50 {
+					return fmt.Errorf("dense: QL iteration failed to converge at eigenvalue %d", l)
+				}
+				g := d[l]
+				p := (d[l+1] - g) / (2 * e[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				d[l] = e[l] / (p + r)
+				d[l+1] = e[l] * (p + r)
+				dl1 := d[l+1]
+				h := g - d[l]
+				for i := l + 2; i < n; i++ {
+					d[i] -= h
+				}
+				f += h
+				p = d[m]
+				c := 1.0
+				c2, c3 := c, c
+				el1 := e[l+1]
+				s, s2 := 0.0, 0.0
+				for i := m - 1; i >= l; i-- {
+					c3 = c2
+					c2 = c
+					s2 = s
+					g = c * e[i]
+					h = c * p
+					r = math.Hypot(p, e[i])
+					e[i+1] = s * r
+					s = e[i] / r
+					c = p / r
+					p = c*d[i] - s*g
+					d[i+1] = h + s*(c*g+s*d[i])
+					for k := 0; k < n; k++ {
+						h = v.At(k, i+1)
+						v.Set(k, i+1, s*v.At(k, i)+c*h)
+						v.Set(k, i, c*v.At(k, i)-s*h)
+					}
+				}
+				p = -s * s2 * c3 * el1 * e[l] / dl1
+				e[l] = s * p
+				d[l] = c * p
+				if math.Abs(e[l]) <= eps*tst1 {
+					break
+				}
+			}
+			d[l] += f
+			e[l] = 0
+		} else {
+			d[l] += f
+			e[l] = 0
+		}
+	}
+	// Sort eigenvalues ascending, permuting eigenvectors alongside.
+	for i := 0; i < n-1; i++ {
+		k := i
+		p := d[i]
+		for j := i + 1; j < n; j++ {
+			if d[j] < p {
+				k = j
+				p = d[j]
+			}
+		}
+		if k != i {
+			d[k] = d[i]
+			d[i] = p
+			for r := 0; r < n; r++ {
+				tmp := v.At(r, i)
+				v.Set(r, i, v.At(r, k))
+				v.Set(r, k, tmp)
+			}
+		}
+	}
+	return nil
+}

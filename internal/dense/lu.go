@@ -1,0 +1,217 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// LU is a dense real LU factorization with partial pivoting, PA = LU,
+// stored packed in a single matrix.
+type LU struct {
+	lu   *Mat
+	piv  []int
+	sign int
+}
+
+// FactorLU computes the LU factorization of a (which is destroyed).
+func FactorLU(a *Mat) (*LU, error) {
+	if a.R != a.C {
+		return nil, fmt.Errorf("dense: LU requires square matrix")
+	}
+	n := a.R
+	piv := make([]int, n)
+	sign := 1
+	for k := 0; k < n; k++ {
+		p := k
+		maxv := math.Abs(a.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a.At(i, k)); v > maxv {
+				maxv = v
+				p = i
+			}
+		}
+		if maxv == 0 {
+			return nil, fmt.Errorf("dense: singular matrix at column %d", k)
+		}
+		piv[k] = p
+		if p != k {
+			sign = -sign
+			rp, rk := a.Row(p), a.Row(k)
+			for j := 0; j < n; j++ {
+				rp[j], rk[j] = rk[j], rp[j]
+			}
+		}
+		akk := a.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := a.At(i, k) / akk
+			a.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			ri, rk := a.Row(i), a.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= f * rk[j]
+			}
+		}
+	}
+	return &LU{lu: a, piv: piv, sign: sign}, nil
+}
+
+// Solve solves A x = b in place.
+func (f *LU) Solve(b []float64) {
+	n := f.lu.R
+	if len(b) != n {
+		panic("dense: LU solve dimension mismatch")
+	}
+	// The factorization swapped full rows (LAPACK convention), so all
+	// pivots are applied to b before the triangular solves.
+	for k := 0; k < n; k++ {
+		if p := f.piv[k]; p != k {
+			b[p], b[k] = b[k], b[p]
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			b[i] -= f.lu.At(i, k) * b[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		row := f.lu.Row(i)
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * b[j]
+		}
+		b[i] = s / row[i]
+	}
+}
+
+// SolveLinear is a convenience wrapper solving A x = b with a fresh
+// factorization; a and b are preserved.
+func SolveLinear(a *Mat, b []float64) ([]float64, error) {
+	f, err := FactorLU(a.Clone())
+	if err != nil {
+		return nil, err
+	}
+	x := append([]float64(nil), b...)
+	f.Solve(x)
+	return x, nil
+}
+
+// CMat is a dense row-major complex matrix, used for evaluating Y(jω)
+// blocks and small complex solves.
+type CMat struct {
+	R, C int
+	Data []complex128
+}
+
+// NewC returns a zeroed complex r-by-c matrix.
+func NewC(r, c int) *CMat {
+	return &CMat{R: r, C: c, Data: make([]complex128, r*c)}
+}
+
+// At returns element (i, j).
+func (m *CMat) At(i, j int) complex128 { return m.Data[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *CMat) Set(i, j int, v complex128) { m.Data[i*m.C+j] = v }
+
+// Add accumulates v into element (i, j).
+func (m *CMat) Add(i, j int, v complex128) { m.Data[i*m.C+j] += v }
+
+// Row returns row i as a sub-slice.
+func (m *CMat) Row(i int) []complex128 { return m.Data[i*m.C : (i+1)*m.C] }
+
+// Clone returns a deep copy.
+func (m *CMat) Clone() *CMat {
+	return &CMat{R: m.R, C: m.C, Data: append([]complex128(nil), m.Data...)}
+}
+
+// MaxAbsDiff returns the largest entrywise |a-b|, used by AC comparison
+// tests.
+func MaxAbsDiff(a, b *CMat) float64 {
+	if a.R != b.R || a.C != b.C {
+		panic("dense: MaxAbsDiff shape mismatch")
+	}
+	maxv := 0.0
+	for i := range a.Data {
+		if d := cmplx.Abs(a.Data[i] - b.Data[i]); d > maxv {
+			maxv = d
+		}
+	}
+	return maxv
+}
+
+// CLU is a dense complex LU factorization with partial pivoting.
+type CLU struct {
+	lu  *CMat
+	piv []int
+}
+
+// FactorCLU computes the complex LU factorization of a (destroyed).
+func FactorCLU(a *CMat) (*CLU, error) {
+	if a.R != a.C {
+		return nil, fmt.Errorf("dense: complex LU requires square matrix")
+	}
+	n := a.R
+	piv := make([]int, n)
+	for k := 0; k < n; k++ {
+		p := k
+		maxv := cmplx.Abs(a.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(a.At(i, k)); v > maxv {
+				maxv = v
+				p = i
+			}
+		}
+		if maxv == 0 {
+			return nil, fmt.Errorf("dense: singular complex matrix at column %d", k)
+		}
+		piv[k] = p
+		if p != k {
+			rp, rk := a.Row(p), a.Row(k)
+			for j := 0; j < n; j++ {
+				rp[j], rk[j] = rk[j], rp[j]
+			}
+		}
+		akk := a.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := a.At(i, k) / akk
+			a.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			ri, rk := a.Row(i), a.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= f * rk[j]
+			}
+		}
+	}
+	return &CLU{lu: a, piv: piv}, nil
+}
+
+// Solve solves A x = b in place.
+func (f *CLU) Solve(b []complex128) {
+	n := f.lu.R
+	if len(b) != n {
+		panic("dense: complex LU solve dimension mismatch")
+	}
+	for k := 0; k < n; k++ {
+		if p := f.piv[k]; p != k {
+			b[p], b[k] = b[k], b[p]
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			b[i] -= f.lu.At(i, k) * b[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		row := f.lu.Row(i)
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * b[j]
+		}
+		b[i] = s / row[i]
+	}
+}

@@ -1,0 +1,129 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Section 6) plus the Section 4 complexity claims and
+// a stability ablation against AWE. Each experiment prints the same rows
+// or series the paper reports; cmd/pactbench and the repository-level
+// benchmarks drive them.
+//
+// Absolute times and memory differ from the paper's 1996 SPARC-20 — the
+// reproducible content is the *shape*: pole counts, element counts,
+// accuracy below f_max, reduction speedups, and the PACT-vs-Padé memory
+// and operation scaling. EXPERIMENTS.md records paper-vs-measured for
+// each artifact.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+)
+
+// Registry maps experiment names to runners, in paper order.
+var Registry = []struct {
+	Name string
+	Desc string
+	Run  func(w io.Writer, full bool) error
+}{
+	{"eq20", "Eq. (20): reduced matrices of the 100-segment RC ladder", Eq20},
+	{"fig3", "Figure 3: inverter pair transient with line models", Fig3},
+	{"table1", "Table 1 + Figure 4: multiplier interconnect reduction", Table1},
+	{"table2", "Table 2 + Figure 5: substrate mesh reduction and AC", Table2},
+	{"table3", "Table 3 + Figure 6: full-adder substrate-noise transient", Table3},
+	{"table4", "Table 4: large 3-D mesh reduction and memory", Table4},
+	{"sec4", "Section 4: LASO vs Padé complexity scaling", Section4},
+	{"awe", "Ablation: AWE Padé instability vs PACT guarantees", AWEStability},
+	{"sparsify", "Ablation: sparsity-enhancement threshold vs accuracy", Sparsify},
+	{"ordering", "Ablation: fill-reducing ordering choice", Ordering},
+}
+
+// Run executes the named experiment ("all" runs everything).
+func Run(name string, w io.Writer, full bool) error {
+	if name == "all" {
+		for _, e := range Registry {
+			fmt.Fprintf(w, "\n============ %s — %s ============\n", e.Name, e.Desc)
+			if err := e.Run(w, full); err != nil {
+				return fmt.Errorf("%s: %w", e.Name, err)
+			}
+		}
+		return nil
+	}
+	for _, e := range Registry {
+		if e.Name == name {
+			return e.Run(w, full)
+		}
+	}
+	return fmt.Errorf("experiments: unknown experiment %q", name)
+}
+
+// ---------------------------------------------------------------------
+// shared helpers
+
+func engMem(bytes int64) string {
+	return fmt.Sprintf("%.2f MB", float64(bytes)/1e6)
+}
+
+// crossing returns the first time the waveform of node idx crosses level
+// in the given direction after tStart (linear interpolation), or NaN.
+func crossing(r *sim.TranResult, idx int, level float64, rising bool, tStart float64) float64 {
+	for k := 1; k < len(r.T); k++ {
+		if r.T[k] < tStart {
+			continue
+		}
+		v0 := r.X[k-1][idx]
+		v1 := r.X[k][idx]
+		if rising && v0 < level && v1 >= level || !rising && v0 > level && v1 <= level {
+			f := (level - v0) / (v1 - v0)
+			return r.T[k-1] + f*(r.T[k]-r.T[k-1])
+		}
+	}
+	return math.NaN()
+}
+
+// maxDeviation samples two transient results at count points and returns
+// the largest voltage difference.
+func maxDeviation(a *sim.TranResult, ia int, b *sim.TranResult, ib int, tStop float64, count int) float64 {
+	maxd := 0.0
+	for k := 0; k <= count; k++ {
+		tt := tStop * float64(k) / float64(count)
+		if d := math.Abs(a.At(ia, tt) - b.At(ib, tt)); d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// deckStats counts nodes and R/C elements of a deck.
+func deckStats(d *netlist.Deck) (nodes, rs, cs int) {
+	return len(d.NodeNames()), len(d.ElementsOfType('r')), len(d.ElementsOfType('c'))
+}
+
+// runTransient builds and simulates a deck, returning the result, the
+// circuit, the wall time and the solver's peak LU bytes.
+func runTransient(d *netlist.Deck, tStop, h float64) (*sim.TranResult, *sim.Circuit, time.Duration, int64, error) {
+	c, err := sim.Build(d)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	t0 := time.Now()
+	res, err := c.Transient(tStop, h)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return res, c, time.Since(t0), c.Stats.PeakBytes, nil
+}
+
+// timeIt measures f.
+func timeIt(f func() error) (time.Duration, error) {
+	t0 := time.Now()
+	err := f()
+	return time.Since(t0), err
+}
+
+// extractMesh extracts a pure-RC deck with forced ports.
+func extractMesh(deck *netlist.Deck, ports []string) (*stamp.Extraction, error) {
+	return stamp.Extract(deck, ports...)
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	pact "repro"
+	"repro/internal/core"
+	"repro/internal/netgen"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+)
+
+// Eq20 reproduces the illustrative example of Section 6: reducing the
+// 100-segment, 250 Ω / 1.35 pF ladder at f_max = 5 GHz, tol = 5% yields a
+// single pole near 4.7 GHz and the admittance matrices of Eq. (20).
+func Eq20(w io.Writer, full bool) error {
+	deck := netgen.Ladder(100, 250, 1.35e-12)
+	ex, err := stamp.Extract(deck)
+	if err != nil {
+		return err
+	}
+	model, stats, err := core.Reduce(ex.Sys, core.Options{FMax: 5e9, Tol: 0.05})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ladder: %d internal nodes -> %d (poles found: %d)\n", ex.Sys.N, model.K(), stats.PolesFound)
+	for i, f := range model.PoleFreqs() {
+		fmt.Fprintf(w, "pole %d at %.2f GHz (paper: 4.7 GHz)\n", i+1, f/1e9)
+	}
+	g, c := model.Matrices()
+	fmt.Fprintln(w, "reduced conductance matrix (mS; paper Eq. 20: [4 -4 0; -4 4 0; 0 0 32]):")
+	for i := 0; i < g.R; i++ {
+		fmt.Fprint(w, " ")
+		for j := 0; j < g.C; j++ {
+			fmt.Fprintf(w, " %8.3f", g.At(i, j)*1e3)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "reduced susceptance matrix (fF; paper Eq. 20: [443 225 -547; 225 457 -547; -547 -547 1094]):")
+	for i := 0; i < c.R; i++ {
+		fmt.Fprint(w, " ")
+		for j := 0; j < c.C; j++ {
+			fmt.Fprintf(w, " %8.1f", c.At(i, j)*1e15)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "passive: %v\n", model.CheckPassive(1e-9))
+	return nil
+}
+
+// Fig3 reproduces Figure 3: the output waveform of the receiving inverter
+// with (a) no line, (b) a 2-segment lumped line with identical totals,
+// (c) the full distributed line, and (d) the PACT-reduced line (one
+// internal node). The paper's point: (d) tracks (c) while (b), with the
+// same reduced size, does not.
+func Fig3(w io.Writer, full bool) error {
+	nseg := 100
+	tStop := 6e-9
+	h := 0.02e-9
+	if !full {
+		nseg = 60
+	}
+	origFull := netgen.InverterPair(nseg, 250, 1.35e-12, netgen.LineFull)
+	red, err := pact.ReduceDeck(origFull, pact.Options{FMax: 5e9, Tol: 0.05})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "reduced line: %d poles (paper: 1 pole at 4.7 GHz)\n", red.Model.K())
+
+	variants := []struct {
+		name string
+		deck *netlist.Deck
+	}{
+		{"no-line", netgen.InverterPair(nseg, 250, 1.35e-12, netgen.LineNone)},
+		{"2-segment", netgen.InverterPair(nseg, 250, 1.35e-12, netgen.LineLumped2)},
+		{"full-line", origFull},
+		{"pact-reduced", red.Deck},
+	}
+	type run struct {
+		res *sim.TranResult
+		idx int
+	}
+	runs := make([]run, len(variants))
+	for i, v := range variants {
+		res, c, _, _, err := runTransient(v.deck, tStop, h)
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		idx, _ := c.NodeIndex("out2")
+		runs[i] = run{res, idx}
+	}
+	fmt.Fprintf(w, "V(out2) (V); input switches at t = 1 ns\n%10s", "t (ns)")
+	for _, v := range variants {
+		fmt.Fprintf(w, " %13s", v.name)
+	}
+	fmt.Fprintln(w)
+	for _, tt := range []float64{0.5, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0} {
+		fmt.Fprintf(w, "%10.2f", tt)
+		for _, r := range runs {
+			fmt.Fprintf(w, " %13.4f", r.res.At(r.idx, tt*1e-9))
+		}
+		fmt.Fprintln(w)
+	}
+	// 50% crossings of out2 after the input edge (out2 rises).
+	fmt.Fprintf(w, "%10s", "t50 (ns)")
+	for _, r := range runs {
+		t50 := crossing(r.res, r.idx, 2.5, true, 1e-9)
+		fmt.Fprintf(w, " %13.3f", t50*1e9)
+	}
+	fmt.Fprintln(w)
+	// Deviation of each variant from the full line.
+	fmt.Fprintln(w, "max |V - V(full-line)| over the window:")
+	fullRun := runs[2]
+	for i, v := range variants {
+		if i == 2 {
+			continue
+		}
+		maxd := 0.0
+		for k := 0; k <= 300; k++ {
+			tt := tStop * float64(k) / 300
+			if d := math.Abs(runs[i].res.At(runs[i].idx, tt) - fullRun.res.At(fullRun.idx, tt)); d > maxd {
+				maxd = d
+			}
+		}
+		fmt.Fprintf(w, "  %-13s %6.3f V\n", v.name, maxd)
+	}
+	return nil
+}

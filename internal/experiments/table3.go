@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	pact "repro"
+	"repro/internal/netgen"
+)
+
+// Table3 reproduces Table 3 and Figure 6: the one-bit full adder
+// switching over the substrate mesh, simulated with the original mesh and
+// with the mesh reduced at 1 GHz / 5%, comparing the substrate-noise
+// waveform at the monitor contact and the simulation cost.
+func Table3(w io.Writer, full bool) error {
+	opts := netgen.SmallMeshOpts() // paper scale: 1521-node mesh
+	tStop, h := 8e-9, 0.05e-9
+	if !full {
+		// Quick mode: smaller substrate, same structure.
+		opts = netgen.MeshOpts{NX: 7, NY: 7, NZ: 5, REdge: 630, CSurf: 30e-15, NPorts: 25}
+	} else {
+		tStop = 16e-9
+	}
+	deck, info, err := netgen.FullAdderOnMesh(opts)
+	if err != nil {
+		return err
+	}
+	nodes, rs, cs := deckStats(deck)
+	fmt.Fprintf(w, "original: %d nodes, %d R + %d C (paper: 1540 nodes, 5256 RC elements), 25 substrate ports\n",
+		nodes, rs, cs)
+
+	red, err := pact.ReduceDeck(deck, pact.Options{FMax: 1e9, Tol: 0.05, SparsifyTol: 1e-8})
+	if err != nil {
+		return err
+	}
+	rn, rr, rc := deckStats(red.Deck)
+	fmt.Fprintf(w, "reduced:  %d nodes, %d R + %d C, %d poles kept, reduction %.3f s (paper: 41 nodes, 431 RCs, 6.2 s)\n\n",
+		rn, rr, rc, red.Model.K(), red.Elapsed.Seconds())
+
+	resO, cO, tO, memO, err := runTransient(deck, tStop, h)
+	if err != nil {
+		return fmt.Errorf("original transient: %w", err)
+	}
+	resR, cR, tR, memR, err := runTransient(red.Deck, tStop, h)
+	if err != nil {
+		return fmt.Errorf("reduced transient: %w", err)
+	}
+	fmt.Fprintf(w, "%-16s %10s %10s\n", "transient", "time (s)", "peak LU")
+	fmt.Fprintf(w, "%-16s %10.3f %10s\n", "original", tO.Seconds(), engMem(memO))
+	fmt.Fprintf(w, "%-16s %10.3f %10s\n", "reduced", tR.Seconds(), engMem(memR))
+	fmt.Fprintf(w, "speedup: %.1fx, memory ratio: %.1fx (paper: >300x time, ~100x memory)\n\n",
+		tO.Seconds()/tR.Seconds(), float64(memO)/float64(max64(memR, 1)))
+
+	// Figure 6: substrate voltage at the monitor contact.
+	iO, _ := cO.NodeIndex(info.Monitor)
+	iR, _ := cR.NodeIndex(info.Monitor)
+	fmt.Fprintf(w, "Figure 6 — substrate voltage at the monitor contact (mV)\n%10s %14s %14s\n",
+		"t (ns)", "original", "reduced")
+	steps := 20
+	for k := 0; k <= steps; k++ {
+		tt := tStop * float64(k) / float64(steps)
+		fmt.Fprintf(w, "%10.2f %14.4f %14.4f\n", tt*1e9, 1e3*resO.At(iO, tt), 1e3*resR.At(iR, tt))
+	}
+	fmt.Fprintf(w, "max |ΔV| between original and reduced: %.4f mV\n",
+		1e3*maxDeviation(resO, iO, resR, iR, tStop, 400))
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/netgen"
+	"repro/internal/pade"
+)
+
+// Table4 reproduces Table 4: reduction of the very large 3-D substrate
+// mesh (469 ports, ~19.9k internal nodes at paper scale) at 500 MHz with
+// 10% tolerance, with the memory accounting of Section 4: the Cholesky
+// factor dominates PACT's footprint, while the Padé-based methods would
+// additionally need the m·n block Lanczos vectors (the paper's 71.1 MB
+// versus RCFIT's 6.3 MB of non-Cholesky memory).
+func Table4(w io.Writer, full bool) error {
+	opts := netgen.LargeMeshOpts(469)
+	if !full {
+		opts = netgen.MeshOpts{NX: 16, NY: 16, NZ: 10, REdge: 630, CSurf: 30e-15, NPorts: 120}
+	}
+	deck, ports := netgen.Mesh3D(opts)
+	ex, err := extractMesh(deck, ports)
+	if err != nil {
+		return err
+	}
+	_, rs, cs := ex.Sys.RCStats()
+	m, n := ex.Sys.M, ex.Sys.N
+	fmt.Fprintf(w, "original: %d ports, %d internal nodes, %d R, %d C\n", m, n, rs, cs)
+	fmt.Fprintf(w, "(paper: 469 ports, 19877 internal, 65809 R, 3683 C)\n\n")
+
+	var model *core.ReducedModel
+	var st *core.Stats
+	elapsed, err := timeIt(func() error {
+		var e error
+		// TwoPass keeps the Lanczos working set at two vectors — the
+		// memory discipline the paper's Section 4 analysis assumes.
+		model, st, e = core.Reduce(ex.Sys, core.Options{
+			FMax: 500e6, Tol: 0.10, TwoPass: true, XCacheBudget: -1,
+		})
+		return e
+	})
+	if err != nil {
+		return err
+	}
+	elems, internal, err := realizeElemsSparsified(model, ex.PortNames, 2e-3)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-18s %6s %9s %8s %8s %10s\n", "network", "ports", "internal", "R's", "C's", "time (s)")
+	fmt.Fprintf(w, "%-18s %6d %9d %8d %8d %10s\n", "original", m, n, rs, cs, "—")
+	fmt.Fprintf(w, "%-18s %6d %9d %8d %8d %10.1f\n", "reduced, 500 MHz", m, len(internal),
+		countType(elems, 'r'), countType(elems, 'c'), elapsed.Seconds())
+	fmt.Fprintf(w, "(realized with the sparsity-enhancement heuristic at 0.2%%, as RCFIT does;\n")
+	fmt.Fprintf(w, " paper reduced: 469 ports, 10 internal, 14221 R, 46427 C, 1792.6 s)\n\n")
+
+	// Memory accounting (Section 4 / Table 4 discussion).
+	cholMB := float64(st.CholeskyBytes) / 1e6
+	lanczosVecs := st.PeakVectors
+	if lanczosVecs == 0 {
+		lanczosVecs = 2
+	}
+	workMB := float64(lanczosVecs) * float64(n) * 8 / 1e6
+	portMB := 2 * float64(m) * float64(m) * 8 / 1e6 // dense A', B'
+	padeMB := float64(m+1) * float64(n) * 8 / 1e6   // one block of Lanczos vectors
+	fmt.Fprintf(w, "memory: Cholesky factor %.1f MB (paper: 19.5 of 25.8 MB)\n", cholMB)
+	fmt.Fprintf(w, "        LASO working set %d vectors = %.2f MB; dense port blocks %.2f MB\n",
+		lanczosVecs, workMB, portMB)
+	fmt.Fprintf(w, "        Padé-based methods would need %.1f MB per block of Lanczos vectors\n", padeMB)
+	fmt.Fprintf(w, "        (MPVL stores two such blocks: %.1f MB; paper: 71.1 MB at full scale)\n", 2*padeMB)
+	fmt.Fprintf(w, "poles kept: %d (paper: 10); lanczos iterations: %d; solves: %d\n\n",
+		model.K(), st.LanczosIters, st.Solves)
+
+	// Measured head-to-head on this scale: the Padé-congruence baseline's
+	// actual peak vector count versus LASO's.
+	if !full {
+		_, pst, err := pade.Reduce(ex.Sys, 2, core.Options{FMax: 500e6})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "measured at this scale: LASO peak %d length-n vectors; Padé(q=2) peak %d (basis %d)\n",
+			lanczosVecs, pst.PeakVectors, pst.BasisSize)
+		fmt.Fprintf(w, "vector memory ratio Padé/LASO: %.1fx\n",
+			float64(pst.PeakVectors)/float64(lanczosVecs))
+	}
+	// The realized reduced network must stay passive even at this scale.
+	if !model.CheckPassive(1e-7) {
+		return fmt.Errorf("table4: reduced model lost passivity")
+	}
+	fmt.Fprintln(w, "reduced network passivity check: ok")
+	return nil
+}

@@ -1,0 +1,146 @@
+package netgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// AdderInfo describes the full-adder-on-mesh workload.
+type AdderInfo struct {
+	// MeshPorts are the 25 substrate contact nodes, in the paper's
+	// accounting: 22 transistor bodies, the Vss substrate contact, the
+	// well contact, and the monitor node.
+	MeshPorts []string
+	// Monitor is the substrate node observed in Figures 5 and 6.
+	Monitor string
+	// VssContact and WellContact are the tied-down substrate contacts.
+	VssContact, WellContact string
+}
+
+// FullAdderOnMesh builds the Table 2/3 workload: a 28-transistor CMOS
+// mirror full adder (24-transistor carry/sum core plus two output
+// inverters) with three input inverters, sitting on a 3-D substrate mesh.
+// Exactly 22 core transistor bodies connect to distinct mesh contacts;
+// together with the Vss and well contacts and one monitor node that gives
+// the paper's 25 substrate ports. The substrate contacts are tied to
+// ground through 0 V sources (the DC-blocking well junction is outside
+// the macromodel, as in the paper).
+//
+// The mesh options must provide at least 25 ports.
+func FullAdderOnMesh(o MeshOpts) (*netlist.Deck, *AdderInfo, error) {
+	ports := meshPorts(o)
+	if len(ports) < 25 {
+		return nil, nil, fmt.Errorf("netgen: full adder needs 25 mesh ports, mesh has %d", len(ports))
+	}
+	ports = ports[:25]
+	info := &AdderInfo{
+		VssContact:  ports[0],
+		WellContact: ports[1],
+		Monitor:     ports[2],
+	}
+	bodies := ports[3:25] // 22 transistor body attachment sites
+	bi := 0
+
+	var b strings.Builder
+	fmt.Fprintln(&b, "one-bit cmos mirror full adder over 3d substrate mesh (tables 2-3)")
+	b.WriteString(mosModels)
+	fmt.Fprintln(&b, "vdd vdd 0 dc 5")
+	// Input stimuli exercising all input transitions (different periods).
+	fmt.Fprintln(&b, "vain ain 0 dc 0 pulse(0 5 1n 0.2n 0.2n 4n 8n)")
+	fmt.Fprintln(&b, "vbin bin 0 dc 0 pulse(0 5 2n 0.2n 0.2n 8n 16n)")
+	fmt.Fprintln(&b, "vcin cin 0 dc 0 pulse(0 5 4n 0.2n 0.2n 16n 32n)")
+	// Input inverters (bodies tied to rails; not substrate ports, per the
+	// paper's 22-body accounting).
+	fmt.Fprintln(&b, "mpia a ain vdd vdd pch w=16u l=1u")
+	fmt.Fprintln(&b, "mnia a ain 0 0 nch w=8u l=1u")
+	fmt.Fprintln(&b, "mpib bb bin vdd vdd pch w=16u l=1u")
+	fmt.Fprintln(&b, "mnib bb bin 0 0 nch w=8u l=1u")
+	fmt.Fprintln(&b, "mpic ci cin vdd vdd pch w=16u l=1u")
+	fmt.Fprintln(&b, "mnic ci cin 0 0 nch w=8u l=1u")
+
+	mos := func(name, kind, d, g, s, bnode string, w float64) {
+		model := "nch"
+		if kind == "p" {
+			model = "pch"
+		}
+		fmt.Fprintf(&b, "%s %s %s %s %s %s w=%gu l=1u\n", name, d, g, s, bnode, model, w)
+	}
+	// body hands out substrate attachments. NMOS bodies sit directly on a
+	// mesh contact. A PMOS body lives in an n-well: its body node ties to
+	// vdd through the well resistance and couples to the mesh contact
+	// through the well junction capacitance, so the body sees vdd at DC
+	// and substrate noise through the junction — and the well node (which
+	// touches the MOSFET) is the RC-network port, keeping the paper's 25
+	// port count.
+	nWell := 0
+	body := func(kind string) string {
+		site := bodies[bi]
+		bi++
+		if kind == "n" {
+			info.MeshPorts = append(info.MeshPorts, site)
+			return site
+		}
+		nWell++
+		well := fmt.Sprintf("well%d", nWell)
+		fmt.Fprintf(&b, "rwell%d %s vdd 200\n", nWell, well)
+		fmt.Fprintf(&b, "cwell%d %s %s 30f\n", nWell, well, site)
+		info.MeshPorts = append(info.MeshPorts, well)
+		return well
+	}
+	// Carry stage (10 transistors): cob = NOT(majority(a, b, ci)).
+	mos("mpc1", "p", "x1", "a", "vdd", body("p"), 20)
+	mos("mpc2", "p", "x1", "bb", "vdd", body("p"), 20)
+	mos("mpc3", "p", "cob", "ci", "x1", body("p"), 20)
+	mos("mpc4", "p", "x2", "a", "vdd", body("p"), 20)
+	mos("mpc5", "p", "cob", "bb", "x2", body("p"), 20)
+	mos("mnc1", "n", "y1", "a", "0", body("n"), 10)
+	mos("mnc2", "n", "y1", "bb", "0", body("n"), 10)
+	mos("mnc3", "n", "cob", "ci", "y1", body("n"), 10)
+	mos("mnc4", "n", "cob", "a", "y2", body("n"), 10)
+	mos("mnc5", "n", "y2", "bb", "0", body("n"), 10)
+	// Sum stage (14 transistors, 12 of them body-ported):
+	// sb = NOT(a xor b xor ci) realized as cob·(a+b+ci) + a·b·ci.
+	mos("mps1", "p", "z1", "a", "vdd", body("p"), 20)
+	mos("mps2", "p", "z1", "bb", "vdd", body("p"), 20)
+	mos("mps3", "p", "z1", "ci", "vdd", body("p"), 20)
+	mos("mps4", "p", "sb", "cob", "z1", body("p"), 20)
+	mos("mps5", "p", "w1", "a", "vdd", body("p"), 20)
+	mos("mps6", "p", "w2", "bb", "w1", body("p"), 20)
+	mos("mps7", "p", "sb", "ci", "w2", "vdd", 20) // rail body (23rd would exceed 22)
+	mos("mns1", "n", "u1", "a", "0", body("n"), 10)
+	mos("mns2", "n", "u1", "bb", "0", body("n"), 10)
+	mos("mns3", "n", "u1", "ci", "0", body("n"), 10)
+	mos("mns4", "n", "sb", "cob", "u1", body("n"), 10)
+	mos("mns5", "n", "sb", "a", "v1", body("n"), 10)
+	mos("mns6", "n", "v1", "bb", "v2", body("n"), 10)
+	mos("mns7", "n", "v2", "ci", "0", "0", 10) // rail body
+	// Output inverters (rail bodies).
+	mos("mpoc", "p", "cout", "cob", "vdd", "vdd", 16)
+	mos("mnoc", "n", "cout", "cob", "0", "0", 8)
+	mos("mpos", "p", "sum", "sb", "vdd", "vdd", 16)
+	mos("mnos", "n", "sum", "sb", "0", "0", 8)
+	fmt.Fprintln(&b, "clsum sum 0 25f")
+	fmt.Fprintln(&b, "clcout cout 0 25f")
+	// Substrate contact ties and monitor (0 A probe keeps the node a
+	// port).
+	fmt.Fprintf(&b, "vsubc %s 0 dc 0\n", info.VssContact)
+	fmt.Fprintf(&b, "vwellc %s 0 dc 0\n", info.WellContact)
+	fmt.Fprintf(&b, "iobs %s 0 dc 0\n", info.Monitor)
+	// The mesh itself.
+	meshCards(&b, o)
+	fmt.Fprintln(&b, ".end")
+	deck, err := netlist.ParseString(b.String())
+	if err != nil {
+		return nil, nil, fmt.Errorf("netgen: adder deck: %w", err)
+	}
+	if bi != 22 {
+		return nil, nil, fmt.Errorf("netgen: internal error: %d bodies ported, want 22", bi)
+	}
+	// Final port accounting: 22 bodies (NMOS mesh sites and PMOS well
+	// nodes) + substrate contact + well contact + monitor = 25, as in the
+	// paper.
+	info.MeshPorts = append([]string{info.VssContact, info.WellContact, info.Monitor}, info.MeshPorts...)
+	return deck, info, nil
+}

@@ -1,0 +1,288 @@
+// Package netgen generates the paper's experimental workloads as SPICE
+// decks: the 100-segment RC transmission line between two inverters
+// (Figure 2), tree-like interconnect parasitics standing in for the 8-bit
+// multiplier extraction (Table 1 — see DESIGN.md for the substitution
+// argument), 3-D substrate meshes (Tables 2–4), and the one-bit CMOS full
+// adder whose transistor bodies port into the substrate mesh (Tables
+// 2–3, Figures 5–6).
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// mosModels are the level-1 cards shared by every generated deck.
+const mosModels = `.model nch nmos vto=0.7 kp=60u gamma=0.4 phi=0.65 lambda=0.02 cgso=0.35n cgdo=0.35n cbd=12f cbs=12f
+.model pch pmos vto=-0.7 kp=25u gamma=0.5 phi=0.65 lambda=0.04 cgso=0.35n cgdo=0.35n cbd=18f cbs=18f
+`
+
+func mustParse(s string) *netlist.Deck {
+	d, err := netlist.ParseString(s)
+	if err != nil {
+		panic(fmt.Sprintf("netgen: internal deck error: %v", err))
+	}
+	return d
+}
+
+// ladderCards emits an nseg-segment RC ladder between nodes from and to,
+// with total resistance rtot and total capacitance ctot; intermediate
+// nodes are prefixed.
+func ladderCards(b *strings.Builder, prefix, from, to string, nseg int, rtot, ctot float64) {
+	rseg := rtot / float64(nseg)
+	cseg := ctot / float64(nseg)
+	prev := from
+	for i := 1; i <= nseg; i++ {
+		node := fmt.Sprintf("%s%d", prefix, i)
+		if i == nseg {
+			node = to
+		}
+		fmt.Fprintf(b, "r%s%d %s %s %g\n", prefix, i, prev, node, rseg)
+		fmt.Fprintf(b, "c%s%d %s 0 %g\n", prefix, i, node, cseg)
+		prev = node
+	}
+}
+
+// Ladder returns a pure two-port RC ladder deck: nseg segments, driven
+// port "p1", receiving port "p2" (both marked as ports by zero-valued
+// sources). This is the network of Figure 2 in isolation, used for the
+// Eq. (20) reproduction.
+func Ladder(nseg int, rtot, ctot float64) *netlist.Deck {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rc ladder %d segments r=%g c=%g\n", nseg, rtot, ctot)
+	fmt.Fprintln(&b, "i1 p1 0 dc 0 ac 1")
+	fmt.Fprintln(&b, "i2 p2 0 dc 0")
+	ladderCards(&b, "n", "p1", "p2", nseg, rtot, ctot)
+	fmt.Fprintln(&b, ".end")
+	return mustParse(b.String())
+}
+
+// LineModel selects how InverterPair models the interconnect, matching
+// the three traces of Figure 3.
+type LineModel int
+
+const (
+	// LineFull is the 100-segment (or nseg-segment) distributed model.
+	LineFull LineModel = iota
+	// LineLumped2 is the 2-segment lumped model with the same totals.
+	LineLumped2
+	// LineNone removes the line (driver directly at the receiver).
+	LineNone
+)
+
+// InverterPair builds the Figure 2 circuit: a CMOS inverter driving a
+// second inverter across an RC line with the given segment count and
+// totals. Node "out1" is the driver output (line input), "in2" the line
+// output / receiver gate, "out2" the receiver output. The input pulse
+// switches at 1 ns with 0.1 ns edges.
+func InverterPair(nseg int, rtot, ctot float64, lm LineModel) *netlist.Deck {
+	var b strings.Builder
+	fmt.Fprintln(&b, "cmos inverter pair with rc transmission line (figure 2)")
+	b.WriteString(mosModels)
+	fmt.Fprintln(&b, "vdd vdd 0 dc 5")
+	fmt.Fprintln(&b, "vin in 0 dc 0 pulse(0 5 1n 0.1n 0.1n 8n 20n)")
+	// Large driver inverter.
+	fmt.Fprintln(&b, "mp1 out1 in vdd vdd pch w=40u l=1u")
+	fmt.Fprintln(&b, "mn1 out1 in 0 0 nch w=20u l=1u")
+	switch lm {
+	case LineFull:
+		ladderCards(&b, "t", "out1", "in2", nseg, rtot, ctot)
+	case LineLumped2:
+		ladderCards(&b, "t", "out1", "in2", 2, rtot, ctot)
+	case LineNone:
+		fmt.Fprintln(&b, "rshort out1 in2 1e-3")
+	}
+	// Receiver inverter.
+	fmt.Fprintln(&b, "mp2 out2 in2 vdd vdd pch w=20u l=1u")
+	fmt.Fprintln(&b, "mn2 out2 in2 0 0 nch w=10u l=1u")
+	fmt.Fprintln(&b, "cl out2 0 30f")
+	fmt.Fprintln(&b, ".end")
+	return mustParse(b.String())
+}
+
+// Multiplier builds the synthetic Table-1 workload: a critical path of
+// `stages` CMOS inverters where each stage drives a tree-like parasitic
+// RC net with `fanout` branches of `segs` segments each (one branch
+// continues to the next stage; the others model side loads), plus
+// `sideNets` disconnected-from-the-path nets hanging on intermediate
+// drivers, giving the tree-like, many-net structure of extracted
+// multiplier interconnect. Node "in" is the path input and "out" the
+// final stage output.
+func Multiplier(stages, fanout, segs, sideNets int, seed int64) *netlist.Deck {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	fmt.Fprintln(&b, "synthetic multiplier critical path with tree-like rc parasitics (table 1 workload)")
+	b.WriteString(mosModels)
+	fmt.Fprintln(&b, "vdd vdd 0 dc 5")
+	fmt.Fprintln(&b, "vin in 0 dc 0 pulse(0 5 1n 0.2n 0.2n 25n 60n)")
+	prev := "in"
+	net := 0
+	emitTree := func(root, sink string) {
+		// One spine to the sink plus side branches.
+		net++
+		for br := 0; br < fanout; br++ {
+			to := fmt.Sprintf("x%d_b%dend", net, br)
+			if br == 0 && sink != "" {
+				to = sink
+			}
+			r := 80 + 140*rng.Float64()
+			c := (0.04 + 0.08*rng.Float64()) * 1e-12
+			ladderCards(&b, fmt.Sprintf("x%d_b%d_", net, br), root, to, segs, r, c)
+		}
+	}
+	for st := 1; st <= stages; st++ {
+		drv := fmt.Sprintf("d%d", st)
+		fmt.Fprintf(&b, "mp%d %s %s vdd vdd pch w=16u l=1u\n", st, drv, prev)
+		fmt.Fprintf(&b, "mn%d %s %s 0 0 nch w=8u l=1u\n", st, drv, prev)
+		next := fmt.Sprintf("g%d", st)
+		if st == stages {
+			next = "out"
+		}
+		emitTree(drv, next)
+		prev = next
+	}
+	// Side nets: extra parasitic trees on their own small drivers hanging
+	// off the supply, contributing nodes/elements without lengthening the
+	// path (the bulk of a real multiplier's extraction).
+	for sn := 0; sn < sideNets; sn++ {
+		src := fmt.Sprintf("sg%d", sn)
+		fmt.Fprintf(&b, "mps%d %s %s vdd vdd pch w=8u l=1u\n", sn, src, "in")
+		fmt.Fprintf(&b, "mns%d %s %s 0 0 nch w=4u l=1u\n", sn, src, "in")
+		emitTree(src, "")
+	}
+	fmt.Fprintln(&b, "cload out 0 25f")
+	// A zero-current probe keeps the path output a port of the RC network
+	// (it would otherwise touch only parasitics and be eliminated).
+	fmt.Fprintln(&b, "iout out 0 dc 0")
+	fmt.Fprintln(&b, ".end")
+	return mustParse(b.String())
+}
+
+// MultiplierIdeal is the same circuit as Multiplier with the parasitic
+// networks removed: every driver connects directly to the next gate (the
+// "without parasitics" rows of Table 1).
+func MultiplierIdeal(stages, sideNets int) *netlist.Deck {
+	var b strings.Builder
+	fmt.Fprintln(&b, "synthetic multiplier critical path without parasitics")
+	b.WriteString(mosModels)
+	fmt.Fprintln(&b, "vdd vdd 0 dc 5")
+	fmt.Fprintln(&b, "vin in 0 dc 0 pulse(0 5 1n 0.2n 0.2n 25n 60n)")
+	prev := "in"
+	for st := 1; st <= stages; st++ {
+		next := fmt.Sprintf("g%d", st)
+		if st == stages {
+			next = "out"
+		}
+		fmt.Fprintf(&b, "mp%d %s %s vdd vdd pch w=16u l=1u\n", st, next, prev)
+		fmt.Fprintf(&b, "mn%d %s %s 0 0 nch w=8u l=1u\n", st, next, prev)
+		prev = next
+	}
+	for sn := 0; sn < sideNets; sn++ {
+		src := fmt.Sprintf("sg%d", sn)
+		fmt.Fprintf(&b, "mps%d %s %s vdd vdd pch w=8u l=1u\n", sn, src, "in")
+		fmt.Fprintf(&b, "mns%d %s %s 0 0 nch w=4u l=1u\n", sn, src, "in")
+	}
+	fmt.Fprintln(&b, "cload out 0 25f")
+	fmt.Fprintln(&b, "iout out 0 dc 0")
+	fmt.Fprintln(&b, ".end")
+	return mustParse(b.String())
+}
+
+// MeshOpts configures the 3-D substrate mesh generator.
+type MeshOpts struct {
+	NX, NY, NZ int     // lattice dimensions (nodes per axis)
+	REdge      float64 // resistance of each lattice edge (Ω)
+	CSurf      float64 // capacitance to ground at top-surface nodes (F)
+	NPorts     int     // contacts placed on the top surface
+}
+
+// SmallMeshOpts is the paper-scale 1525-node substrate of Tables 2–3.
+// The edge resistance and surface capacitance are calibrated so the
+// slowest substrate mode sits near 2.8 GHz, reproducing Table 2's pole
+// counts: none kept at 300 MHz, one at 1 GHz, several at 3 GHz.
+func SmallMeshOpts() MeshOpts {
+	return MeshOpts{NX: 13, NY: 13, NZ: 9, REdge: 630, CSurf: 30e-15, NPorts: 25}
+}
+
+// LargeMeshOpts is the ~20k-node mesh of Table 4 (469 ports + 19877
+// internal in the paper). Its RC product is calibrated so that on the
+// order of ten substrate modes fall below the Table 4 cutoff
+// (500 MHz × the 10%-tolerance factor 2.06).
+func LargeMeshOpts(ports int) MeshOpts {
+	return MeshOpts{NX: 30, NY: 30, NZ: 23, REdge: 3100, CSurf: 135e-15, NPorts: ports}
+}
+
+// MeshNode names the lattice node at (x, y, z); z = 0 is the top surface.
+func MeshNode(x, y, z int) string { return fmt.Sprintf("m%d_%d_%d", x, y, z) }
+
+// Mesh3D builds a pure-RC substrate mesh deck and returns the deck and
+// the port node names (top-surface contacts on a uniform sub-grid). The
+// ports carry no devices; pass them to stamp.Extract as extra ports or
+// wire devices to them.
+func Mesh3D(o MeshOpts) (*netlist.Deck, []string) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "3d substrate mesh %dx%dx%d\n", o.NX, o.NY, o.NZ)
+	meshCards(&b, o)
+	fmt.Fprintln(&b, ".end")
+	return mustParse(b.String()), meshPorts(o)
+}
+
+// meshCards emits the mesh R/C cards into b.
+func meshCards(b *strings.Builder, o MeshOpts) {
+	re := 0
+	ce := 0
+	for z := 0; z < o.NZ; z++ {
+		for y := 0; y < o.NY; y++ {
+			for x := 0; x < o.NX; x++ {
+				n := MeshNode(x, y, z)
+				if x+1 < o.NX {
+					re++
+					fmt.Fprintf(b, "rm%d %s %s %g\n", re, n, MeshNode(x+1, y, z), o.REdge)
+				}
+				if y+1 < o.NY {
+					re++
+					fmt.Fprintf(b, "rm%d %s %s %g\n", re, n, MeshNode(x, y+1, z), o.REdge)
+				}
+				if z+1 < o.NZ {
+					re++
+					fmt.Fprintf(b, "rm%d %s %s %g\n", re, n, MeshNode(x, y, z+1), o.REdge)
+				}
+				if z == 0 && o.CSurf > 0 {
+					ce++
+					fmt.Fprintf(b, "cm%d %s 0 %g\n", ce, n, o.CSurf)
+				}
+			}
+		}
+	}
+	// Backside contact: the bottom face ties to the grounded back plane
+	// through a distributed resistance.
+	rb := 0
+	for y := 0; y < o.NY; y++ {
+		for x := 0; x < o.NX; x++ {
+			rb++
+			fmt.Fprintf(b, "rback%d %s 0 %g\n", rb, MeshNode(x, y, o.NZ-1), 50*o.REdge)
+		}
+	}
+}
+
+// meshPorts spreads NPorts contact nodes over the top surface.
+func meshPorts(o MeshOpts) []string {
+	total := o.NX * o.NY
+	if o.NPorts > total {
+		panic("netgen: more ports than surface nodes")
+	}
+	ports := make([]string, 0, o.NPorts)
+	// Uniform stride over the linearized surface with a deterministic
+	// pattern.
+	stride := float64(total) / float64(o.NPorts)
+	for i := 0; i < o.NPorts; i++ {
+		idx := int(float64(i) * stride)
+		x := idx % o.NX
+		y := idx / o.NX
+		ports = append(ports, MeshNode(x, y, 0))
+	}
+	return ports
+}

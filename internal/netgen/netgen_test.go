@@ -1,0 +1,332 @@
+package netgen
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+)
+
+func TestLadderStructure(t *testing.T) {
+	deck := Ladder(100, 250, 1.35e-12)
+	ex, err := stamp.Extract(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Sys.M != 2 {
+		t.Fatalf("ports = %d, want 2", ex.Sys.M)
+	}
+	if ex.Sys.N != 99 {
+		t.Fatalf("internal = %d, want 99", ex.Sys.N)
+	}
+	nodes, rs, cs := ex.Sys.RCStats()
+	if nodes != 101 || rs != 100 || cs != 100 {
+		t.Fatalf("stats = %d nodes %d R %d C, want 101/100/100", nodes, rs, cs)
+	}
+}
+
+func TestInverterPairBuilds(t *testing.T) {
+	for _, lm := range []LineModel{LineFull, LineLumped2, LineNone} {
+		deck := InverterPair(20, 250, 1.35e-12, lm)
+		c, err := sim.Build(deck)
+		if err != nil {
+			t.Fatalf("line model %v: %v", lm, err)
+		}
+		res, err := c.DC()
+		if err != nil {
+			t.Fatalf("line model %v DC: %v", lm, err)
+		}
+		// Input low at DC: both inverter outputs at their static levels.
+		v1, _ := c.Voltage(res.X, "out1")
+		v2, _ := c.Voltage(res.X, "out2")
+		if math.Abs(v1-5) > 0.01 {
+			t.Fatalf("line model %v: V(out1) = %v, want 5", lm, v1)
+		}
+		if math.Abs(v2) > 0.01 {
+			t.Fatalf("line model %v: V(out2) = %v, want 0", lm, v2)
+		}
+	}
+}
+
+func TestInverterPairTransientSwitches(t *testing.T) {
+	deck := InverterPair(10, 250, 1.35e-12, LineFull)
+	c, err := sim.Build(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(4e-9, 0.02e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := c.NodeIndex("out2")
+	if v := res.At(idx, 0.5e-9); math.Abs(v) > 0.05 {
+		t.Fatalf("V(out2) before edge = %v, want 0", v)
+	}
+	if v := res.At(idx, 3.9e-9); math.Abs(v-5) > 0.25 {
+		t.Fatalf("V(out2) after edge = %v, want 5", v)
+	}
+}
+
+func TestMultiplierStructure(t *testing.T) {
+	deck := Multiplier(6, 3, 4, 10, 1)
+	ex, err := stamp.Extract(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Sys.M == 0 || ex.Sys.N == 0 {
+		t.Fatalf("degenerate system %d/%d", ex.Sys.M, ex.Sys.N)
+	}
+	// Trees only: no dangling components dropped.
+	if len(ex.DroppedElements) != 0 {
+		t.Fatalf("dropped %d elements", len(ex.DroppedElements))
+	}
+	if _, err := sim.Build(deck); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMesh3DCounts(t *testing.T) {
+	o := MeshOpts{NX: 4, NY: 3, NZ: 2, REdge: 100, CSurf: 1e-15, NPorts: 5}
+	deck, ports := Mesh3D(o)
+	if len(ports) != 5 {
+		t.Fatalf("ports = %d", len(ports))
+	}
+	nR := len(deck.ElementsOfType('r'))
+	nC := len(deck.ElementsOfType('c'))
+	// Edges: x: 3*3*2=18, y: 4*2*2=16, z: 4*3*1=12; back contacts 12.
+	if nR != 18+16+12+12 {
+		t.Fatalf("resistors = %d, want 58", nR)
+	}
+	if nC != 12 {
+		t.Fatalf("capacitors = %d, want 12 (surface)", nC)
+	}
+	if len(deck.NodeNames()) != 24 {
+		t.Fatalf("nodes = %d, want 24", len(deck.NodeNames()))
+	}
+	ex, err := stamp.Extract(deck, ports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Sys.M != 5 || ex.Sys.N != 19 {
+		t.Fatalf("system %d/%d, want 5/19", ex.Sys.M, ex.Sys.N)
+	}
+}
+
+func TestSmallMeshMatchesPaperScale(t *testing.T) {
+	deck, ports := Mesh3D(SmallMeshOpts())
+	nodes := len(deck.NodeNames())
+	if nodes != 13*13*9 {
+		t.Fatalf("nodes = %d", nodes)
+	}
+	if len(ports) != 25 {
+		t.Fatalf("ports = %d, want 25", len(ports))
+	}
+	nR := len(deck.ElementsOfType('r'))
+	nC := len(deck.ElementsOfType('c'))
+	// Same order of magnitude as the paper's 4970 R / 253 C on 1525
+	// nodes.
+	if nR < 3500 || nR > 6000 {
+		t.Fatalf("resistors = %d, outside paper scale", nR)
+	}
+	if nC < 150 || nC > 400 {
+		t.Fatalf("capacitors = %d, outside paper scale", nC)
+	}
+}
+
+// tinyAdderMesh keeps the adder truth-table test fast: 25 surface nodes.
+func tinyAdderMesh() MeshOpts {
+	return MeshOpts{NX: 5, NY: 5, NZ: 3, REdge: 400, CSurf: 15e-15, NPorts: 25}
+}
+
+func TestFullAdderPortAccounting(t *testing.T) {
+	deck, info, err := FullAdderOnMesh(tinyAdderMesh())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.MeshPorts) != 25 {
+		t.Fatalf("substrate ports = %d, want 25", len(info.MeshPorts))
+	}
+	nm := 0
+	for _, e := range deck.Elements {
+		if _, ok := e.(*netlist.MOSFET); ok {
+			nm++
+		}
+	}
+	if nm != 34 {
+		t.Fatalf("transistors = %d, want 34 (28 adder + 6 input inverters)", nm)
+	}
+	ex, err := stamp.Extract(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RC ports: the 25 substrate ports plus vdd, sum and cout (their load
+	// caps touch devices).
+	if ex.Sys.M != 28 {
+		t.Fatalf("extracted ports = %d, want 28", ex.Sys.M)
+	}
+	for _, p := range info.MeshPorts {
+		found := false
+		for _, q := range ex.PortNames {
+			if p == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("substrate port %s not detected as RC port", p)
+		}
+	}
+}
+
+func TestFullAdderTruthTable(t *testing.T) {
+	deck, _, err := FullAdderOnMesh(tinyAdderMesh())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static truth table: overwrite the input sources with DC levels. The
+	// adder operates on the inverter outputs, so logic inputs are the
+	// complements of the source levels.
+	var vain, vbin, vcin *netlist.VSource
+	for _, e := range deck.Elements {
+		if v, ok := e.(*netlist.VSource); ok {
+			switch v.Ident {
+			case "vain":
+				vain = v
+			case "vbin":
+				vbin = v
+			case "vcin":
+				vcin = v
+			}
+		}
+	}
+	if vain == nil || vbin == nil || vcin == nil {
+		t.Fatal("input sources not found")
+	}
+	for bits := 0; bits < 8; bits++ {
+		ai, bi, ci := bits&1, (bits>>1)&1, (bits>>2)&1
+		// Drive the complements so the adder sees (ai, bi, ci).
+		vain.DC, vain.Wave = float64(1-ai)*5, nil
+		vbin.DC, vbin.Wave = float64(1-bi)*5, nil
+		vcin.DC, vcin.Wave = float64(1-ci)*5, nil
+		sum := ai ^ bi ^ ci
+		cout := (ai & bi) | (ci & (ai | bi))
+		c, err := sim.Build(deck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.DC()
+		if err != nil {
+			t.Fatalf("inputs %d%d%d: DC failed: %v", ai, bi, ci, err)
+		}
+		vs, _ := c.Voltage(res.X, "sum")
+		vc, _ := c.Voltage(res.X, "cout")
+		if math.Abs(vs-float64(sum)*5) > 0.5 {
+			t.Fatalf("inputs %d%d%d: sum = %v, want %v", ai, bi, ci, vs, float64(sum)*5)
+		}
+		if math.Abs(vc-float64(cout)*5) > 0.5 {
+			t.Fatalf("inputs %d%d%d: cout = %v, want %v", ai, bi, ci, vc, float64(cout)*5)
+		}
+	}
+}
+
+func TestMeshPortsDistinct(t *testing.T) {
+	for _, o := range []MeshOpts{SmallMeshOpts(), {NX: 6, NY: 6, NZ: 2, REdge: 1, NPorts: 36}} {
+		ports := meshPorts(o)
+		seen := map[string]bool{}
+		for _, p := range ports {
+			if seen[p] {
+				t.Fatalf("duplicate port %s for %+v", p, o)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestLargeMeshOptsScale(t *testing.T) {
+	o := LargeMeshOpts(469)
+	total := o.NX * o.NY * o.NZ
+	if total < 19000 || total > 22000 {
+		t.Fatalf("large mesh %d nodes, want ~20k (paper: 469+19877)", total)
+	}
+	if fmt.Sprintf("%d", o.NPorts) != "469" {
+		t.Fatalf("ports = %d", o.NPorts)
+	}
+}
+
+func TestSupplyWorkload(t *testing.T) {
+	deck, info, err := Supply(DefaultSupplyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Taps) != 6 || info.Far == "" || info.Pin == "" {
+		t.Fatalf("info = %+v", info)
+	}
+	ex, err := stamp.Extract(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pin (touching the package inductor) and every tap must be RC
+	// ports.
+	want := append([]string{info.Pin}, info.Taps...)
+	for _, p := range want {
+		found := false
+		for _, q := range ex.PortNames {
+			if p == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("node %s not detected as port", p)
+		}
+	}
+	// DC: the whole grid sits at vdd (inductor is a short).
+	c, err := sim.Build(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf, _ := c.Voltage(res.X, info.Far)
+	if math.Abs(vf-5) > 1e-3 {
+		t.Fatalf("V(%s) = %v at DC, want 5", info.Far, vf)
+	}
+	if _, _, err := Supply(SupplyOpts{RX: 1, RY: 2, Taps: 1}); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+}
+
+func TestMultiplierIdealStructure(t *testing.T) {
+	deck := MultiplierIdeal(6, 4)
+	// 6 path inverters + 4 side drivers = 20 MOSFETs, no R.
+	nm := 0
+	for _, e := range deck.Elements {
+		if _, ok := e.(*netlist.MOSFET); ok {
+			nm++
+		}
+	}
+	if nm != 20 {
+		t.Fatalf("mosfets = %d, want 20", nm)
+	}
+	if n := len(deck.ElementsOfType('r')); n != 0 {
+		t.Fatalf("ideal deck has %d resistors", n)
+	}
+	c, err := sim.Build(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even stage count: out follows in = 0 at DC.
+	v, _ := c.Voltage(res.X, "out")
+	if math.Abs(v) > 1e-3 {
+		t.Fatalf("V(out) = %v, want 0", v)
+	}
+}

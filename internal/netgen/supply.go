@@ -1,0 +1,103 @@
+package netgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// SupplyOpts configures the power-grid workload: the paper's introduction
+// motivates PACT with "supply line resistance and capacitance, in
+// combination with package inductance" causing supply variations during
+// digital switching. The vdd net is an RX×RY on-chip RC grid fed through
+// a package inductance; inverter banks at tap points switch
+// simultaneously and draw current through the grid.
+type SupplyOpts struct {
+	RX, RY int     // grid nodes per axis
+	RGrid  float64 // grid segment resistance (Ω)
+	CDecap float64 // decoupling capacitance per grid node (F)
+	LPkg   float64 // package inductance (H)
+	RPkg   float64 // package series resistance (Ω)
+	Taps   int     // switching-gate attachment points
+	Banks  int     // inverters per tap
+}
+
+// DefaultSupplyOpts is an example-scale power grid.
+func DefaultSupplyOpts() SupplyOpts {
+	return SupplyOpts{
+		RX: 8, RY: 8,
+		RGrid:  1.5,
+		CDecap: 150e-15,
+		LPkg:   2e-9,
+		RPkg:   0.1,
+		Taps:   6,
+		Banks:  4,
+	}
+}
+
+// SupplyInfo reports the generated node names.
+type SupplyInfo struct {
+	// Pin is the grid node fed by the package (port).
+	Pin string
+	// Taps are the grid nodes loaded by switching gates (ports).
+	Taps []string
+	// Far is the tap farthest from the pin, where droop is worst.
+	Far string
+}
+
+// Supply builds the power-grid deck. Node g<x>_<y> is the grid; the
+// package connects vddext -> (RPkg, LPkg) -> the pin corner g0_0. The
+// switching banks share one clock and discharge load capacitors from
+// their local supply tap, reproducing simultaneous-switching noise.
+func Supply(o SupplyOpts) (*netlist.Deck, *SupplyInfo, error) {
+	if o.RX < 2 || o.RY < 2 || o.Taps < 1 {
+		return nil, nil, fmt.Errorf("netgen: supply grid needs at least 2x2 nodes and one tap")
+	}
+	gn := func(x, y int) string { return fmt.Sprintf("g%d_%d", x, y) }
+	var b strings.Builder
+	fmt.Fprintln(&b, "on-chip power grid with package inductance (intro workload)")
+	b.WriteString(mosModels)
+	fmt.Fprintln(&b, "vdd vddext 0 dc 5")
+	fmt.Fprintf(&b, "rpkg vddext vddpin %g\n", o.RPkg)
+	fmt.Fprintf(&b, "lpkg vddpin %s %g\n", gn(0, 0), o.LPkg)
+	fmt.Fprintln(&b, "vclk clk 0 dc 0 pulse(0 5 1n 0.1n 0.1n 4n 10n)")
+	// Grid resistors and decap.
+	re, ce := 0, 0
+	for y := 0; y < o.RY; y++ {
+		for x := 0; x < o.RX; x++ {
+			if x+1 < o.RX {
+				re++
+				fmt.Fprintf(&b, "rg%d %s %s %g\n", re, gn(x, y), gn(x+1, y), o.RGrid)
+			}
+			if y+1 < o.RY {
+				re++
+				fmt.Fprintf(&b, "rg%d %s %s %g\n", re, gn(x, y), gn(x, y+1), o.RGrid)
+			}
+			ce++
+			fmt.Fprintf(&b, "cg%d %s 0 %g\n", ce, gn(x, y), o.CDecap)
+		}
+	}
+	// Taps spread along the grid diagonal, biased away from the pin.
+	info := &SupplyInfo{Pin: gn(0, 0)}
+	for k := 0; k < o.Taps; k++ {
+		f := float64(k+1) / float64(o.Taps)
+		x := int(f * float64(o.RX-1))
+		y := int(f * float64(o.RY-1))
+		tap := gn(x, y)
+		info.Taps = append(info.Taps, tap)
+		info.Far = tap
+		for bk := 0; bk < o.Banks; bk++ {
+			out := fmt.Sprintf("t%d_o%d", k, bk)
+			fmt.Fprintf(&b, "mpt%d_%d %s clk %s %s pch w=24u l=1u\n", k, bk, out, tap, tap)
+			fmt.Fprintf(&b, "mnt%d_%d %s clk 0 0 nch w=12u l=1u\n", k, bk, out)
+			fmt.Fprintf(&b, "clt%d_%d %s 0 120f\n", k, bk, out)
+		}
+	}
+	fmt.Fprintln(&b, ".end")
+	deck, err := netlist.ParseString(b.String())
+	if err != nil {
+		return nil, nil, fmt.Errorf("netgen: supply deck: %w", err)
+	}
+	return deck, info, nil
+}

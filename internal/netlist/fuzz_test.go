@@ -1,0 +1,70 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: arbitrary text must parse or error, never panic, and any
+// successfully parsed deck must survive a write/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("title\nr1 a b 1k\n.end\n")
+	f.Add(sampleDeck)
+	f.Add("t\n.subckt s a\nr1 a 0 1\n.ends\nx1 n s\nv1 n 0 dc 1\n.end\n")
+	f.Add("t\nv1 a 0 dc 0 pulse(0 5 1n 0.1n 0.1n 4n 10n)\n.end\n")
+	f.Add("t\n+ broken\n")
+	f.Add("t\nl1 a 0 1u\nm1 a b c d mod w=1u l=1u\n.model mod nmos\n.end\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		deck, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		out := deck.String()
+		deck2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nfirst output:\n%s", err, out)
+		}
+		if len(deck2.Elements) != len(deck.Elements) {
+			t.Fatalf("round trip changed element count %d -> %d\n%s", len(deck.Elements), len(deck2.Elements), out)
+		}
+	})
+}
+
+// FuzzParseValue: numeric token parsing must never panic and must accept
+// its own formatted output.
+func FuzzParseValue(f *testing.F) {
+	for _, s := range []string{"1k", "-2.5n", "1e-3", "10kohm", "meg", "..", "1e", "5meg"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, tok string) {
+		v, err := ParseValue(tok)
+		if err != nil {
+			return
+		}
+		s := FormatValue(v)
+		v2, err := ParseValue(s)
+		if err != nil {
+			t.Fatalf("FormatValue(%v) = %q does not re-parse: %v", v, s, err)
+		}
+		if v != 0 {
+			rel := (v2 - v) / v
+			if rel < -1e-6 || rel > 1e-6 {
+				t.Fatalf("round trip %q -> %v -> %q -> %v", tok, v, s, v2)
+			}
+		}
+	})
+}
+
+// FuzzTokenize guards the card tokenizer against pathological input.
+func FuzzTokenize(f *testing.F) {
+	f.Add("v1 a 0 pulse(0 5, 1n)")
+	f.Add("((((")
+	f.Fuzz(func(t *testing.T, card string) {
+		toks := tokenize(card)
+		for _, tk := range toks {
+			if strings.ContainsAny(tk, " \t") {
+				t.Fatalf("token %q contains whitespace", tk)
+			}
+		}
+	})
+}

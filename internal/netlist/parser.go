@@ -1,0 +1,461 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads a SPICE deck. Following SPICE convention the first line is
+// the title; '*' lines are comments, '+' lines continue the previous
+// card, and everything is case-insensitive. Parsing stops at .end (or
+// EOF).
+func Parse(r io.Reader) (*Deck, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	deck := &Deck{Models: map[string]*Model{}, Subckts: map[string]*Subckt{}}
+	var cards []string
+	lineNo := 0
+	first := true
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '$'); i >= 0 {
+			line = line[:i]
+		}
+		if first {
+			deck.Title = strings.TrimSpace(line)
+			first = false
+			continue
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || trimmed[0] == '*' {
+			continue
+		}
+		if trimmed[0] == '+' {
+			if len(cards) == 0 {
+				return nil, fmt.Errorf("netlist: line %d: continuation with no previous card", lineNo)
+			}
+			cards[len(cards)-1] += " " + strings.TrimSpace(trimmed[1:])
+			continue
+		}
+		cards = append(cards, strings.ToLower(trimmed))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: read: %w", err)
+	}
+	var sub *Subckt // non-nil while inside a .subckt body
+	for _, card := range cards {
+		fields := strings.Fields(card)
+		if len(fields) > 0 {
+			switch fields[0] {
+			case ".subckt":
+				if sub != nil {
+					return nil, fmt.Errorf("netlist: nested .subckt definition in %q", card)
+				}
+				if len(fields) < 2 {
+					return nil, fmt.Errorf("netlist: %q needs a name", card)
+				}
+				sub = &Subckt{Ident: fields[1]}
+				for _, p := range fields[2:] {
+					sub.Ports = append(sub.Ports, norm(p))
+				}
+				continue
+			case ".ends":
+				if sub == nil {
+					return nil, fmt.Errorf("netlist: .ends without .subckt")
+				}
+				if _, dup := deck.Subckts[sub.Ident]; dup {
+					return nil, fmt.Errorf("netlist: duplicate subcircuit %q", sub.Ident)
+				}
+				deck.Subckts[sub.Ident] = sub
+				sub = nil
+				continue
+			}
+		}
+		target := &deck.Elements
+		if sub != nil {
+			target = &sub.Elements
+		}
+		if err := parseCard(deck, target, card); err != nil {
+			return nil, err
+		}
+		if card == ".end" {
+			break
+		}
+	}
+	if sub != nil {
+		return nil, fmt.Errorf("netlist: .subckt %s not closed by .ends", sub.Ident)
+	}
+	if err := deck.flatten(); err != nil {
+		return nil, err
+	}
+	return deck, nil
+}
+
+// ParseString parses a deck held in a string.
+func ParseString(s string) (*Deck, error) { return Parse(strings.NewReader(s)) }
+
+func parseCard(deck *Deck, target *[]Element, card string) error {
+	toks := tokenize(card)
+	if len(toks) == 0 {
+		return nil
+	}
+	name := toks[0]
+	switch name[0] {
+	case '.':
+		return parseDot(deck, name, toks[1:], card)
+	case 'r':
+		if len(toks) < 4 {
+			return fmt.Errorf("netlist: resistor card %q needs 4 fields", card)
+		}
+		v, err := ParseValue(toks[3])
+		if err != nil {
+			return fmt.Errorf("netlist: resistor %s: %w", name, err)
+		}
+		*target = append(*target, &Resistor{Ident: name, N1: norm(toks[1]), N2: norm(toks[2]), Value: v})
+	case 'c':
+		if len(toks) < 4 {
+			return fmt.Errorf("netlist: capacitor card %q needs 4 fields", card)
+		}
+		v, err := ParseValue(toks[3])
+		if err != nil {
+			return fmt.Errorf("netlist: capacitor %s: %w", name, err)
+		}
+		*target = append(*target, &Capacitor{Ident: name, N1: norm(toks[1]), N2: norm(toks[2]), Value: v})
+	case 'd':
+		if len(toks) < 4 {
+			return fmt.Errorf("netlist: diode card %q needs anode cathode model", card)
+		}
+		*target = append(*target, &Diode{Ident: name, N1: norm(toks[1]), N2: norm(toks[2]), ModelName: toks[3]})
+	case 'l':
+		if len(toks) < 4 {
+			return fmt.Errorf("netlist: inductor card %q needs 4 fields", card)
+		}
+		v, err := ParseValue(toks[3])
+		if err != nil {
+			return fmt.Errorf("netlist: inductor %s: %w", name, err)
+		}
+		*target = append(*target, &Inductor{Ident: name, N1: norm(toks[1]), N2: norm(toks[2]), Value: v})
+	case 'v':
+		if len(toks) < 3 {
+			return fmt.Errorf("netlist: source card %q needs two nodes", card)
+		}
+		src := &VSource{Ident: name, N1: norm(toks[1]), N2: norm(toks[2])}
+		wave, dc, ac, err := parseSource(toks[3:])
+		if err != nil {
+			return fmt.Errorf("netlist: source %s: %w", name, err)
+		}
+		src.DC, src.ACMag, src.Wave = dc, ac, wave
+		*target = append(*target, src)
+	case 'i':
+		if len(toks) < 3 {
+			return fmt.Errorf("netlist: source card %q needs two nodes", card)
+		}
+		src := &ISource{Ident: name, N1: norm(toks[1]), N2: norm(toks[2])}
+		wave, dc, ac, err := parseSource(toks[3:])
+		if err != nil {
+			return fmt.Errorf("netlist: source %s: %w", name, err)
+		}
+		src.DC, src.ACMag, src.Wave = dc, ac, wave
+		*target = append(*target, src)
+	case 'x':
+		if len(toks) < 3 {
+			return fmt.Errorf("netlist: instance card %q needs nodes and a subcircuit name", card)
+		}
+		x := &XInstance{Ident: name, SubcktRef: toks[len(toks)-1]}
+		for _, n := range toks[1 : len(toks)-1] {
+			x.NodeList = append(x.NodeList, norm(n))
+		}
+		*target = append(*target, x)
+	case 'm':
+		if len(toks) < 6 {
+			return fmt.Errorf("netlist: mosfet card %q needs d g s b model", card)
+		}
+		mos := &MOSFET{
+			Ident: name,
+			D:     norm(toks[1]), G: norm(toks[2]), S: norm(toks[3]), B: norm(toks[4]),
+			ModelName: toks[5],
+			W:         10e-6, L: 1e-6,
+		}
+		for _, t := range toks[6:] {
+			k, v, ok := strings.Cut(t, "=")
+			if !ok {
+				return fmt.Errorf("netlist: mosfet %s: expected key=value, got %q", name, t)
+			}
+			val, err := ParseValue(v)
+			if err != nil {
+				return fmt.Errorf("netlist: mosfet %s %s: %w", name, k, err)
+			}
+			switch k {
+			case "w":
+				mos.W = val
+			case "l":
+				mos.L = val
+			default:
+				// Ignore unsupported instance parameters (ad, as, ...).
+			}
+		}
+		*target = append(*target, mos)
+	default:
+		return fmt.Errorf("netlist: unsupported element type %q in card %q", name[:1], card)
+	}
+	return nil
+}
+
+func parseDot(deck *Deck, name string, args []string, card string) error {
+	switch name {
+	case ".model":
+		if len(args) < 2 {
+			return fmt.Errorf("netlist: %q needs name and type", card)
+		}
+		m := &Model{Ident: args[0], Type: args[1], Params: map[string]float64{}}
+		if m.Type != "nmos" && m.Type != "pmos" && m.Type != "d" {
+			return fmt.Errorf("netlist: unsupported model type %q (nmos/pmos/d only)", m.Type)
+		}
+		for _, t := range args[2:] {
+			k, v, ok := strings.Cut(t, "=")
+			if !ok {
+				continue // tokens like "level" handled as key=value only
+			}
+			val, err := ParseValue(v)
+			if err != nil {
+				return fmt.Errorf("netlist: model %s param %s: %w", m.Ident, k, err)
+			}
+			m.Params[k] = val
+		}
+		deck.Models[m.Ident] = m
+	case ".end":
+		// handled by caller
+	default:
+		deck.Controls = append(deck.Controls, card)
+	}
+	return nil
+}
+
+// parseSource parses the value fields of a V/I source card: an optional
+// bare value or "dc <v>", an optional "ac <mag> [phase]", and an optional
+// pulse/sin/pwl waveform.
+func parseSource(toks []string) (Waveform, float64, float64, error) {
+	var wave Waveform
+	dc, ac := 0.0, 0.0
+	i := 0
+	for i < len(toks) {
+		t := toks[i]
+		switch {
+		case t == "dc":
+			if i+1 >= len(toks) {
+				return nil, 0, 0, fmt.Errorf("dc needs a value")
+			}
+			v, err := ParseValue(toks[i+1])
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			dc = v
+			i += 2
+		case t == "ac":
+			if i+1 >= len(toks) {
+				return nil, 0, 0, fmt.Errorf("ac needs a magnitude")
+			}
+			v, err := ParseValue(toks[i+1])
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			ac = v
+			i += 2
+			// Optional phase argument.
+			if i < len(toks) {
+				if _, err := ParseValue(toks[i]); err == nil && !isWaveKeyword(toks[i]) {
+					i++
+				}
+			}
+		case t == "pulse" || t == "sin" || t == "pwl":
+			vals, next, err := collectArgs(toks, i+1)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("%s: %w", t, err)
+			}
+			w, err := buildWave(t, vals)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			wave = w
+			i = next
+		default:
+			v, err := ParseValue(t)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("unexpected token %q", t)
+			}
+			dc = v
+			i++
+		}
+	}
+	return wave, dc, ac, nil
+}
+
+func isWaveKeyword(t string) bool {
+	return t == "pulse" || t == "sin" || t == "pwl" || t == "dc" || t == "ac"
+}
+
+// collectArgs gathers the numeric arguments following a waveform keyword;
+// tokenize has already split parentheses into separate tokens.
+func collectArgs(toks []string, i int) ([]float64, int, error) {
+	var vals []float64
+	expectClose := false
+	if i < len(toks) && toks[i] == "(" {
+		expectClose = true
+		i++
+	}
+	for i < len(toks) {
+		t := toks[i]
+		if t == ")" {
+			i++
+			return vals, i, nil
+		}
+		v, err := ParseValue(t)
+		if err != nil {
+			if expectClose {
+				return nil, 0, fmt.Errorf("bad argument %q", t)
+			}
+			return vals, i, nil
+		}
+		vals = append(vals, v)
+		i++
+	}
+	if expectClose {
+		return nil, 0, fmt.Errorf("missing )")
+	}
+	return vals, i, nil
+}
+
+func buildWave(kind string, v []float64) (Waveform, error) {
+	get := func(i int) float64 {
+		if i < len(v) {
+			return v[i]
+		}
+		return 0
+	}
+	switch kind {
+	case "pulse":
+		if len(v) < 2 {
+			return nil, fmt.Errorf("netlist: pulse needs at least v1 v2")
+		}
+		return &Pulse{V1: get(0), V2: get(1), TD: get(2), TR: get(3), TF: get(4), PW: get(5), PER: get(6)}, nil
+	case "sin":
+		if len(v) < 3 {
+			return nil, fmt.Errorf("netlist: sin needs vo va freq")
+		}
+		return &Sin{VO: get(0), VA: get(1), Freq: get(2), TD: get(3), Theta: get(4)}, nil
+	case "pwl":
+		if len(v) == 0 || len(v)%2 != 0 {
+			return nil, fmt.Errorf("netlist: pwl needs time/value pairs")
+		}
+		w := &PWL{}
+		for i := 0; i < len(v); i += 2 {
+			w.T = append(w.T, v[i])
+			w.V = append(w.V, v[i+1])
+		}
+		for i := 1; i < len(w.T); i++ {
+			if w.T[i] < w.T[i-1] {
+				return nil, fmt.Errorf("netlist: pwl times must be non-decreasing")
+			}
+		}
+		return w, nil
+	}
+	return nil, fmt.Errorf("netlist: unknown waveform %q", kind)
+}
+
+// tokenize splits a card into fields, separating parentheses and commas
+// into their own tokens and keeping key=value tokens intact.
+func tokenize(card string) []string {
+	var b strings.Builder
+	for _, ch := range card {
+		switch ch {
+		case '(', ')':
+			b.WriteByte(' ')
+			b.WriteRune(ch)
+			b.WriteByte(' ')
+		case ',':
+			b.WriteByte(' ')
+		default:
+			b.WriteRune(ch)
+		}
+	}
+	return strings.Fields(b.String())
+}
+
+func norm(node string) string {
+	if node == "gnd" {
+		return Ground
+	}
+	return node
+}
+
+// Write renders the deck back to SPICE text: title, models, subcircuit
+// definitions that are still referenced by X instances in Elements,
+// elements, control cards, .end. (Parse flattens instances, so decks from
+// Parse write flat; decks constructed with explicit Subckts and
+// XInstances round-trip hierarchically.)
+func (d *Deck) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, d.Title)
+	keys := make([]string, 0, len(d.Models))
+	for k := range d.Models {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(bw, d.Models[k].Card())
+	}
+	// Emit only definitions still referenced (transitively) by instances.
+	refed := map[string]bool{}
+	var mark func(elems []Element)
+	mark = func(elems []Element) {
+		for _, e := range elems {
+			x, ok := e.(*XInstance)
+			if !ok {
+				continue
+			}
+			if refed[x.SubcktRef] {
+				continue
+			}
+			refed[x.SubcktRef] = true
+			if sub, ok := d.Subckts[x.SubcktRef]; ok {
+				mark(sub.Elements)
+			}
+		}
+	}
+	mark(d.Elements)
+	subNames := make([]string, 0, len(refed))
+	for k := range refed {
+		if _, ok := d.Subckts[k]; ok {
+			subNames = append(subNames, k)
+		}
+	}
+	sortStrings(subNames)
+	for _, k := range subNames {
+		sub := d.Subckts[k]
+		fmt.Fprintf(bw, ".subckt %s %s\n", sub.Ident, strings.Join(sub.Ports, " "))
+		for _, e := range sub.Elements {
+			fmt.Fprintln(bw, e.Card())
+		}
+		fmt.Fprintln(bw, ".ends")
+	}
+	for _, e := range d.Elements {
+		fmt.Fprintln(bw, e.Card())
+	}
+	for _, c := range d.Controls {
+		fmt.Fprintln(bw, c)
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// String renders the deck as SPICE text.
+func (d *Deck) String() string {
+	var b strings.Builder
+	if err := d.Write(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Subckt is a parsed .subckt definition: a name, the port node list, and
+// the element/instance cards of the body. Models are global (SPICE
+// convention); nested definitions are not supported, but bodies may
+// instantiate other subcircuits.
+type Subckt struct {
+	Ident    string
+	Ports    []string
+	Elements []Element
+}
+
+// XInstance is a subcircuit instance card (xname n1 n2 ... subcktname).
+// Parse expands instances into flat elements before returning, so
+// downstream consumers never see XInstance; it is exported for tools that
+// inspect unexpanded bodies.
+type XInstance struct {
+	Ident     string
+	NodeList  []string
+	SubcktRef string
+}
+
+func (x *XInstance) Name() string    { return x.Ident }
+func (x *XInstance) Nodes() []string { return x.NodeList }
+func (x *XInstance) Card() string {
+	return fmt.Sprintf("%s %s %s", x.Ident, strings.Join(x.NodeList, " "), x.SubcktRef)
+}
+
+const maxFlattenDepth = 20
+
+// flatten expands every XInstance in the deck using the deck's subcircuit
+// definitions, renaming internal nodes to <inst>.<node> and element names
+// to <name>_<inst> (keeping the type letter first).
+func (d *Deck) flatten() error {
+	if len(d.Subckts) == 0 {
+		// Still reject stray instances.
+		for _, e := range d.Elements {
+			if x, ok := e.(*XInstance); ok {
+				return fmt.Errorf("netlist: instance %s references unknown subcircuit %q", x.Ident, x.SubcktRef)
+			}
+		}
+		return nil
+	}
+	var out []Element
+	for _, e := range d.Elements {
+		x, ok := e.(*XInstance)
+		if !ok {
+			out = append(out, e)
+			continue
+		}
+		expanded, err := d.expand(x, 0)
+		if err != nil {
+			return err
+		}
+		out = append(out, expanded...)
+	}
+	d.Elements = out
+	return nil
+}
+
+// expand instantiates one subcircuit instance, recursively.
+func (d *Deck) expand(x *XInstance, depth int) ([]Element, error) {
+	if depth > maxFlattenDepth {
+		return nil, fmt.Errorf("netlist: subcircuit nesting deeper than %d at %s (recursive definition?)", maxFlattenDepth, x.Ident)
+	}
+	sub, ok := d.Subckts[x.SubcktRef]
+	if !ok {
+		return nil, fmt.Errorf("netlist: instance %s references unknown subcircuit %q", x.Ident, x.SubcktRef)
+	}
+	if len(x.NodeList) != len(sub.Ports) {
+		return nil, fmt.Errorf("netlist: instance %s connects %d nodes to subcircuit %s with %d ports",
+			x.Ident, len(x.NodeList), sub.Ident, len(sub.Ports))
+	}
+	portMap := map[string]string{Ground: Ground}
+	for i, p := range sub.Ports {
+		portMap[p] = x.NodeList[i]
+	}
+	mapNode := func(n string) string {
+		if m, ok := portMap[n]; ok {
+			return m
+		}
+		return x.Ident + "." + n
+	}
+	var out []Element
+	for _, e := range sub.Elements {
+		if xe, ok := e.(*XInstance); ok {
+			inner := &XInstance{
+				Ident:     xe.Ident + "_" + x.Ident,
+				SubcktRef: xe.SubcktRef,
+			}
+			for _, n := range xe.NodeList {
+				inner.NodeList = append(inner.NodeList, mapNode(n))
+			}
+			expanded, err := d.expand(inner, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, expanded...)
+			continue
+		}
+		out = append(out, cloneRenamed(e, mapNode, "_"+x.Ident))
+	}
+	return out, nil
+}
+
+// cloneRenamed copies an element with its nodes mapped and its name
+// suffixed (the type letter stays first, so downstream dispatch works).
+func cloneRenamed(e Element, mapNode func(string) string, suffix string) Element {
+	switch el := e.(type) {
+	case *Resistor:
+		return &Resistor{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), Value: el.Value}
+	case *Capacitor:
+		return &Capacitor{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), Value: el.Value}
+	case *Inductor:
+		return &Inductor{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), Value: el.Value}
+	case *VSource:
+		return &VSource{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), DC: el.DC, ACMag: el.ACMag, Wave: el.Wave}
+	case *ISource:
+		return &ISource{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), DC: el.DC, ACMag: el.ACMag, Wave: el.Wave}
+	case *Diode:
+		return &Diode{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), ModelName: el.ModelName}
+	case *MOSFET:
+		return &MOSFET{
+			Ident: el.Ident + suffix,
+			D:     mapNode(el.D), G: mapNode(el.G), S: mapNode(el.S), B: mapNode(el.B),
+			ModelName: el.ModelName, W: el.W, L: el.L,
+		}
+	}
+	panic(fmt.Sprintf("netlist: cannot clone element type %T", e))
+}

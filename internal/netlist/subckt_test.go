@@ -1,0 +1,134 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const subcktDeck = `hierarchy test
+.model nch nmos vto=0.7 kp=60u
+.model pch pmos vto=-0.7 kp=25u
+.subckt inv in out vp
+mp out in vp vp pch w=20u l=1u
+mn out in 0 0 nch w=10u l=1u
+c1 out 0 10f
+.ends inv
+.subckt buf a y vp
+x1 a mid vp inv
+x2 mid y vp inv
+.ends
+vdd vdd 0 dc 5
+vin in 0 dc 0
+xb1 in out vdd buf
+rload out 0 100k
+.end
+`
+
+func TestSubcktFlatten(t *testing.T) {
+	deck, err := ParseString(subcktDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deck.Subckts) != 2 {
+		t.Fatalf("subckts = %d, want 2", len(deck.Subckts))
+	}
+	// Flattened: vdd, vin, rload + 2 inv instances × (2 mosfets + 1 cap).
+	nm, nc, nr := 0, 0, 0
+	for _, e := range deck.Elements {
+		switch e.(type) {
+		case *MOSFET:
+			nm++
+		case *Capacitor:
+			nc++
+		case *Resistor:
+			nr++
+		case *XInstance:
+			t.Fatalf("unexpanded instance %s survived flattening", e.Name())
+		}
+	}
+	if nm != 4 || nc != 2 || nr != 1 {
+		t.Fatalf("flattened counts: %d mosfets %d caps %d resistors, want 4/2/1", nm, nc, nr)
+	}
+	// Node renaming: the buffer's internal node becomes x1/x2-scoped
+	// under the xb1 instance; ports map through.
+	names := deck.NodeNames()
+	hasMid := false
+	for _, n := range names {
+		if strings.Contains(n, "xb1.mid") {
+			hasMid = true
+		}
+		if n == "mid" {
+			t.Fatalf("unscoped internal node leaked: %v", names)
+		}
+	}
+	if !hasMid {
+		t.Fatalf("internal node not scoped: %v", names)
+	}
+}
+
+func TestSubcktValuesSurvive(t *testing.T) {
+	deck, err := ParseString(subcktDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range deck.Elements {
+		if c, ok := e.(*Capacitor); ok {
+			if math.Abs(c.Value-10e-15) > 1e-20 {
+				t.Fatalf("cap value %v", c.Value)
+			}
+		}
+		if m, ok := e.(*MOSFET); ok {
+			if m.ModelName != "pch" && m.ModelName != "nch" {
+				t.Fatalf("model ref %q", m.ModelName)
+			}
+		}
+	}
+}
+
+func TestSubcktErrors(t *testing.T) {
+	cases := []string{
+		// unknown subckt
+		"t\nx1 a b nosuch\n.end\n",
+		// port count mismatch
+		"t\n.subckt s a b\nr1 a b 1\n.ends\nx1 n1 s\n.end\n",
+		// nested definition
+		"t\n.subckt s a\n.subckt t b\n.ends\n.ends\n.end\n",
+		// unclosed definition
+		"t\n.subckt s a\nr1 a 0 1\n.end\n",
+		// stray .ends
+		"t\n.ends\n.end\n",
+		// duplicate definition
+		"t\n.subckt s a\nr1 a 0 1\n.ends\n.subckt s a\nr1 a 0 1\n.ends\n.end\n",
+		// short instance card
+		"t\nx1 s\n.end\n",
+		// direct recursion
+		"t\n.subckt s a\nx1 a s\n.ends\nx0 n s\n.end\n",
+	}
+	for _, deck := range cases {
+		if _, err := ParseString(deck); err == nil {
+			t.Errorf("deck %q parsed without error", deck)
+		}
+	}
+}
+
+func TestSubcktGroundPassesThrough(t *testing.T) {
+	deck, err := ParseString(`g
+.subckt s a
+r1 a 0 1k
+.ends
+x1 n s
+v1 n 0 dc 1
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := deck.Elements[0].(*Resistor)
+	if r.N1 != "n" || r.N2 != Ground {
+		t.Fatalf("resistor nodes %v", r.Nodes())
+	}
+	if !strings.HasPrefix(r.Ident, "r1_x1") {
+		t.Fatalf("resistor name %q", r.Ident)
+	}
+}

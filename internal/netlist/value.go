@@ -1,0 +1,113 @@
+package netlist
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseValue parses a SPICE numeric token: a float with an optional
+// engineering suffix (f p n u mil m k meg g t, case-insensitive); any
+// trailing letters after the suffix are ignored, so "10kohm" parses as
+// 10e3 and "5pF" as 5e-12.
+func ParseValue(tok string) (float64, error) {
+	tok = strings.ToLower(strings.TrimSpace(tok))
+	if tok == "" {
+		return 0, fmt.Errorf("netlist: empty numeric token")
+	}
+	// Find the longest numeric prefix.
+	end := 0
+	seenDigit := false
+	for end < len(tok) {
+		ch := tok[end]
+		switch {
+		case ch >= '0' && ch <= '9':
+			seenDigit = true
+			end++
+		case ch == '+' || ch == '-':
+			if end == 0 {
+				end++
+			} else if tok[end-1] == 'e' {
+				end++
+			} else {
+				goto done
+			}
+		case ch == '.':
+			end++
+		case ch == 'e' && seenDigit && end+1 < len(tok) &&
+			(tok[end+1] == '+' || tok[end+1] == '-' || (tok[end+1] >= '0' && tok[end+1] <= '9')):
+			end++
+		default:
+			goto done
+		}
+	}
+done:
+	if end == 0 || !seenDigit {
+		return 0, fmt.Errorf("netlist: %q is not a number", tok)
+	}
+	mant, err := strconv.ParseFloat(tok[:end], 64)
+	if err != nil {
+		return 0, fmt.Errorf("netlist: bad number %q: %v", tok, err)
+	}
+	suffix := tok[end:]
+	mult := 1.0
+	switch {
+	case suffix == "":
+	case strings.HasPrefix(suffix, "meg"):
+		mult = 1e6
+	case strings.HasPrefix(suffix, "mil"):
+		mult = 25.4e-6
+	case suffix[0] == 'f':
+		mult = 1e-15
+	case suffix[0] == 'p':
+		mult = 1e-12
+	case suffix[0] == 'n':
+		mult = 1e-9
+	case suffix[0] == 'u':
+		mult = 1e-6
+	case suffix[0] == 'm':
+		mult = 1e-3
+	case suffix[0] == 'k':
+		mult = 1e3
+	case suffix[0] == 'g':
+		mult = 1e9
+	case suffix[0] == 't':
+		mult = 1e12
+	default:
+		// Unit words like "ohm", "v", "hz" carry no scale.
+	}
+	return mant * mult, nil
+}
+
+// FormatValue renders a value in compact SPICE engineering notation,
+// picking the suffix that leaves a mantissa in [1, 1000) where possible.
+func FormatValue(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return fmt.Sprintf("%g", v)
+	}
+	abs := math.Abs(v)
+	type unit struct {
+		mult float64
+		suf  string
+	}
+	units := []unit{
+		{1e12, "t"}, {1e9, "g"}, {1e6, "meg"}, {1e3, "k"},
+		{1, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+	}
+	for _, u := range units {
+		if abs >= u.mult && abs < u.mult*1000 {
+			return trimFloat(v/u.mult) + u.suf
+		}
+	}
+	return fmt.Sprintf("%.10g", v)
+}
+
+func trimFloat(v float64) string {
+	// Ten significant digits: reduced-network element values must survive
+	// a write/parse round trip without visibly perturbing waveforms.
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}

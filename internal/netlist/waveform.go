@@ -1,0 +1,116 @@
+package netlist
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Waveform is a time-dependent source description.
+type Waveform interface {
+	// At returns the source value at time t >= 0.
+	At(t float64) float64
+	// Card renders the SPICE waveform specification.
+	Card() string
+}
+
+// Pulse is the SPICE PULSE(V1 V2 TD TR TF PW PER) waveform.
+type Pulse struct {
+	V1, V2, TD, TR, TF, PW, PER float64
+}
+
+// At evaluates the pulse train at time t.
+func (p *Pulse) At(t float64) float64 {
+	if t < p.TD {
+		return p.V1
+	}
+	tt := t - p.TD
+	if p.PER > 0 {
+		tt = math.Mod(tt, p.PER)
+	}
+	switch {
+	case tt < p.TR:
+		if p.TR == 0 {
+			return p.V2
+		}
+		return p.V1 + (p.V2-p.V1)*tt/p.TR
+	case tt < p.TR+p.PW:
+		return p.V2
+	case tt < p.TR+p.PW+p.TF:
+		if p.TF == 0 {
+			return p.V1
+		}
+		return p.V2 + (p.V1-p.V2)*(tt-p.TR-p.PW)/p.TF
+	default:
+		return p.V1
+	}
+}
+
+// Card renders the waveform.
+func (p *Pulse) Card() string {
+	return fmt.Sprintf("pulse(%s %s %s %s %s %s %s)",
+		FormatValue(p.V1), FormatValue(p.V2), FormatValue(p.TD),
+		FormatValue(p.TR), FormatValue(p.TF), FormatValue(p.PW), FormatValue(p.PER))
+}
+
+// Sin is the SPICE SIN(VO VA FREQ TD THETA) waveform.
+type Sin struct {
+	VO, VA, Freq, TD, Theta float64
+}
+
+// At evaluates the damped sinusoid at time t.
+func (s *Sin) At(t float64) float64 {
+	if t < s.TD {
+		return s.VO
+	}
+	tt := t - s.TD
+	return s.VO + s.VA*math.Exp(-s.Theta*tt)*math.Sin(2*math.Pi*s.Freq*tt)
+}
+
+// Card renders the waveform.
+func (s *Sin) Card() string {
+	return fmt.Sprintf("sin(%s %s %s %s %s)",
+		FormatValue(s.VO), FormatValue(s.VA), FormatValue(s.Freq),
+		FormatValue(s.TD), FormatValue(s.Theta))
+}
+
+// PWL is the SPICE piecewise-linear waveform.
+type PWL struct {
+	T, V []float64 // strictly increasing times
+}
+
+// At evaluates the piecewise-linear waveform (clamped at the ends).
+func (p *PWL) At(t float64) float64 {
+	n := len(p.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= p.T[0] {
+		return p.V[0]
+	}
+	if t >= p.T[n-1] {
+		return p.V[n-1]
+	}
+	// Linear scan is fine: waveforms in these decks have few breakpoints.
+	for i := 1; i < n; i++ {
+		if t <= p.T[i] {
+			f := (t - p.T[i-1]) / (p.T[i] - p.T[i-1])
+			return p.V[i-1] + f*(p.V[i]-p.V[i-1])
+		}
+	}
+	return p.V[n-1]
+}
+
+// Card renders the waveform.
+func (p *PWL) Card() string {
+	var b strings.Builder
+	b.WriteString("pwl(")
+	for i := range p.T {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s %s", FormatValue(p.T[i]), FormatValue(p.V[i]))
+	}
+	b.WriteByte(')')
+	return b.String()
+}

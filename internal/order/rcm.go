@@ -1,0 +1,109 @@
+package order
+
+import (
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// ReverseCuthillMcKee returns a bandwidth-reducing permutation (new index
+// -> old index) of the symmetric pattern a. Each connected component is
+// ordered by breadth-first search from a pseudo-peripheral node, visiting
+// neighbours in increasing-degree order, and the final ordering is
+// reversed (RCM).
+func ReverseCuthillMcKee(a *sparse.CSR) []int {
+	n := a.Rows
+	degree := make([]int, n)
+	for i := 0; i < n; i++ {
+		cols, _ := a.Row(i)
+		d := 0
+		for _, j := range cols {
+			if j != i {
+				d++
+			}
+		}
+		degree[i] = d
+	}
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	neighbors := make([]int, 0, 64)
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		root := pseudoPeripheral(a, start, degree)
+		queue = queue[:0]
+		queue = append(queue, root)
+		visited[root] = true
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			order = append(order, u)
+			cols, _ := a.Row(u)
+			neighbors = neighbors[:0]
+			for _, v := range cols {
+				if v != u && !visited[v] {
+					visited[v] = true
+					neighbors = append(neighbors, v)
+				}
+			}
+			sort.Slice(neighbors, func(x, y int) bool { return degree[neighbors[x]] < degree[neighbors[y]] })
+			queue = append(queue, neighbors...)
+		}
+	}
+	// Reverse for RCM.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// pseudoPeripheral finds an approximate peripheral node of the component
+// containing start by repeated BFS to the farthest minimum-degree node
+// (the George–Liu heuristic).
+func pseudoPeripheral(a *sparse.CSR, start int, degree []int) int {
+	level := make(map[int]int)
+	root := start
+	lastEcc := -1
+	for iter := 0; iter < 10; iter++ {
+		for k := range level {
+			delete(level, k)
+		}
+		frontier := []int{root}
+		level[root] = 0
+		ecc := 0
+		var lastLevel []int
+		for len(frontier) > 0 {
+			lastLevel = frontier
+			var next []int
+			for _, u := range frontier {
+				cols, _ := a.Row(u)
+				for _, v := range cols {
+					if v == u {
+						continue
+					}
+					if _, ok := level[v]; !ok {
+						level[v] = level[u] + 1
+						ecc = level[v]
+						next = append(next, v)
+					}
+				}
+			}
+			frontier = next
+		}
+		if ecc <= lastEcc {
+			break
+		}
+		lastEcc = ecc
+		// Pick the minimum-degree node in the last BFS level as the next
+		// root candidate.
+		best := lastLevel[0]
+		for _, v := range lastLevel {
+			if degree[v] < degree[best] {
+				best = v
+			}
+		}
+		root = best
+	}
+	return root
+}

@@ -1,0 +1,161 @@
+package pade
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// ladderSystem builds an n-internal-node RC ladder with ports at both
+// ends as a partitioned system.
+func ladderSystem(nseg int, rtot, ctot float64) *core.System {
+	// Nodes: 0 = left port, nseg = right port, 1..nseg-1 internal.
+	tot := nseg + 1
+	gseg := float64(nseg) / rtot
+	cseg := ctot / float64(nseg)
+	gb := sparse.NewBuilder(tot, tot)
+	cb := sparse.NewBuilder(tot, tot)
+	for i := 0; i < nseg; i++ {
+		gb.Add(i, i, gseg)
+		gb.Add(i+1, i+1, gseg)
+		gb.AddSym(i, i+1, -gseg)
+	}
+	for i := 1; i <= nseg; i++ {
+		cb.Add(i, i, cseg)
+	}
+	sys, err := core.Partition(gb.Build(), cb.Build(), []int{0, nseg})
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+func cNorm(y *dense.CMat) float64 {
+	maxv := 0.0
+	for _, v := range y.Data {
+		if a := cmplx.Abs(v); a > maxv {
+			maxv = a
+		}
+	}
+	return maxv
+}
+
+func TestPadeExactWhenBasisSpans(t *testing.T) {
+	// With q·m >= n the Krylov basis spans the whole internal space and
+	// the reduction must be exact at any frequency.
+	sys := ladderSystem(12, 100, 1e-12) // n = 11 internal, m = 2
+	model, stats, err := Reduce(sys, 8, core.Options{FMax: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BasisSize < sys.N {
+		t.Fatalf("basis %d does not span n=%d", stats.BasisSize, sys.N)
+	}
+	for _, f := range []float64{1e8, 1e10, 1e12} {
+		s := complex(0, 2*math.Pi*f)
+		want, err := sys.Y(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := model.Y(s)
+		if d := dense.MaxAbsDiff(got, want); d > 1e-6*(1+cNorm(want)) {
+			t.Fatalf("f=%g: exact-span error %g", f, d)
+		}
+	}
+}
+
+func TestPadeLowOrderMatchesLowFrequency(t *testing.T) {
+	sys := ladderSystem(60, 250, 1.35e-12)
+	model, _, err := Reduce(sys, 2, core.Options{FMax: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First ladder pole is ~GHz; a 2-block Padé model must be excellent a
+	// decade below.
+	for _, f := range []float64{1e7, 1e8, 5e8} {
+		s := complex(0, 2*math.Pi*f)
+		want, err := sys.Y(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := model.Y(s)
+		if d := dense.MaxAbsDiff(got, want); d > 0.01*cNorm(want) {
+			t.Fatalf("f=%g: q=2 Padé error %g (scale %g)", f, d, cNorm(want))
+		}
+	}
+}
+
+func TestPadePreservesPassivity(t *testing.T) {
+	sys := ladderSystem(40, 500, 2e-12)
+	model, _, err := Reduce(sys, 3, core.Options{FMax: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.CheckPassive(1e-8) {
+		t.Fatal("Padé congruence reduction must stay passive")
+	}
+	for _, l := range model.Lambda {
+		if l <= 0 {
+			t.Fatalf("projected eigenvalue %v not positive", l)
+		}
+	}
+}
+
+func TestPadeMemoryGrowsWithBlocksAndPorts(t *testing.T) {
+	sys := ladderSystem(80, 250, 1e-12)
+	_, s2, err := Reduce(sys, 2, core.Options{FMax: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s4, err := Reduce(sys, 4, core.Options{FMax: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4.PeakVectors <= s2.PeakVectors {
+		t.Fatalf("peak vectors %d (q=4) should exceed %d (q=2)", s4.PeakVectors, s2.PeakVectors)
+	}
+	if s2.PeakVectors < sys.M+s2.BasisSize {
+		t.Fatalf("peak vectors %d below R' + basis %d", s2.PeakVectors, sys.M+s2.BasisSize)
+	}
+}
+
+func TestPadeRejectsBadArgs(t *testing.T) {
+	sys := ladderSystem(10, 100, 1e-12)
+	if _, _, err := Reduce(sys, 0, core.Options{FMax: 1}); err == nil {
+		t.Error("q=0 accepted")
+	}
+}
+
+// Compared head to head at equal reduced size, PACT keeps exact poles
+// below the cutoff while the Padé model smears accuracy across moments;
+// both must beat the tolerance below fmax for this well-behaved ladder.
+func TestPadeVersusPACTShape(t *testing.T) {
+	sys := ladderSystem(100, 250, 1.35e-12)
+	fmax := 5e9
+	pact, _, err := core.Reduce(sys, core.Options{FMax: fmax, Tol: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	padeModel, _, err := Reduce(sys, 1, core.Options{FMax: fmax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{1e8, 1e9, 5e9} {
+		s := complex(0, 2*math.Pi*f)
+		want, err := sys.Y(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := cNorm(want)
+		if d := dense.MaxAbsDiff(pact.Y(s), want); d > 0.15*scale {
+			t.Fatalf("PACT error %g at %g Hz", d/scale, f)
+		}
+		if d := dense.MaxAbsDiff(padeModel.Y(s), want); d > 0.5*scale {
+			t.Fatalf("Padé q=1 error %g at %g Hz", d/scale, f)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package prima
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+func ladderSystem(nseg int, rtot, ctot float64) *core.System {
+	tot := nseg + 1
+	gseg := float64(nseg) / rtot
+	cseg := ctot / float64(nseg)
+	gb := sparse.NewBuilder(tot, tot)
+	cb := sparse.NewBuilder(tot, tot)
+	for i := 0; i < nseg; i++ {
+		gb.Add(i, i, gseg)
+		gb.Add(i+1, i+1, gseg)
+		gb.AddSym(i, i+1, -gseg)
+	}
+	// Ground the left port resistively so G is nonsingular.
+	gb.Add(0, 0, 1e-3)
+	for i := 1; i <= nseg; i++ {
+		cb.Add(i, i, cseg)
+	}
+	sys, err := core.Partition(gb.Build(), cb.Build(), []int{0, nseg})
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+func cNorm(y *dense.CMat) float64 {
+	maxv := 0.0
+	for _, v := range y.Data {
+		if a := cmplx.Abs(v); a > maxv {
+			maxv = a
+		}
+	}
+	return maxv
+}
+
+func TestPRIMAExactWhenBasisSpans(t *testing.T) {
+	sys := ladderSystem(10, 100, 1e-12) // 11 total nodes, m=2
+	model, stats, err := Reduce(sys, 8, 0, order.MinimumDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BasisSize < sys.M+sys.N {
+		t.Fatalf("basis %d does not span %d", stats.BasisSize, sys.M+sys.N)
+	}
+	for _, f := range []float64{1e8, 1e10, 1e12} {
+		s := complex(0, 2*math.Pi*f)
+		want, err := sys.Y(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := model.Y(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := dense.MaxAbsDiff(got, want); d > 1e-6*(1+cNorm(want)) {
+			t.Fatalf("f=%g: full-span error %g", f, d)
+		}
+	}
+}
+
+func TestPRIMALowOrderAccurateLowFrequency(t *testing.T) {
+	sys := ladderSystem(60, 250, 1.35e-12)
+	model, _, err := Reduce(sys, 2, 0, order.MinimumDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{1e7, 1e8, 5e8} {
+		s := complex(0, 2*math.Pi*f)
+		want, err := sys.Y(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := model.Y(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := dense.MaxAbsDiff(got, want); d > 0.01*cNorm(want) {
+			t.Fatalf("f=%g: q=2 error %g (scale %g)", f, d, cNorm(want))
+		}
+	}
+}
+
+func TestPRIMAPassivity(t *testing.T) {
+	sys := ladderSystem(40, 500, 2e-12)
+	model, _, err := Reduce(sys, 3, 0, order.MinimumDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.CheckPassive(1e-8) {
+		t.Fatal("PRIMA projection must stay passive")
+	}
+}
+
+func TestPRIMAVsPACTAtEqualAccuracyGoal(t *testing.T) {
+	// Both methods reduce the ladder; both must track the exact
+	// admittance below 1 GHz. PACT keeps the exact port blocks so its DC
+	// value is exact; PRIMA matches moments so its DC error is also ~0.
+	sys := ladderSystem(100, 250, 1.35e-12)
+	prima, _, err := Reduce(sys, 2, 0, order.MinimumDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pact, _, err := core.Reduce(sys, core.Options{FMax: 5e9, Tol: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{1e7, 1e8, 1e9} {
+		s := complex(0, 2*math.Pi*f)
+		want, err := sys.Y(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := cNorm(want)
+		yp, err := prima.Y(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := dense.MaxAbsDiff(yp, want); d > 0.02*scale {
+			t.Fatalf("PRIMA error %g at %g Hz", d/scale, f)
+		}
+		if d := dense.MaxAbsDiff(pact.Y(s), want); d > 0.02*scale {
+			t.Fatalf("PACT error %g at %g Hz", d/scale, f)
+		}
+	}
+}
+
+func TestPRIMARejectsBadArgs(t *testing.T) {
+	sys := ladderSystem(5, 100, 1e-12)
+	if _, _, err := Reduce(sys, 0, 0, order.MinimumDegree); err == nil {
+		t.Error("q=0 accepted")
+	}
+}
+
+func TestPRIMAMemoryGrowsWithPorts(t *testing.T) {
+	sys := ladderSystem(80, 250, 1e-12)
+	_, s2, err := Reduce(sys, 2, 0, order.MinimumDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s4, err := Reduce(sys, 4, 0, order.MinimumDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4.PeakVectors <= s2.PeakVectors {
+		t.Fatalf("peak vectors %d (q=4) vs %d (q=2)", s4.PeakVectors, s2.PeakVectors)
+	}
+}
+
+func TestPRIMAShiftedExpansionOnFloatingNetwork(t *testing.T) {
+	// A floating RC line (no DC path to ground) has singular G; the
+	// shifted expansion must still produce an accurate passive model.
+	nseg := 40
+	tot := nseg + 1
+	gseg := float64(nseg) / 250.0
+	cseg := 1.35e-12 / float64(nseg)
+	gb := sparse.NewBuilder(tot, tot)
+	cb := sparse.NewBuilder(tot, tot)
+	for i := 0; i < nseg; i++ {
+		gb.Add(i, i, gseg)
+		gb.Add(i+1, i+1, gseg)
+		gb.AddSym(i, i+1, -gseg)
+	}
+	for i := 1; i <= nseg; i++ {
+		cb.Add(i, i, cseg)
+	}
+	sys, err := core.Partition(gb.Build(), cb.Build(), []int{0, nseg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Reduce(sys, 2, 0, order.MinimumDegree); err == nil {
+		t.Fatal("singular G accepted at s0 = 0")
+	}
+	model, _, err := Reduce(sys, 2, 2*math.Pi*1e9, order.MinimumDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.CheckPassive(1e-8) {
+		t.Fatal("shifted PRIMA lost passivity")
+	}
+	for _, f := range []float64{1e8, 1e9, 3e9} {
+		s := complex(0, 2*math.Pi*f)
+		want, err := sys.Y(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := model.Y(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := dense.MaxAbsDiff(got, want); d > 0.02*cNorm(want) {
+			t.Fatalf("f=%g: shifted PRIMA error %g", f, d/cNorm(want))
+		}
+	}
+	if _, _, err := Reduce(sys, 2, -1, order.MinimumDegree); err == nil {
+		t.Fatal("negative s0 accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// TransientAdaptive integrates from the DC operating point to tstop with
+// local-truncation-error step control: every step is computed both as one
+// trapezoidal step of size h and as two half steps; the difference
+// estimates the local error (order h³ for the trapezoidal rule) and
+// drives the usual (tol/err)^{1/3} controller. The accepted solution is
+// the more accurate two-half-step one.
+//
+// tolV is the per-step voltage error target (default 1e-4 when zero);
+// hInit seeds the controller and hMax bounds growth (default tstop/50).
+// Compared with the fixed-step Transient, adaptive stepping shines on
+// circuits with widely separated time constants — e.g. substrate meshes
+// whose noise bursts are brief but whose quiet stretches are long.
+func (c *Circuit) TransientAdaptive(tstop, hInit, tolV float64) (*TranResult, error) {
+	if hInit <= 0 || tstop <= 0 {
+		return nil, fmt.Errorf("sim: adaptive transient needs positive initial step and stop time")
+	}
+	if tolV <= 0 {
+		tolV = 1e-4
+	}
+	hMax := tstop / 50
+	if hInit > hMax {
+		hInit = hMax
+	}
+	op, err := c.DC()
+	if err != nil {
+		return nil, fmt.Errorf("sim: adaptive transient operating point: %w", err)
+	}
+	x := op.X
+	for k := range c.caps {
+		cp := &c.caps[k]
+		cp.vPrev = nodeV(x, cp.i) - nodeV(x, cp.j)
+		cp.iPrev = 0
+	}
+	res := &TranResult{c: c}
+	res.T = append(res.T, 0)
+	res.X = append(res.X, append([]float64(nil), x...))
+
+	t := 0.0
+	h := hInit
+	useBE := true // first step
+	const hMinFactor = 1e-9
+	for t < tstop-1e-15*tstop {
+		if t+h > tstop {
+			h = tstop - t
+		}
+		v0, i0 := c.capState()
+		// One full step.
+		xFull := append([]float64(nil), x...)
+		errFull := c.singleStep(xFull, t, h, useBE)
+		// Two half steps from the same starting state.
+		c.restoreCapState(v0, i0)
+		xHalf := append([]float64(nil), x...)
+		errHalf := c.singleStep(xHalf, t, h/2, useBE)
+		if errHalf == nil {
+			errHalf = c.singleStep(xHalf, t+h/2, h/2, false)
+		}
+		if errFull != nil || errHalf != nil {
+			// Newton trouble: restore and halve.
+			c.restoreCapState(v0, i0)
+			h /= 2
+			if h < hMinFactor*tstop {
+				return nil, fmt.Errorf("sim: adaptive step underflow at t=%g", t)
+			}
+			useBE = true
+			continue
+		}
+		// LTE estimate on node voltages.
+		lte := 0.0
+		for i := 0; i < c.nNodes; i++ {
+			if d := math.Abs(xFull[i] - xHalf[i]); d > lte {
+				lte = d
+			}
+		}
+		if lte > tolV && h > hMinFactor*tstop {
+			// Reject: restore state, shrink.
+			c.restoreCapState(v0, i0)
+			shrink := 0.9 * math.Cbrt(tolV/math.Max(lte, 1e-300))
+			if shrink > 0.5 {
+				shrink = 0.5
+			}
+			if shrink < 0.1 {
+				shrink = 0.1
+			}
+			h *= shrink
+			useBE = true
+			continue
+		}
+		// Accept the two-half-step solution (capacitor states already
+		// reflect it).
+		copy(x, xHalf)
+		t += h
+		c.Stats.Steps++
+		res.T = append(res.T, t)
+		res.X = append(res.X, append([]float64(nil), x...))
+		useBE = false
+		// Grow within bounds.
+		grow := 0.9 * math.Cbrt(tolV/math.Max(lte, 1e-300))
+		if grow > 2 {
+			grow = 2
+		}
+		if grow < 0.5 {
+			grow = 0.5
+		}
+		h *= grow
+		if h > hMax {
+			h = hMax
+		}
+	}
+	return res, nil
+}

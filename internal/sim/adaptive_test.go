@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransientAdaptiveRCCharge(t *testing.T) {
+	c := mustBuild(t, `rc step adaptive
+v1 a 0 dc 0 pulse(0 5 0 1p 1p 1 2)
+r1 a b 1k
+c1 b 0 1n
+.end
+`)
+	res, err := c.TransientAdaptive(5e-6, 1e-9, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := c.NodeIndex("b")
+	rc := 1e-6
+	for _, tt := range []float64{0.2e-6, 0.5e-6, 1e-6, 2e-6, 4e-6} {
+		want := 5 * (1 - math.Exp(-tt/rc))
+		if got := res.At(idx, tt); math.Abs(got-want) > 0.05 {
+			t.Fatalf("t=%g: v=%v, want %v", tt, got, want)
+		}
+	}
+	if len(res.T) < 10 {
+		t.Fatalf("suspiciously few accepted steps: %d", len(res.T))
+	}
+}
+
+func TestTransientAdaptiveFewerStepsThanFixed(t *testing.T) {
+	// Widely separated time constants: a fast edge then a long quiet
+	// tail. Adaptive must use far fewer steps than a fixed grid at the
+	// same terminal accuracy.
+	deck := `two tau
+v1 a 0 dc 0 pulse(0 5 0 1p 1p 1 2)
+r1 a b 100
+c1 b 0 10p
+r2 b d 100k
+c2 d 0 1n
+.end
+`
+	cA := mustBuild(t, deck)
+	resA, err := cA.TransientAdaptive(500e-6, 1e-9, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cF := mustBuild(t, deck)
+	resF, err := cF.Transient(500e-6, 100e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, _ := cA.NodeIndex("d")
+	iff, _ := cF.NodeIndex("d")
+	if d := math.Abs(resA.At(ia, 400e-6) - resF.At(iff, 400e-6)); d > 0.05 {
+		t.Fatalf("adaptive and fixed disagree at the tail: %v", d)
+	}
+	if len(resA.T) >= len(resF.T) {
+		t.Fatalf("adaptive used %d steps, fixed used %d", len(resA.T), len(resF.T))
+	}
+}
+
+func TestTransientAdaptiveInverter(t *testing.T) {
+	c := mustBuild(t, inverterDeck)
+	// Add a pulse drive: rebuild from deck text with pulse.
+	c2 := mustBuild(t, `switching inverter adaptive
+vdd vdd 0 dc 5
+vin in 0 dc 0 pulse(0 5 1n 0.1n 0.1n 3n 8n)
+mp out in vdd vdd pch w=20u l=1u
+mn out in 0 0 nch w=10u l=1u
+cl out 0 20f
+.model nch nmos vto=0.7 kp=60u gamma=0.4 phi=0.65 lambda=0.02
+.model pch pmos vto=-0.7 kp=25u gamma=0.4 phi=0.65 lambda=0.02
+.end
+`)
+	_ = c
+	res, err := c2.TransientAdaptive(6e-9, 0.01e-9, 5e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := c2.NodeIndex("out")
+	if v := res.At(idx, 0.5e-9); math.Abs(v-5) > 0.1 {
+		t.Fatalf("before edge: %v", v)
+	}
+	if v := res.At(idx, 3.5e-9); math.Abs(v) > 0.1 {
+		t.Fatalf("after edge: %v", v)
+	}
+}
+
+func TestTransientAdaptiveBadArgs(t *testing.T) {
+	c := mustBuild(t, "t\nv1 a 0 dc 1\nr1 a 0 1\n.end\n")
+	if _, err := c.TransientAdaptive(0, 1e-9, 0); err == nil {
+		t.Error("tstop=0 accepted")
+	}
+	if _, err := c.TransientAdaptive(1e-6, 0, 0); err == nil {
+		t.Error("h=0 accepted")
+	}
+}

@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Circuit is a compiled deck ready for simulation. Unknowns are the node
+// voltages (ground excluded) followed by one branch current per voltage
+// source.
+type Circuit struct {
+	NodeNames []string
+	nodeIdx   map[string]int
+	nNodes    int
+	nUnknown  int
+
+	resistors []resInst
+	caps      []capInst
+	inductors []indInst
+	vsrcs     []vsrcInst
+	isrcs     []isrcInst
+	diodes    []dioInst
+	mosfets   []mosInst
+
+	// CSC pattern of the MNA matrix.
+	colPtr, rowIdx []int
+	pos            map[int64]int
+	q              []int // column preorder
+
+	diagPos []int // position of (i,i) for every unknown (gmin stamping)
+
+	// Gmin is the minimum conductance added to every node diagonal during
+	// DC solution (default 1e-12 S).
+	Gmin float64
+
+	// Stats accumulates solver work.
+	Stats Stats
+}
+
+// Stats reports simulator effort, the quantities Tables 1–3 of the paper
+// track for HSPICE runs.
+type Stats struct {
+	Factorizations int
+	NewtonIters    int
+	Steps          int
+	LUNNZ          int // entry count of the last LU factorization
+	PeakBytes      int64
+}
+
+type resInst struct {
+	i, j int // -1 = ground
+	g    float64
+	pos  [4]int // ii, jj, ij, ji (-1 when absent)
+}
+
+type capInst struct {
+	i, j  int
+	c     float64
+	pos   [4]int
+	vPrev float64 // branch voltage at last accepted step
+	iPrev float64 // branch current at last accepted step
+}
+
+type vsrcInst struct {
+	i, j, br int
+	src      *netlist.VSource
+	pos      [4]int // (i,br),(br,i),(j,br),(br,j)
+}
+
+type isrcInst struct {
+	i, j int
+	src  *netlist.ISource
+}
+
+type indInst struct {
+	i, j, br int
+	l        float64
+	// Stamp positions: (i,br), (br,i), (j,br), (br,j), (br,br).
+	pos [5]int
+}
+
+type dioInst struct {
+	a, c int // anode, cathode (-1 = ground)
+	// Saturation current, emission-coefficient thermal voltage, and the
+	// linearization corner that keeps Newton finite at large forward bias.
+	is, nvt, vcrit float64
+	pos            [4]int // aa, cc, ac, ca
+	// Operating-point conductance for AC analysis.
+	opGd float64
+}
+
+type mosParams struct {
+	sign               float64 // +1 NMOS, -1 PMOS
+	beta               float64 // kp * w/l
+	vto                float64 // normalized positive for enhancement
+	gamma, phi, lambda float64
+}
+
+type mosInst struct {
+	d, g, s, b int
+	p          mosParams
+	// Stamp positions: rows {d, s} × cols {d, g, s, b}.
+	pos [2][4]int
+	// Operating-point small-signal conductances for AC: fd=dI/dvds,
+	// fg=dI/dvgs, fb=dI/dvbs with I the current into the drain.
+	opFd, opFg, opFb float64
+}
+
+// Build compiles a deck into a Circuit. MOSFET parasitic capacitances
+// (gate overlaps cgso/cgdo scaled by W, junction capacitances cbd/cbs)
+// become ordinary capacitor instances.
+func Build(deck *netlist.Deck) (*Circuit, error) {
+	c := &Circuit{
+		nodeIdx: map[string]int{},
+		Gmin:    1e-12,
+		pos:     map[int64]int{},
+	}
+	for _, n := range deck.NodeNames() {
+		c.nodeIdx[n] = len(c.NodeNames)
+		c.NodeNames = append(c.NodeNames, n)
+	}
+	c.nNodes = len(c.NodeNames)
+	node := func(name string) int {
+		if name == netlist.Ground {
+			return -1
+		}
+		return c.nodeIdx[name]
+	}
+	nv := 0
+	for _, e := range deck.Elements {
+		switch el := e.(type) {
+		case *netlist.Resistor:
+			if el.Value == 0 {
+				return nil, fmt.Errorf("sim: resistor %s has zero value", el.Ident)
+			}
+			c.resistors = append(c.resistors, resInst{i: node(el.N1), j: node(el.N2), g: 1 / el.Value})
+		case *netlist.Capacitor:
+			c.caps = append(c.caps, capInst{i: node(el.N1), j: node(el.N2), c: el.Value})
+		case *netlist.Inductor:
+			if el.Value <= 0 {
+				return nil, fmt.Errorf("sim: inductor %s has non-positive value", el.Ident)
+			}
+			c.inductors = append(c.inductors, indInst{i: node(el.N1), j: node(el.N2), br: c.nNodes + nv, l: el.Value})
+			nv++
+		case *netlist.VSource:
+			c.vsrcs = append(c.vsrcs, vsrcInst{i: node(el.N1), j: node(el.N2), br: c.nNodes + nv, src: el})
+			nv++
+		case *netlist.ISource:
+			c.isrcs = append(c.isrcs, isrcInst{i: node(el.N1), j: node(el.N2), src: el})
+		case *netlist.Diode:
+			model, ok := deck.Models[el.ModelName]
+			if !ok || model.Type != "d" {
+				return nil, fmt.Errorf("sim: diode %s references unknown diode model %q", el.Ident, el.ModelName)
+			}
+			is := model.Param("is", 1e-14)
+			nvt := model.Param("n", 1) * 0.025852
+			if is <= 0 || nvt <= 0 {
+				return nil, fmt.Errorf("sim: diode %s has non-positive is or n", el.Ident)
+			}
+			d := dioInst{a: node(el.N1), c: node(el.N2), is: is, nvt: nvt}
+			// Linearize the exponential beyond the current where it would
+			// overwhelm double precision (~1 A by default): standard
+			// explosion-current continuation.
+			d.vcrit = d.nvt * math.Log(1/d.is)
+			c.diodes = append(c.diodes, d)
+			if cj0 := model.Param("cj0", 0); cj0 > 0 {
+				c.caps = append(c.caps, capInst{i: node(el.N1), j: node(el.N2), c: cj0})
+			}
+		case *netlist.MOSFET:
+			model, ok := deck.Models[el.ModelName]
+			if !ok {
+				return nil, fmt.Errorf("sim: mosfet %s references unknown model %q", el.Ident, el.ModelName)
+			}
+			sign := 1.0
+			if model.Type == "pmos" {
+				sign = -1
+			}
+			if el.L <= 0 || el.W <= 0 {
+				return nil, fmt.Errorf("sim: mosfet %s has non-positive geometry", el.Ident)
+			}
+			p := mosParams{
+				sign:   sign,
+				beta:   model.Param("kp", 2e-5) * el.W / el.L,
+				vto:    sign * model.Param("vto", sign*0.7),
+				gamma:  model.Param("gamma", 0),
+				phi:    model.Param("phi", 0.6),
+				lambda: model.Param("lambda", 0),
+			}
+			if p.phi <= 0 {
+				p.phi = 0.6
+			}
+			c.mosfets = append(c.mosfets, mosInst{
+				d: node(el.D), g: node(el.G), s: node(el.S), b: node(el.B), p: p,
+			})
+			// Parasitic capacitances as plain capacitor instances.
+			addCap := func(a, b int, val float64) {
+				if val > 0 && a != b {
+					c.caps = append(c.caps, capInst{i: a, j: b, c: val})
+				}
+			}
+			addCap(node(el.G), node(el.S), model.Param("cgso", 0)*el.W)
+			addCap(node(el.G), node(el.D), model.Param("cgdo", 0)*el.W)
+			addCap(node(el.D), node(el.B), model.Param("cbd", 0))
+			addCap(node(el.S), node(el.B), model.Param("cbs", 0))
+		default:
+			return nil, fmt.Errorf("sim: unsupported element %s", e.Name())
+		}
+	}
+	c.nUnknown = c.nNodes + nv
+	c.buildPattern()
+	return c, nil
+}
+
+// NodeIndex returns the unknown index of a node name (ok=false for
+// unknown names; ground returns -1, true).
+func (c *Circuit) NodeIndex(name string) (int, bool) {
+	if name == netlist.Ground {
+		return -1, true
+	}
+	i, ok := c.nodeIdx[name]
+	return i, ok
+}
+
+// buildPattern collects all stamp coordinates, builds the CSC pattern and
+// resolves every device's positions.
+func (c *Circuit) buildPattern() {
+	n := c.nUnknown
+	type coord struct{ r, cl int }
+	seen := map[int64]bool{}
+	var coords []coord
+	add := func(r, cl int) {
+		if r < 0 || cl < 0 {
+			return
+		}
+		key := int64(r)*int64(n) + int64(cl)
+		if !seen[key] {
+			seen[key] = true
+			coords = append(coords, coord{r, cl})
+		}
+	}
+	for i := 0; i < n; i++ {
+		add(i, i) // every diagonal (gmin, robustness)
+	}
+	pair := func(i, j int) {
+		add(i, i)
+		add(j, j)
+		add(i, j)
+		add(j, i)
+	}
+	for _, r := range c.resistors {
+		pair(r.i, r.j)
+	}
+	for _, cp := range c.caps {
+		pair(cp.i, cp.j)
+	}
+	for _, v := range c.vsrcs {
+		add(v.i, v.br)
+		add(v.br, v.i)
+		add(v.j, v.br)
+		add(v.br, v.j)
+		add(v.br, v.br) // keeps the diagonal present structurally
+	}
+	for _, l := range c.inductors {
+		add(l.i, l.br)
+		add(l.br, l.i)
+		add(l.j, l.br)
+		add(l.br, l.j)
+		add(l.br, l.br)
+	}
+	for _, d := range c.diodes {
+		pair(d.a, d.c)
+	}
+	for _, m := range c.mosfets {
+		for _, row := range [2]int{m.d, m.s} {
+			for _, col := range [4]int{m.d, m.g, m.s, m.b} {
+				add(row, col)
+			}
+		}
+	}
+	// CSC: sort by (col, row).
+	sort.Slice(coords, func(a, b int) bool {
+		if coords[a].cl != coords[b].cl {
+			return coords[a].cl < coords[b].cl
+		}
+		return coords[a].r < coords[b].r
+	})
+	c.colPtr = make([]int, n+1)
+	c.rowIdx = make([]int, len(coords))
+	for p, cd := range coords {
+		c.rowIdx[p] = cd.r
+		c.colPtr[cd.cl+1]++
+		c.pos[int64(cd.r)*int64(n)+int64(cd.cl)] = p
+	}
+	for j := 0; j < n; j++ {
+		c.colPtr[j+1] += c.colPtr[j]
+	}
+	lookup := func(r, cl int) int {
+		if r < 0 || cl < 0 {
+			return -1
+		}
+		return c.pos[int64(r)*int64(n)+int64(cl)]
+	}
+	c.diagPos = make([]int, n)
+	for i := 0; i < n; i++ {
+		c.diagPos[i] = lookup(i, i)
+	}
+	for k := range c.resistors {
+		r := &c.resistors[k]
+		r.pos = [4]int{lookup(r.i, r.i), lookup(r.j, r.j), lookup(r.i, r.j), lookup(r.j, r.i)}
+	}
+	for k := range c.caps {
+		cp := &c.caps[k]
+		cp.pos = [4]int{lookup(cp.i, cp.i), lookup(cp.j, cp.j), lookup(cp.i, cp.j), lookup(cp.j, cp.i)}
+	}
+	for k := range c.vsrcs {
+		v := &c.vsrcs[k]
+		v.pos = [4]int{lookup(v.i, v.br), lookup(v.br, v.i), lookup(v.j, v.br), lookup(v.br, v.j)}
+	}
+	for k := range c.inductors {
+		l := &c.inductors[k]
+		l.pos = [5]int{lookup(l.i, l.br), lookup(l.br, l.i), lookup(l.j, l.br), lookup(l.br, l.j), lookup(l.br, l.br)}
+	}
+	for k := range c.diodes {
+		d := &c.diodes[k]
+		d.pos = [4]int{lookup(d.a, d.a), lookup(d.c, d.c), lookup(d.a, d.c), lookup(d.c, d.a)}
+	}
+	for k := range c.mosfets {
+		m := &c.mosfets[k]
+		rows := [2]int{m.d, m.s}
+		cols := [4]int{m.d, m.g, m.s, m.b}
+		for a, rr := range rows {
+			for bcol, cc := range cols {
+				m.pos[a][bcol] = lookup(rr, cc)
+			}
+		}
+	}
+	c.q = luColumnOrder(n, c.colPtr, c.rowIdx)
+}
+
+// stampG adds conductance g across the position quad.
+func stampG(vals []float64, pos [4]int, g float64) {
+	if pos[0] >= 0 {
+		vals[pos[0]] += g
+	}
+	if pos[1] >= 0 {
+		vals[pos[1]] += g
+	}
+	if pos[2] >= 0 {
+		vals[pos[2]] -= g
+	}
+	if pos[3] >= 0 {
+		vals[pos[3]] -= g
+	}
+}
+
+// v returns the voltage of node index i under solution x (0 for ground).
+func nodeV(x []float64, i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	return x[i]
+}
+
+func addRHS(rhs []float64, i int, v float64) {
+	if i >= 0 {
+		rhs[i] += v
+	}
+}

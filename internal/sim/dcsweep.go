@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// DCSweepResult holds a swept DC transfer analysis.
+type DCSweepResult struct {
+	// Values are the swept source values.
+	Values []float64
+	// X holds the solution vector at each sweep point.
+	X [][]float64
+	c *Circuit
+}
+
+// Waveform returns the voltage of a named node across the sweep.
+func (r *DCSweepResult) Waveform(name string) ([]float64, error) {
+	idx, ok := r.c.NodeIndex(name)
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown node %q", name)
+	}
+	out := make([]float64, len(r.Values))
+	if idx >= 0 {
+		for k, x := range r.X {
+			out[k] = x[idx]
+		}
+	}
+	return out, nil
+}
+
+// DCSweep sweeps the DC value of the named voltage source from start to
+// stop in increments of step (which may be negative for a downward
+// sweep), solving the operating point at each value with warm starting —
+// the .dc transfer-curve analysis. The source's original DC value is
+// restored afterwards.
+func (c *Circuit) DCSweep(srcName string, start, stop, step float64) (*DCSweepResult, error) {
+	if step == 0 || (stop-start)*step < 0 {
+		return nil, fmt.Errorf("sim: inconsistent sweep %g:%g:%g", start, stop, step)
+	}
+	var src *vsrcInst
+	for k := range c.vsrcs {
+		if c.vsrcs[k].src.Ident == srcName {
+			src = &c.vsrcs[k]
+			break
+		}
+	}
+	if src == nil {
+		return nil, fmt.Errorf("sim: no voltage source %q to sweep", srcName)
+	}
+	savedDC := src.src.DC
+	savedWave := src.src.Wave
+	src.src.Wave = nil
+	defer func() {
+		src.src.DC = savedDC
+		src.src.Wave = savedWave
+	}()
+
+	res := &DCSweepResult{c: c}
+	x := make([]float64, c.nUnknown)
+	n := int(math.Floor((stop-start)/step + 1e-9))
+	for k := 0; k <= n; k++ {
+		v := start + float64(k)*step
+		src.src.DC = v
+		// Warm-started Newton; fall back to a fresh full DC solve if the
+		// warm start fails (e.g. across a sharp transfer-curve edge).
+		load := func(vals, rhs, xx []float64) {
+			c.loadStatic(vals, rhs, xx, 1, c.Gmin, -1)
+		}
+		if _, err := c.newton(x, load, 80); err != nil {
+			full, err2 := c.DC()
+			if err2 != nil {
+				return nil, fmt.Errorf("sim: sweep point %s=%g: %w", srcName, v, err2)
+			}
+			copy(x, full.X)
+		}
+		res.Values = append(res.Values, v)
+		res.X = append(res.X, append([]float64(nil), x...))
+	}
+	return res, nil
+}

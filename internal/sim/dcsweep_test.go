@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestDCSweepInverterVTC(t *testing.T) {
+	c := mustBuild(t, `inverter vtc
+vdd vdd 0 dc 5
+vin in 0 dc 0
+mp out in vdd vdd pch w=20u l=1u
+mn out in 0 0 nch w=10u l=1u
+.model nch nmos vto=0.7 kp=60u lambda=0.02
+.model pch pmos vto=-0.7 kp=25u lambda=0.02
+.end
+`)
+	res, err := c.DCSweep("vin", 0, 5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.Waveform("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 51 {
+		t.Fatalf("sweep points = %d, want 51", len(out))
+	}
+	// Transfer curve: 5 V at the left, ~0 at the right, monotone
+	// non-increasing.
+	if math.Abs(out[0]-5) > 1e-3 || math.Abs(out[len(out)-1]) > 1e-3 {
+		t.Fatalf("endpoints %v %v", out[0], out[len(out)-1])
+	}
+	for k := 1; k < len(out); k++ {
+		if out[k] > out[k-1]+1e-6 {
+			t.Fatalf("VTC not monotone at point %d: %v -> %v", k, out[k-1], out[k])
+		}
+	}
+	// The switching threshold lives in the middle region.
+	crossed := false
+	for k := 1; k < len(out); k++ {
+		if out[k-1] > 2.5 && out[k] <= 2.5 {
+			vin := res.Values[k]
+			if vin < 1.5 || vin > 3.5 {
+				t.Fatalf("threshold at vin=%v, expected mid-rail", vin)
+			}
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Fatal("VTC never crossed mid-rail")
+	}
+	// Source DC restored.
+	if c.vsrcs[1].src.DC != 0 {
+		t.Fatalf("swept source not restored: %v", c.vsrcs[1].src.DC)
+	}
+}
+
+func TestDCSweepErrors(t *testing.T) {
+	c := mustBuild(t, "t\nv1 a 0 dc 1\nr1 a 0 1\n.end\n")
+	if _, err := c.DCSweep("nosuch", 0, 1, 0.1); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := c.DCSweep("v1", 0, 1, -0.1); err == nil {
+		t.Error("inconsistent step accepted")
+	}
+	if _, err := c.DCSweep("v1", 0, 1, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestRunDeckDCTransfer(t *testing.T) {
+	deck, err := netlist.ParseString(`vtc via rundeck
+vdd vdd 0 dc 5
+vin in 0 dc 0
+mp out in vdd vdd pch w=20u l=1u
+mn out in 0 0 nch w=10u l=1u
+.model nch nmos vto=0.7 kp=60u
+.model pch pmos vto=-0.7 kp=25u
+.dc vin 0 5 0.5
+.print dc v(out)
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RunDeck(deck, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dc transfer: vin") {
+		t.Fatalf("missing header:\n%s", buf.String())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 12 {
+		t.Fatalf("sweep rows missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,127 @@
+package sim
+
+import "math"
+
+// level1 evaluates the Shichman–Hodges (SPICE level-1) drain current for
+// vds >= 0 in NMOS-normalized space, returning the current and its
+// partial derivatives with respect to vgs, vds and vbs.
+func level1(p mosParams, vgs, vds, vbs float64) (ids, gm, gds, gmb float64) {
+	// Threshold with body effect; the sqrt argument is linearized for
+	// forward body bias to stay differentiable.
+	var sq, dsq float64
+	if vbs <= 0 {
+		sq = math.Sqrt(p.phi - vbs)
+		dsq = -0.5 / sq
+	} else {
+		sp := math.Sqrt(p.phi)
+		sq = sp - vbs/(2*sp)
+		dsq = -0.5 / sp
+		if sq < 0.1*sp {
+			sq = 0.1 * sp
+			dsq = 0
+		}
+	}
+	vt := p.vto + p.gamma*(sq-math.Sqrt(p.phi))
+	dvt := p.gamma * dsq // dvt/dvbs (negative)
+	vov := vgs - vt
+	if vov <= 0 {
+		return 0, 0, 0, 0
+	}
+	cm := 1 + p.lambda*vds
+	if vds < vov {
+		// Linear (triode) region.
+		ids = p.beta * (vov*vds - 0.5*vds*vds) * cm
+		gm = p.beta * vds * cm
+		gds = p.beta*(vov-vds)*cm + p.beta*(vov*vds-0.5*vds*vds)*p.lambda
+	} else {
+		// Saturation.
+		ids = 0.5 * p.beta * vov * vov * cm
+		gm = p.beta * vov * cm
+		gds = 0.5 * p.beta * vov * vov * p.lambda
+	}
+	gmb = gm * (-dvt)
+	return ids, gm, gds, gmb
+}
+
+// mosEval returns the current into the (real) drain terminal and its
+// derivatives with respect to vgs, vds, vbs in real terminal space,
+// handling PMOS by sign symmetry and reverse operation (vds < 0) by
+// drain/source exchange with the chain rule applied.
+func mosEval(p mosParams, vgs, vds, vbs float64) (id, fg, fd, fb float64) {
+	// Normalize polarity: I_D = sign * idsN(sign*vgs, sign*vds, sign*vbs).
+	nvgs := p.sign * vgs
+	nvds := p.sign * vds
+	nvbs := p.sign * vbs
+	var i, dg, dd, db float64
+	if nvds >= 0 {
+		ids, gm, gds, gmb := level1(p, nvgs, nvds, nvbs)
+		i, dg, dd, db = ids, gm, gds, gmb
+	} else {
+		// Exchange drain and source: idsN(vgs, vds, vbs) =
+		// −idsN(vgs−vds, −vds, vbs−vds) for vds < 0.
+		ids, gm, gds, gmb := level1(p, nvgs-nvds, -nvds, nvbs-nvds)
+		i = -ids
+		dg = -gm
+		dd = gm + gds + gmb
+		db = -gmb
+	}
+	// Chain rule through the sign normalization: d/dvgs = sign * d/dnvgs,
+	// and the leading sign gives sign² = 1.
+	return p.sign * i, dg, dd, db
+}
+
+// loadMOSFET stamps the Newton linearization of one MOSFET at candidate
+// solution x: the current into drain is modeled as
+// f + fg·Δvg + fd·Δvd + fb·Δvb + fs·Δvs, giving matrix entries and an
+// equivalent current on the right-hand side.
+func (m *mosInst) load(vals, rhs, x []float64) {
+	vd, vg, vs, vb := nodeV(x, m.d), nodeV(x, m.g), nodeV(x, m.s), nodeV(x, m.b)
+	id, fg, fd, fb := mosEval(m.p, vg-vs, vd-vs, vb-vs)
+	fs := -(fg + fd + fb)
+	// Equivalent source so that J x_new = rhs reproduces the
+	// linearization.
+	ieq := id - fd*vd - fg*vg - fb*vb - fs*vs
+	cols := [4]float64{fd, fg, fs, fb}
+	for b, v := range cols {
+		if p := m.pos[0][b]; p >= 0 {
+			vals[p] += v
+		}
+		if p := m.pos[1][b]; p >= 0 {
+			vals[p] -= v
+		}
+	}
+	addRHS(rhs, m.d, -ieq)
+	addRHS(rhs, m.s, ieq)
+	// Remember the small-signal conductances for AC analysis (callers run
+	// DC first, so the last load is at the operating point).
+	m.opFd, m.opFg, m.opFb = fd, fg, fb
+}
+
+// dioEval evaluates the junction diode current and conductance at forward
+// voltage vd, with the exponential linearized above vcrit so Newton
+// iterates stay finite (the classic explosion-current continuation).
+func dioEval(d *dioInst, vd float64) (id, gd float64) {
+	if vd <= d.vcrit {
+		e := math.Exp(vd / d.nvt)
+		id = d.is * (e - 1)
+		gd = d.is / d.nvt * e
+		return id, gd
+	}
+	// Linear continuation with matching value and slope at vcrit.
+	ec := math.Exp(d.vcrit / d.nvt)
+	ic := d.is * (ec - 1)
+	gc := d.is / d.nvt * ec
+	return ic + gc*(vd-d.vcrit), gc
+}
+
+// load stamps the Newton linearization of one diode at candidate
+// solution x.
+func (d *dioInst) load(vals, rhs, x []float64) {
+	vd := nodeV(x, d.a) - nodeV(x, d.c)
+	id, gd := dioEval(d, vd)
+	ieq := id - gd*vd
+	stampG(vals, d.pos, gd)
+	addRHS(rhs, d.a, -ieq)
+	addRHS(rhs, d.c, ieq)
+	d.opGd = gd
+}

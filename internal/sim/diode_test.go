@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiodeDCForwardDrop(t *testing.T) {
+	// 5 V through 1 kΩ into a diode: I ≈ (5 − vd)/1k with
+	// vd = n·Vt·ln(I/Is + 1). Solve the implicit equation here and
+	// compare.
+	c := mustBuild(t, `diode dc
+v1 a 0 dc 5
+r1 a d 1k
+d1 d 0 dmod
+.model dmod d is=1e-14 n=1
+.end
+`)
+	res, err := c.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd, _ := c.Voltage(res.X, "d")
+	// Fixed-point reference.
+	nvt := 0.025852
+	ref := 0.6
+	for k := 0; k < 200; k++ {
+		i := (5 - ref) / 1e3
+		ref = nvt * math.Log(i/1e-14+1)
+	}
+	if math.Abs(vd-ref) > 1e-4 {
+		t.Fatalf("vd = %v, want %v", vd, ref)
+	}
+}
+
+func TestDiodeReverseBlocks(t *testing.T) {
+	c := mustBuild(t, `diode reverse
+v1 a 0 dc -5
+r1 a d 1k
+d1 d 0 dmod
+.model dmod d is=1e-14 n=1
+.end
+`)
+	res, err := c.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd, _ := c.Voltage(res.X, "d")
+	// Reverse current is Is: the drop across 1k is ~1e-11 V, so the node
+	// sits at about -5 V.
+	if math.Abs(vd+5) > 1e-3 {
+		t.Fatalf("reverse-biased node = %v, want -5", vd)
+	}
+}
+
+func TestDiodeHalfWaveRectifier(t *testing.T) {
+	c := mustBuild(t, `rectifier
+vin in 0 dc 0 sin(0 5 1meg)
+d1 in out dmod
+rload out 0 10k
+cload out 0 100p
+.model dmod d is=1e-12 n=1 cj0=1p
+.end
+`)
+	res, err := c.Transient(3e-6, 2e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.Waveform("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	minV, maxV := out[0], out[0]
+	for _, v := range out {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	// Rectified: peaks near 5 − v_f, never much below zero (RC holds
+	// charge between peaks).
+	if maxV < 4.0 || maxV > 5.0 {
+		t.Fatalf("rectified peak = %v, want ~4.3", maxV)
+	}
+	if minV < -0.7 {
+		t.Fatalf("rectified min = %v; diode failed to block", minV)
+	}
+}
+
+func TestDiodeACSmallSignalConductance(t *testing.T) {
+	// Biased diode: small-signal conductance gd = I/(n·Vt). Drive with an
+	// AC source through a big resistor and compare the division ratio.
+	c := mustBuild(t, `diode ac
+v1 a 0 dc 5 ac 1
+r1 a d 10k
+d1 d 0 dmod
+.model dmod d is=1e-14 n=1
+.end
+`)
+	res, err := c.AC([]float64{1e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag, err := res.Mag("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the DC current to predict gd.
+	op, err := c.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd, _ := c.Voltage(op.X, "d")
+	idc := (5 - vd) / 10e3
+	gd := idc / 0.025852
+	want := (1 / 10e3) / (1/10e3 + gd) // resistive divider ratio
+	if math.Abs(mag[0]-want) > 0.02*want {
+		t.Fatalf("AC division = %v, want %v", mag[0], want)
+	}
+}
+
+func TestDiodeLargeBiasStaysFinite(t *testing.T) {
+	// Direct 5 V across the diode exercises the explosion-current
+	// linearization: Newton must converge to a huge but finite current.
+	c := mustBuild(t, `diode hard
+v1 a 0 dc 5
+d1 a 0 dmod
+.model dmod d is=1e-14 n=1
+.end
+`)
+	res, err := c.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := res.X[c.nNodes]
+	if math.IsNaN(iv) || math.IsInf(iv, 0) {
+		t.Fatalf("diode current = %v", iv)
+	}
+	if -iv < 1 { // source delivers; SPICE sign convention
+		t.Fatalf("expected ampere-scale current, got %v", -iv)
+	}
+}
+
+func TestDiodeUnknownModel(t *testing.T) {
+	d, err := parseDeckText("t\nd1 a 0 nomodel\nv1 a 0 dc 1\n.end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(d); err == nil {
+		t.Fatal("unknown diode model accepted")
+	}
+}

@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/cmplx"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// AnalysisKind enumerates the analysis card types RunDeck executes.
+type AnalysisKind int
+
+const (
+	// OP is a .op operating-point analysis.
+	OP AnalysisKind = iota
+	// Tran is a .tran transient analysis.
+	Tran
+	// AC is a .ac small-signal sweep.
+	AC
+	// DCTransfer is a .dc source sweep (transfer curve).
+	DCTransfer
+)
+
+func (k AnalysisKind) String() string {
+	switch k {
+	case OP:
+		return "op"
+	case Tran:
+		return "tran"
+	case AC:
+		return "ac"
+	case DCTransfer:
+		return "dc"
+	}
+	return fmt.Sprintf("AnalysisKind(%d)", int(k))
+}
+
+// Analysis is one parsed analysis card.
+type Analysis struct {
+	Kind AnalysisKind
+	// Transient: step and stop time.
+	TStep, TStop float64
+	// AC: sweep type (dec/oct/lin), points (per decade/octave or total),
+	// and frequency range.
+	Sweep         string
+	Points        int
+	FStart, FStop float64
+	// DC transfer: swept source and range.
+	SrcName           string
+	Start, Stop, Step float64
+}
+
+// Frequencies expands an AC analysis card into its sweep points.
+func (a *Analysis) Frequencies() []float64 {
+	switch a.Sweep {
+	case "lin":
+		if a.Points < 2 {
+			return []float64{a.FStart}
+		}
+		out := make([]float64, a.Points)
+		for i := range out {
+			out[i] = a.FStart + (a.FStop-a.FStart)*float64(i)/float64(a.Points-1)
+		}
+		return out
+	case "oct":
+		octaves := math.Log2(a.FStop / a.FStart)
+		n := int(math.Ceil(octaves*float64(a.Points))) + 1
+		return LogSpace(a.FStart, a.FStop, n)
+	default: // dec
+		decades := math.Log10(a.FStop / a.FStart)
+		n := int(math.Ceil(decades*float64(a.Points))) + 1
+		return LogSpace(a.FStart, a.FStop, n)
+	}
+}
+
+// PrintVar is one output request from a .print card: Fn is "v" (voltage,
+// or its real part in AC), "vm" (magnitude), "vp" (phase in degrees) or
+// "vdb" (magnitude in dB).
+type PrintVar struct {
+	Fn   string
+	Node string
+}
+
+// PrintSpec is a parsed .print card.
+type PrintSpec struct {
+	Analysis string // "tran", "ac", "op" or "" (any)
+	Vars     []PrintVar
+}
+
+// ParseControls extracts the analysis and print cards RunDeck honors from
+// a deck's control cards. Unrecognized cards are returned in rest.
+func ParseControls(deck *netlist.Deck) (analyses []Analysis, prints []PrintSpec, rest []string, err error) {
+	for _, card := range deck.Controls {
+		fields := strings.Fields(card)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case ".op":
+			analyses = append(analyses, Analysis{Kind: OP})
+		case ".tran":
+			if len(fields) < 3 {
+				return nil, nil, nil, fmt.Errorf("sim: %q needs step and stop", card)
+			}
+			step, err1 := netlist.ParseValue(fields[1])
+			stop, err2 := netlist.ParseValue(fields[2])
+			if err1 != nil || err2 != nil || step <= 0 || stop <= 0 {
+				return nil, nil, nil, fmt.Errorf("sim: bad .tran card %q", card)
+			}
+			analyses = append(analyses, Analysis{Kind: Tran, TStep: step, TStop: stop})
+		case ".ac":
+			if len(fields) < 5 {
+				return nil, nil, nil, fmt.Errorf("sim: %q needs type npts fstart fstop", card)
+			}
+			sweep := fields[1]
+			if sweep != "dec" && sweep != "oct" && sweep != "lin" {
+				return nil, nil, nil, fmt.Errorf("sim: unknown sweep %q in %q", sweep, card)
+			}
+			npts, err1 := netlist.ParseValue(fields[2])
+			f1, err2 := netlist.ParseValue(fields[3])
+			f2, err3 := netlist.ParseValue(fields[4])
+			if err1 != nil || err2 != nil || err3 != nil || npts < 1 || f1 <= 0 || f2 < f1 {
+				return nil, nil, nil, fmt.Errorf("sim: bad .ac card %q", card)
+			}
+			analyses = append(analyses, Analysis{Kind: AC, Sweep: sweep, Points: int(npts), FStart: f1, FStop: f2})
+		case ".dc":
+			if len(fields) < 5 {
+				return nil, nil, nil, fmt.Errorf("sim: %q needs source start stop step", card)
+			}
+			v1, err1 := netlist.ParseValue(fields[2])
+			v2, err2 := netlist.ParseValue(fields[3])
+			v3, err3 := netlist.ParseValue(fields[4])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, nil, nil, fmt.Errorf("sim: bad .dc card %q", card)
+			}
+			analyses = append(analyses, Analysis{Kind: DCTransfer, SrcName: fields[1], Start: v1, Stop: v2, Step: v3})
+		case ".print", ".plot":
+			spec := PrintSpec{}
+			vars := fields[1:]
+			if len(vars) > 0 {
+				switch vars[0] {
+				case "tran", "ac", "op", "dc":
+					spec.Analysis = vars[0]
+					vars = vars[1:]
+				}
+			}
+			for _, v := range vars {
+				pv, ok := parsePrintVar(v)
+				if !ok {
+					return nil, nil, nil, fmt.Errorf("sim: bad print variable %q in %q", v, card)
+				}
+				spec.Vars = append(spec.Vars, pv)
+			}
+			prints = append(prints, spec)
+		default:
+			rest = append(rest, card)
+		}
+	}
+	return analyses, prints, rest, nil
+}
+
+// parsePrintVar parses "v(node)", "vm(node)", "vp(node)", "vdb(node)".
+func parsePrintVar(s string) (PrintVar, bool) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return PrintVar{}, false
+	}
+	fn := s[:open]
+	node := s[open+1 : len(s)-1]
+	switch fn {
+	case "v", "vm", "vp", "vdb":
+		return PrintVar{Fn: fn, Node: node}, len(node) > 0
+	}
+	return PrintVar{}, false
+}
+
+// RunDeck builds the circuit and executes every analysis card in the
+// deck, writing .print tables to w. When a deck has .print cards whose
+// nodes are unknown, an error is returned before any analysis runs.
+func RunDeck(deck *netlist.Deck, w io.Writer) error {
+	analyses, prints, _, err := ParseControls(deck)
+	if err != nil {
+		return err
+	}
+	if len(analyses) == 0 {
+		return fmt.Errorf("sim: deck has no analysis card (.op/.tran/.ac)")
+	}
+	c, err := Build(deck)
+	if err != nil {
+		return err
+	}
+	varsFor := func(kind string) []PrintVar {
+		var out []PrintVar
+		for _, p := range prints {
+			if p.Analysis == "" || p.Analysis == kind {
+				out = append(out, p.Vars...)
+			}
+		}
+		return out
+	}
+	// Validate print nodes upfront.
+	for _, p := range prints {
+		for _, v := range p.Vars {
+			if _, ok := c.NodeIndex(v.Node); !ok {
+				return fmt.Errorf("sim: .print references unknown node %q", v.Node)
+			}
+		}
+	}
+	for _, a := range analyses {
+		switch a.Kind {
+		case OP:
+			res, err := c.DC()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "* operating point (%d newton iterations)\n", res.Iters)
+			vars := varsFor("op")
+			if len(vars) == 0 {
+				// Print every node by default for .op.
+				for i, name := range c.NodeNames {
+					fmt.Fprintf(w, "v(%s) = %.6g\n", name, res.X[i])
+				}
+			} else {
+				for _, v := range vars {
+					idx, _ := c.NodeIndex(v.Node)
+					fmt.Fprintf(w, "v(%s) = %.6g\n", v.Node, value(res.X, idx))
+				}
+			}
+		case Tran:
+			res, err := c.Transient(a.TStop, a.TStep)
+			if err != nil {
+				return err
+			}
+			vars := varsFor("tran")
+			if len(vars) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "* transient: step %s stop %s\n%-14s", netlist.FormatValue(a.TStep), netlist.FormatValue(a.TStop), "time")
+			for _, v := range vars {
+				fmt.Fprintf(w, " %14s", v.Fn+"("+v.Node+")")
+			}
+			fmt.Fprintln(w)
+			for k, t := range res.T {
+				fmt.Fprintf(w, "%-14.6g", t)
+				for _, v := range vars {
+					idx, _ := c.NodeIndex(v.Node)
+					fmt.Fprintf(w, " %14.6g", value(res.X[k], idx))
+				}
+				fmt.Fprintln(w)
+			}
+		case DCTransfer:
+			res, err := c.DCSweep(a.SrcName, a.Start, a.Stop, a.Step)
+			if err != nil {
+				return err
+			}
+			vars := varsFor("dc")
+			if len(vars) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "* dc transfer: %s from %s to %s\n%-14s", a.SrcName,
+				netlist.FormatValue(a.Start), netlist.FormatValue(a.Stop), a.SrcName)
+			for _, v := range vars {
+				fmt.Fprintf(w, " %14s", v.Fn+"("+v.Node+")")
+			}
+			fmt.Fprintln(w)
+			for k, sv := range res.Values {
+				fmt.Fprintf(w, "%-14.6g", sv)
+				for _, v := range vars {
+					idx, _ := c.NodeIndex(v.Node)
+					fmt.Fprintf(w, " %14.6g", value(res.X[k], idx))
+				}
+				fmt.Fprintln(w)
+			}
+		case AC:
+			res, err := c.AC(a.Frequencies())
+			if err != nil {
+				return err
+			}
+			vars := varsFor("ac")
+			if len(vars) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "* ac: %s %d points %s to %s\n%-14s", a.Sweep, a.Points,
+				netlist.FormatValue(a.FStart), netlist.FormatValue(a.FStop), "freq")
+			for _, v := range vars {
+				fmt.Fprintf(w, " %14s", v.Fn+"("+v.Node+")")
+			}
+			fmt.Fprintln(w)
+			for k, f := range res.F {
+				fmt.Fprintf(w, "%-14.6g", f)
+				for _, v := range vars {
+					idx, _ := c.NodeIndex(v.Node)
+					var x complex128
+					if idx >= 0 {
+						x = res.X[k][idx]
+					}
+					var out float64
+					switch v.Fn {
+					case "vm":
+						out = cmplx.Abs(x)
+					case "vp":
+						out = cmplx.Phase(x) * 180 / math.Pi
+					case "vdb":
+						out = 20 * math.Log10(cmplx.Abs(x)+1e-300)
+					default:
+						out = real(x)
+					}
+					fmt.Fprintf(w, " %14.6g", out)
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	return nil
+}

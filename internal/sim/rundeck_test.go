@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestParseControls(t *testing.T) {
+	deck, err := netlist.ParseString(`controls
+r1 a 0 1k
+v1 a 0 dc 1
+.op
+.tran 0.1n 10n
+.ac dec 10 1k 1meg
+.print tran v(a)
+.print ac vm(a) vp(a) vdb(a)
+.options whatever
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyses, prints, rest, err := ParseControls(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(analyses) != 3 {
+		t.Fatalf("analyses = %d, want 3", len(analyses))
+	}
+	if analyses[0].Kind != OP || analyses[1].Kind != Tran || analyses[2].Kind != AC {
+		t.Fatalf("kinds = %v %v %v", analyses[0].Kind, analyses[1].Kind, analyses[2].Kind)
+	}
+	if math.Abs(analyses[1].TStep-0.1e-9) > 1e-20 || math.Abs(analyses[1].TStop-10e-9) > 1e-18 {
+		t.Fatalf("tran = %+v", analyses[1])
+	}
+	if analyses[2].Sweep != "dec" || analyses[2].Points != 10 || analyses[2].FStart != 1e3 {
+		t.Fatalf("ac = %+v", analyses[2])
+	}
+	if len(prints) != 2 || prints[0].Analysis != "tran" || len(prints[1].Vars) != 3 {
+		t.Fatalf("prints = %+v", prints)
+	}
+	if len(rest) != 1 || !strings.HasPrefix(rest[0], ".options") {
+		t.Fatalf("rest = %v", rest)
+	}
+}
+
+func TestParseControlsErrors(t *testing.T) {
+	for _, card := range []string{
+		".tran 1n", ".tran x y", ".ac dec 10 1k", ".ac bad 10 1 100",
+		".ac dec 10 100 1", ".print tran w(a)", ".print tran v()",
+	} {
+		deck, err := netlist.ParseString("t\nr1 a 0 1\n" + card + "\n.end\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := ParseControls(deck); err == nil {
+			t.Errorf("card %q accepted", card)
+		}
+	}
+}
+
+func TestAnalysisFrequencies(t *testing.T) {
+	a := Analysis{Kind: AC, Sweep: "dec", Points: 10, FStart: 1e3, FStop: 1e6}
+	f := a.Frequencies()
+	if len(f) != 31 {
+		t.Fatalf("dec sweep has %d points, want 31", len(f))
+	}
+	if math.Abs(f[0]-1e3) > 1e-9 || math.Abs(f[len(f)-1]-1e6) > 1e-3 {
+		t.Fatalf("sweep endpoints %v %v", f[0], f[len(f)-1])
+	}
+	lin := Analysis{Kind: AC, Sweep: "lin", Points: 5, FStart: 100, FStop: 500}
+	fl := lin.Frequencies()
+	if len(fl) != 5 || fl[1] != 200 {
+		t.Fatalf("lin sweep = %v", fl)
+	}
+	oct := Analysis{Kind: AC, Sweep: "oct", Points: 4, FStart: 1e3, FStop: 8e3}
+	if n := len(oct.Frequencies()); n != 13 {
+		t.Fatalf("oct sweep has %d points, want 13", n)
+	}
+}
+
+func TestRunDeckOPAndTran(t *testing.T) {
+	deck, err := netlist.ParseString(`rc step via rundeck
+v1 a 0 dc 0 pulse(0 5 0 1p 1p 1 2)
+r1 a b 1k
+c1 b 0 1n
+.op
+.tran 50n 5u
+.print tran v(b)
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RunDeck(deck, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "operating point") {
+		t.Fatalf("missing op section:\n%s", out)
+	}
+	// Last transient line: v(b) ~ 5 after 5 RC.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := strings.Fields(lines[len(lines)-1])
+	v, err := strconv.ParseFloat(last[len(last)-1], 64)
+	if err != nil {
+		t.Fatalf("bad last line %q", lines[len(lines)-1])
+	}
+	if math.Abs(v-5) > 0.1 {
+		t.Fatalf("final v(b) = %v, want ~5", v)
+	}
+}
+
+func TestRunDeckAC(t *testing.T) {
+	deck, err := netlist.ParseString(`lowpass via rundeck
+v1 a 0 dc 0 ac 1
+r1 a b 1k
+c1 b 0 159.155p
+.ac dec 2 1e4 1e8
+.print ac vm(b) vdb(b) vp(b)
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RunDeck(deck, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "vm(b)") || !strings.Contains(out, "vdb(b)") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	// First point (10 kHz, far below 1 MHz corner): |H| ~ 1, phase
+	// slightly negative.
+	for _, l := range strings.Split(out, "\n") {
+		f := strings.Fields(l)
+		if len(f) == 4 && strings.HasPrefix(l, "10000") {
+			vm, _ := strconv.ParseFloat(f[1], 64)
+			vp, _ := strconv.ParseFloat(f[3], 64)
+			if math.Abs(vm-1) > 1e-3 {
+				t.Fatalf("passband vm = %v", vm)
+			}
+			if vp > 0 || vp < -2 {
+				t.Fatalf("passband phase = %v deg", vp)
+			}
+			return
+		}
+	}
+	t.Fatalf("10 kHz row not found:\n%s", out)
+}
+
+func TestRunDeckErrors(t *testing.T) {
+	// No analysis card.
+	deck, _ := netlist.ParseString("t\nr1 a 0 1\nv1 a 0 dc 1\n.end\n")
+	if err := RunDeck(deck, &bytes.Buffer{}); err == nil {
+		t.Error("deck without analysis accepted")
+	}
+	// Unknown print node.
+	deck2, _ := netlist.ParseString("t\nr1 a 0 1\nv1 a 0 dc 1\n.op\n.print op v(zz)\n.end\n")
+	if err := RunDeck(deck2, &bytes.Buffer{}); err == nil {
+		t.Error("unknown print node accepted")
+	}
+}
+
+func TestAnalysisKindString(t *testing.T) {
+	if OP.String() != "op" || Tran.String() != "tran" || AC.String() != "ac" {
+		t.Error("AnalysisKind strings wrong")
+	}
+}

@@ -1,0 +1,592 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func mustBuild(t *testing.T, deck string) *Circuit {
+	t.Helper()
+	d, err := netlist.ParseString(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLUFactorRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(25)
+		// Random sparse matrix with guaranteed nonzero diagonal.
+		type ent struct {
+			r, c int
+			v    float64
+		}
+		entries := map[[2]int]float64{}
+		for i := 0; i < n; i++ {
+			entries[[2]int{i, i}] = 2 + rng.Float64()
+		}
+		for k := 0; k < 3*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			entries[[2]int{i, j}] += rng.NormFloat64()
+		}
+		// CSC assembly.
+		colPtr := make([]int, n+1)
+		for key := range entries {
+			colPtr[key[1]+1]++
+		}
+		for j := 0; j < n; j++ {
+			colPtr[j+1] += colPtr[j]
+		}
+		rowIdx := make([]int, len(entries))
+		vals := make([]float64, len(entries))
+		next := append([]int(nil), colPtr[:n]...)
+		dense := make([][]float64, n)
+		for i := range dense {
+			dense[i] = make([]float64, n)
+		}
+		for key, v := range entries {
+			p := next[key[1]]
+			rowIdx[p] = key[0]
+			vals[p] = v
+			next[key[1]]++
+			dense[key[0]][key[1]] = v
+		}
+		// Rows within a column need not be sorted for the LU; exercise
+		// that by leaving map order.
+		lu, err := LUFactor(n, colPtr, rowIdx, vals, nil, math.Abs, 0.1)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += dense[i][j] * want[j]
+			}
+		}
+		lu.Solve(b)
+		for i := range want {
+			if math.Abs(b[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, b[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLUFactorComplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	n := 12
+	colPtr := make([]int, n+1)
+	var rowIdx []int
+	var vals []complex128
+	dense := make([][]complex128, n)
+	for i := range dense {
+		dense[i] = make([]complex128, n)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if i == j || rng.Float64() < 0.3 {
+				v := complex(rng.NormFloat64(), rng.NormFloat64())
+				if i == j {
+					v += 4
+				}
+				rowIdx = append(rowIdx, i)
+				vals = append(vals, v)
+				dense[i][j] = v
+			}
+		}
+		colPtr[j+1] = len(rowIdx)
+	}
+	lu, err := LUFactor(n, colPtr, rowIdx, vals, nil, cmplx.Abs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, n)
+	for i := range want {
+		want[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b[i] += dense[i][j] * want[j]
+		}
+	}
+	lu.Solve(b)
+	for i := range want {
+		if cmplx.Abs(b[i]-want[i]) > 1e-8*(1+cmplx.Abs(want[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	// Second column is all zero.
+	colPtr := []int{0, 1, 1}
+	rowIdx := []int{0}
+	vals := []float64{1}
+	if _, err := LUFactor(2, colPtr, rowIdx, vals, nil, math.Abs, 0.1); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+func TestDCResistorDivider(t *testing.T) {
+	c := mustBuild(t, `divider
+v1 a 0 dc 6
+r1 a b 1k
+r2 b 0 2k
+.end
+`)
+	res, err := c.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, _ := c.Voltage(res.X, "b")
+	if math.Abs(vb-4) > 1e-6 {
+		t.Fatalf("V(b) = %v, want 4", vb)
+	}
+	// Branch current of v1: (6V across 3k) flowing out of the source.
+	ib := res.X[c.nNodes]
+	if math.Abs(ib+0.002) > 1e-8 {
+		t.Fatalf("I(v1) = %v, want -2mA", ib)
+	}
+}
+
+func TestDCCurrentSource(t *testing.T) {
+	c := mustBuild(t, `isrc
+i1 0 a dc 1m
+r1 a 0 5k
+.end
+`)
+	res, err := c.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := c.Voltage(res.X, "a")
+	if math.Abs(va-5) > 1e-6 {
+		t.Fatalf("V(a) = %v, want 5 (1mA into 5k)", va)
+	}
+}
+
+func TestDCGroundQueries(t *testing.T) {
+	c := mustBuild(t, "g\nv1 a 0 dc 1\nr1 a 0 1\n.end\n")
+	res, err := c.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Voltage(res.X, "0"); err != nil || v != 0 {
+		t.Fatal("ground voltage must be 0")
+	}
+	if _, err := c.Voltage(res.X, "zz"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestMOSEvalRegions(t *testing.T) {
+	p := mosParams{sign: 1, beta: 1e-3, vto: 0.7, gamma: 0, phi: 0.6, lambda: 0}
+	// Cutoff.
+	if ids, _, _, _ := level1(p, 0.5, 1, 0); ids != 0 {
+		t.Error("cutoff should carry no current")
+	}
+	// Saturation: ids = beta/2 (vgs-vt)^2.
+	ids, gm, gds, _ := level1(p, 1.7, 2.0, 0)
+	if math.Abs(ids-0.5*1e-3*1.0) > 1e-12 {
+		t.Errorf("sat ids = %v, want 0.5mA", ids)
+	}
+	if math.Abs(gm-1e-3) > 1e-12 || gds != 0 {
+		t.Errorf("sat gm=%v gds=%v", gm, gds)
+	}
+	// Linear: vds small.
+	ids, _, gds, _ = level1(p, 1.7, 0.1, 0)
+	want := 1e-3 * (1.0*0.1 - 0.5*0.01)
+	if math.Abs(ids-want) > 1e-12 {
+		t.Errorf("lin ids = %v, want %v", ids, want)
+	}
+	if gds <= 0 {
+		t.Error("linear-region gds must be positive")
+	}
+	// Body effect raises vt for reverse bias.
+	pb := p
+	pb.gamma = 0.5
+	ids0, _, _, _ := level1(pb, 1.7, 2, 0)
+	idsRev, _, _, gmb := level1(pb, 1.7, 2, -1)
+	if idsRev >= ids0 {
+		t.Error("reverse body bias must reduce current")
+	}
+	if gmb <= 0 {
+		t.Error("gmb must be positive")
+	}
+}
+
+func TestMOSEvalSymmetry(t *testing.T) {
+	// Drain/source exchange: I(vgs, -vds) = -I(vgd, vds)|swapped.
+	p := mosParams{sign: 1, beta: 2e-3, vto: 0.7, gamma: 0.3, phi: 0.6, lambda: 0.01}
+	id1, _, _, _ := mosEval(p, 2.0, 1.5, -0.2)
+	if id1 <= 0 {
+		t.Fatal("forward NMOS current must be positive")
+	}
+	// Reversing the device (vd<vs) flips the current sign.
+	id2, _, _, _ := mosEval(p, 0.5, -1.5, -1.7) // vg-vs=0.5 with roles swapped
+	if id2 >= 0 {
+		t.Fatal("reverse operation must give negative drain current")
+	}
+	// PMOS mirror: parameters mirrored, voltages negated.
+	pp := p
+	pp.sign = -1
+	idp, _, _, _ := mosEval(pp, -2.0, -1.5, 0.2)
+	if math.Abs(idp+id1) > 1e-12 {
+		t.Fatalf("PMOS mirror current = %v, want %v", idp, -id1)
+	}
+}
+
+func TestMOSEvalDerivativesFiniteDiff(t *testing.T) {
+	p := mosParams{sign: 1, beta: 1.5e-3, vto: 0.6, gamma: 0.4, phi: 0.65, lambda: 0.03}
+	for _, v := range [][3]float64{{1.5, 2.2, -0.4}, {1.5, 0.3, -0.1}, {0.9, -1.2, -1.3}, {2.2, 1.0, 0.1}} {
+		vgs, vds, vbs := v[0], v[1], v[2]
+		_, fg, fd, fb := mosEval(p, vgs, vds, vbs)
+		h := 1e-7
+		ip, _, _, _ := mosEval(p, vgs+h, vds, vbs)
+		im, _, _, _ := mosEval(p, vgs-h, vds, vbs)
+		if g := (ip - im) / (2 * h); math.Abs(g-fg) > 1e-5*(1+math.Abs(g)) {
+			t.Errorf("at %v: fg = %v, finite diff %v", v, fg, g)
+		}
+		ip, _, _, _ = mosEval(p, vgs, vds+h, vbs)
+		im, _, _, _ = mosEval(p, vgs, vds-h, vbs)
+		if g := (ip - im) / (2 * h); math.Abs(g-fd) > 1e-5*(1+math.Abs(g)) {
+			t.Errorf("at %v: fd = %v, finite diff %v", v, fd, g)
+		}
+		ip, _, _, _ = mosEval(p, vgs, vds, vbs+h)
+		im, _, _, _ = mosEval(p, vgs, vds, vbs-h)
+		if g := (ip - im) / (2 * h); math.Abs(g-fb) > 1e-5*(1+math.Abs(g)) {
+			t.Errorf("at %v: fb = %v, finite diff %v", v, fb, g)
+		}
+	}
+}
+
+const inverterDeck = `cmos inverter
+vdd vdd 0 dc 5
+vin in 0 dc 0
+mp out in vdd vdd pch w=20u l=1u
+mn out in 0 0 nch w=10u l=1u
+cl out 0 50f
+.model nch nmos vto=0.7 kp=60u gamma=0.4 phi=0.65 lambda=0.02 cgso=0.3n cgdo=0.3n cbd=10f cbs=10f
+.model pch pmos vto=-0.7 kp=25u gamma=0.4 phi=0.65 lambda=0.02 cgso=0.3n cgdo=0.3n cbd=15f cbs=15f
+.end
+`
+
+func TestDCInverterTransfer(t *testing.T) {
+	d, err := netlist.ParseString(inverterDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input low: output must sit at VDD.
+	c, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vout, _ := c.Voltage(res.X, "out")
+	if math.Abs(vout-5) > 1e-3 {
+		t.Fatalf("Vout(in=0) = %v, want 5", vout)
+	}
+	// Input high: output low.
+	d.Elements[1].(*netlist.VSource).DC = 5
+	c2, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c2.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vout2, _ := c2.Voltage(res2.X, "out")
+	if math.Abs(vout2) > 1e-3 {
+		t.Fatalf("Vout(in=5) = %v, want 0", vout2)
+	}
+}
+
+func TestTransientRCCharge(t *testing.T) {
+	// Step into RC: v(t) = 5(1 - exp(-t/RC)), RC = 1us.
+	c := mustBuild(t, `rc step
+v1 a 0 dc 5
+r1 a b 1k
+c1 b 0 1n
+.end
+`)
+	// Pretend the source turns on at t=0: DC OP already has the capacitor
+	// charged, so instead drive with a pulse from 0.
+	c2 := mustBuild(t, `rc step pulse
+v1 a 0 dc 0 pulse(0 5 0 1p 1p 1 2)
+r1 a b 1k
+c1 b 0 1n
+.end
+`)
+	_ = c
+	res, err := c2.Transient(5e-6, 5e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := res.Waveform("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := 1e-6
+	for k, tt := range res.T {
+		want := 5 * (1 - math.Exp(-tt/rc))
+		if math.Abs(wave[k]-want) > 0.02*5 {
+			t.Fatalf("t=%g: v=%v, want %v", tt, wave[k], want)
+		}
+	}
+	// Final value close to 5.
+	if math.Abs(wave[len(wave)-1]-5) > 0.05 {
+		t.Fatalf("final = %v", wave[len(wave)-1])
+	}
+}
+
+func TestTransientInverterSwitch(t *testing.T) {
+	deck := `switching inverter
+vdd vdd 0 dc 5
+vin in 0 dc 0 pulse(0 5 1n 0.1n 0.1n 3n 8n)
+mp out in vdd vdd pch w=20u l=1u
+mn out in 0 0 nch w=10u l=1u
+cl out 0 20f
+.model nch nmos vto=0.7 kp=60u gamma=0.4 phi=0.65 lambda=0.02
+.model pch pmos vto=-0.7 kp=25u gamma=0.4 phi=0.65 lambda=0.02
+.end
+`
+	c := mustBuild(t, deck)
+	res, err := c.Transient(8e-9, 0.02e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.Waveform("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outIdx, _ := c.NodeIndex("out")
+	// Before the input rises, output is high.
+	if v := res.At(outIdx, 0.5e-9); math.Abs(v-5) > 0.05 {
+		t.Fatalf("V(out) before switch = %v, want 5", v)
+	}
+	// Well after the input rise, output is low.
+	if v := res.At(outIdx, 3.5e-9); math.Abs(v) > 0.05 {
+		t.Fatalf("V(out) after switch = %v, want 0", v)
+	}
+	// After the input falls again (t > 4.2n), output recovers high.
+	if v := out[len(out)-1]; math.Abs(v-5) > 0.1 {
+		t.Fatalf("V(out) at end = %v, want 5", v)
+	}
+}
+
+func TestACLowPass(t *testing.T) {
+	c := mustBuild(t, `rc lowpass
+v1 a 0 dc 0 ac 1
+r1 a b 1k
+c1 b 0 159.155p
+.end
+`)
+	fc := 1 / (2 * math.Pi * 1e3 * 159.155e-12) // ~1 MHz
+	res, err := c.AC([]float64{fc / 100, fc, fc * 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag, err := res.Mag("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mag[0]-1) > 1e-3 {
+		t.Errorf("passband |H| = %v, want 1", mag[0])
+	}
+	if math.Abs(mag[1]-1/math.Sqrt2) > 1e-3 {
+		t.Errorf("corner |H| = %v, want 0.707", mag[1])
+	}
+	if mag[2] > 0.02 {
+		t.Errorf("stopband |H| = %v, want ~0.01", mag[2])
+	}
+}
+
+func TestACAmplifierUsesOP(t *testing.T) {
+	// Common-source NMOS amplifier: small-signal gain ≈ -gm*RD.
+	c := mustBuild(t, `cs amp
+vdd vdd 0 dc 5
+vin in 0 dc 1.5 ac 1
+rd vdd out 10k
+mn out in 0 0 nch w=10u l=1u
+.model nch nmos vto=0.7 kp=60u lambda=0
+.end
+`)
+	res, err := c.AC([]float64{1e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag, err := res.Mag("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gm = beta*(vgs-vt) = 60u*10*(0.8) = 0.48m ; gain = gm*RD = 4.8.
+	if math.Abs(mag[0]-4.8) > 0.05 {
+		t.Fatalf("|gain| = %v, want 4.8", mag[0])
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	f := LogSpace(1, 1000, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if math.Abs(f[i]-want[i]) > 1e-9*want[i] {
+			t.Fatalf("LogSpace = %v", f)
+		}
+	}
+	if len(LogSpace(5, 10, 1)) != 1 {
+		t.Fatal("LogSpace n=1")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	for _, deck := range []string{
+		"z\nm1 d g s b nomodel w=1u l=1u\n.end\n",
+		"z\nr1 a b 0\nv1 a 0 dc 1\n.end\n",
+	} {
+		d, err := netlist.ParseString(deck)
+		if err != nil {
+			continue
+		}
+		if _, err := Build(d); err == nil {
+			t.Errorf("deck %q accepted", deck)
+		}
+	}
+}
+
+func TestTranResultAtInterpolation(t *testing.T) {
+	r := &TranResult{
+		T: []float64{0, 1, 2},
+		X: [][]float64{{0}, {10}, {20}},
+		c: &Circuit{nodeIdx: map[string]int{"a": 0}, NodeNames: []string{"a"}},
+	}
+	if v := r.At(0, 0.5); v != 5 {
+		t.Fatalf("At(0.5) = %v", v)
+	}
+	if v := r.At(0, -1); v != 0 {
+		t.Fatalf("At(-1) = %v", v)
+	}
+	if v := r.At(0, 5); v != 20 {
+		t.Fatalf("At(5) = %v", v)
+	}
+	if v := r.At(-1, 1); v != 0 {
+		t.Fatalf("ground At = %v", v)
+	}
+}
+
+// TestACReciprocity: RC networks are reciprocal — the transimpedance
+// from port a to b equals b to a. Drive two copies of the same network
+// from either end and compare.
+func TestACReciprocity(t *testing.T) {
+	base := `r1 a m1 120
+c1 m1 0 2p
+r2 m1 m2 80
+c2 m2 0 1p
+r3 m2 b 60
+c3 b 0 3p
+rload a 0 1k
+`
+	d1 := mustBuild(t, "t\n"+base+"i1 0 a dc 0 ac 1\n.end\n")
+	d2 := mustBuild(t, "t\n"+base+"i1 0 b dc 0 ac 1\n.end\n")
+	freqs := []float64{1e6, 1e8, 1e9}
+	r1, err := d1.AC(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := d2.AC(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zab, err := r1.Mag("b") // V(b) per amp into a
+	if err != nil {
+		t.Fatal(err)
+	}
+	zba, err := r2.Mag("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range freqs {
+		if math.Abs(zab[k]-zba[k]) > 1e-9*(1+zab[k]) {
+			t.Fatalf("f=%g: Zab=%v Zba=%v", freqs[k], zab[k], zba[k])
+		}
+	}
+}
+
+// TestTransientSuperposition: the circuit is linear (R, C, sources), so
+// the response to two sources equals the sum of individual responses.
+func TestTransientSuperposition(t *testing.T) {
+	net := `r1 a m 100
+r2 b m 200
+c1 m 0 1n
+rload m 0 1k
+`
+	run := func(v1, v2 string) []float64 {
+		c := mustBuild(t, "t\n"+net+v1+"\n"+v2+"\n.end\n")
+		res, err := c.Transient(1e-6, 2e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := res.Waveform("m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	both := run("v1 a 0 dc 0 pulse(0 3 0 1p 1p 1 2)", "v2 b 0 dc 0 pulse(0 2 100n 1p 1p 1 2)")
+	only1 := run("v1 a 0 dc 0 pulse(0 3 0 1p 1p 1 2)", "v2 b 0 dc 0")
+	only2 := run("v1 a 0 dc 0", "v2 b 0 dc 0 pulse(0 2 100n 1p 1p 1 2)")
+	for k := range both {
+		want := only1[k] + only2[k]
+		if math.Abs(both[k]-want) > 1e-9 {
+			t.Fatalf("superposition violated at step %d: %v vs %v", k, both[k], want)
+		}
+	}
+}
+
+// TestTrapezoidalConvergenceOrder: halving the step size must reduce the
+// integration error by ~4x (second-order accuracy of the trapezoidal
+// rule), measured on the analytic RC step response.
+func TestTrapezoidalConvergenceOrder(t *testing.T) {
+	deck := `rc order
+v1 a 0 dc 0 pulse(0 1 0 1p 1p 1 2)
+r1 a b 1k
+c1 b 0 1n
+.end
+`
+	errAt := func(h float64) float64 {
+		c := mustBuild(t, deck)
+		res, err := c.Transient(2e-6, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, _ := c.NodeIndex("b")
+		// Compare at a fixed grid point present for both step sizes.
+		tt := 1e-6
+		want := 1 - math.Exp(-tt/1e-6)
+		return math.Abs(res.At(idx, tt) - want)
+	}
+	e1 := errAt(20e-9)
+	e2 := errAt(10e-9)
+	ratio := e1 / e2
+	if ratio < 3.0 || ratio > 5.5 {
+		t.Fatalf("error ratio %v for step halving, want ~4 (second order)", ratio)
+	}
+}

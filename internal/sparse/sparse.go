@@ -1,0 +1,502 @@
+// Package sparse provides the compressed sparse matrix types and kernels
+// used throughout the PACT reduction flow: triplet assembly ("stamping"),
+// compressed sparse row (CSR) storage with sorted column indices, matrix
+// transposition and permutation, matrix-vector products, and extraction of
+// triangular views for the factorization packages.
+//
+// All symmetric matrices in this repository are stored with their full
+// pattern (both triangles) so that row access, matrix-vector products and
+// pattern unions stay simple; the factorization packages extract the
+// triangle they need through TriView.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Builder accumulates matrix entries in triplet (COO) form. Duplicate
+// entries are summed when the matrix is compressed, matching SPICE
+// "stamping" semantics where several devices contribute to one matrix
+// position.
+type Builder struct {
+	rows, cols int
+	r, c       []int
+	v          []float64
+}
+
+// NewBuilder returns an empty triplet builder for a rows-by-cols matrix.
+func NewBuilder(rows, cols int) *Builder {
+	if rows < 0 || cols < 0 {
+		panic("sparse: negative dimension")
+	}
+	return &Builder{rows: rows, cols: cols}
+}
+
+// Add accumulates v at position (i, j).
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) outside %dx%d matrix", i, j, b.rows, b.cols))
+	}
+	b.r = append(b.r, i)
+	b.c = append(b.c, j)
+	b.v = append(b.v, v)
+}
+
+// AddSym accumulates v at (i, j) and, when i != j, at (j, i). It is the
+// natural primitive for stamping two-terminal branch elements into a
+// symmetric nodal matrix.
+func (b *Builder) AddSym(i, j int, v float64) {
+	b.Add(i, j, v)
+	if i != j {
+		b.Add(j, i, v)
+	}
+}
+
+// NNZ returns the number of accumulated triplets (before duplicate
+// summing).
+func (b *Builder) NNZ() int { return len(b.v) }
+
+// Build compresses the triplets into CSR form, summing duplicates and
+// dropping entries that sum to exactly zero. The builder remains usable
+// afterwards (its triplets are not consumed).
+func (b *Builder) Build() *CSR {
+	// Count entries per row, then bucket-place; duplicates are merged in a
+	// second pass once column indices are sorted within each row.
+	rowCount := make([]int, b.rows+1)
+	for _, i := range b.r {
+		rowCount[i+1]++
+	}
+	for i := 0; i < b.rows; i++ {
+		rowCount[i+1] += rowCount[i]
+	}
+	col := make([]int, len(b.v))
+	val := make([]float64, len(b.v))
+	next := make([]int, b.rows)
+	copy(next, rowCount[:b.rows])
+	for k, i := range b.r {
+		p := next[i]
+		col[p] = b.c[k]
+		val[p] = b.v[k]
+		next[i]++
+	}
+	// Sort each row by column and merge duplicates in place.
+	rowPtr := make([]int, b.rows+1)
+	dst := 0
+	for i := 0; i < b.rows; i++ {
+		rowPtr[i] = dst
+		lo, hi := rowCount[i], rowCount[i+1]
+		seg := rowSeg{col: col[lo:hi], val: val[lo:hi]}
+		sort.Sort(seg)
+		for p := lo; p < hi; {
+			j := col[p]
+			sum := 0.0
+			for p < hi && col[p] == j {
+				sum += val[p]
+				p++
+			}
+			if sum != 0 {
+				col[dst] = j
+				val[dst] = sum
+				dst++
+			}
+		}
+	}
+	rowPtr[b.rows] = dst
+	return &CSR{Rows: b.rows, Cols: b.cols, RowPtr: rowPtr, Col: col[:dst:dst], Val: val[:dst:dst]}
+}
+
+type rowSeg struct {
+	col []int
+	val []float64
+}
+
+func (s rowSeg) Len() int           { return len(s.col) }
+func (s rowSeg) Less(i, j int) bool { return s.col[i] < s.col[j] }
+func (s rowSeg) Swap(i, j int) {
+	s.col[i], s.col[j] = s.col[j], s.col[i]
+	s.val[i], s.val[j] = s.val[j], s.val[i]
+}
+
+// CSR is a compressed-sparse-row matrix. Column indices within each row
+// are sorted strictly increasing and carry no duplicates.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	Col        []int
+	Val        []float64
+}
+
+// Zero returns an empty rows-by-cols matrix.
+func Zero(rows, cols int) *CSR {
+	return &CSR{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *CSR {
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 1)
+	}
+	return b.Build()
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Val) }
+
+// Clone returns a deep copy of a.
+func (a *CSR) Clone() *CSR {
+	c := &CSR{
+		Rows: a.Rows, Cols: a.Cols,
+		RowPtr: append([]int(nil), a.RowPtr...),
+		Col:    append([]int(nil), a.Col...),
+		Val:    append([]float64(nil), a.Val...),
+	}
+	return c
+}
+
+// At returns the (i, j) entry (zero when not stored) by binary search
+// within row i.
+func (a *CSR) At(i, j int) float64 {
+	if i < 0 || i >= a.Rows || j < 0 || j >= a.Cols {
+		panic("sparse: At index out of range")
+	}
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	p := lo + sort.SearchInts(a.Col[lo:hi], j)
+	if p < hi && a.Col[p] == j {
+		return a.Val[p]
+	}
+	return 0
+}
+
+// Row returns the column indices and values of row i as sub-slices of the
+// backing storage; the caller must not modify the indices.
+func (a *CSR) Row(i int) (cols []int, vals []float64) {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	return a.Col[lo:hi], a.Val[lo:hi]
+}
+
+// Scale multiplies every stored entry by f in place.
+func (a *CSR) Scale(f float64) {
+	for i := range a.Val {
+		a.Val[i] *= f
+	}
+}
+
+// MulVec computes dst = A x. dst and x must not alias.
+func (a *CSR) MulVec(dst, x []float64) {
+	if len(x) != a.Cols || len(dst) != a.Rows {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			s += a.Val[p] * x[a.Col[p]]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecT computes dst = Aᵀ x (dst has length Cols). dst and x must not
+// alias.
+func (a *CSR) MulVecT(dst, x []float64) {
+	if len(x) != a.Rows || len(dst) != a.Cols {
+		panic("sparse: MulVecT dimension mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			dst[a.Col[p]] += a.Val[p] * xi
+		}
+	}
+}
+
+// AddMulVec computes dst += alpha * A x.
+func (a *CSR) AddMulVec(dst []float64, alpha float64, x []float64) {
+	if len(x) != a.Cols || len(dst) != a.Rows {
+		panic("sparse: AddMulVec dimension mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			s += a.Val[p] * x[a.Col[p]]
+		}
+		dst[i] += alpha * s
+	}
+}
+
+// Transpose returns Aᵀ as a new CSR matrix.
+func (a *CSR) Transpose() *CSR {
+	t := &CSR{Rows: a.Cols, Cols: a.Rows}
+	t.RowPtr = make([]int, a.Cols+1)
+	for _, j := range a.Col {
+		t.RowPtr[j+1]++
+	}
+	for j := 0; j < a.Cols; j++ {
+		t.RowPtr[j+1] += t.RowPtr[j]
+	}
+	t.Col = make([]int, len(a.Col))
+	t.Val = make([]float64, len(a.Val))
+	next := make([]int, a.Cols)
+	copy(next, t.RowPtr[:a.Cols])
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.Col[p]
+			q := next[j]
+			t.Col[q] = i
+			t.Val[q] = a.Val[p]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// Add returns alpha*A + beta*B. A and B must have identical shape.
+func Add(alpha float64, a *CSR, beta float64, b *CSR) *CSR {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("sparse: Add shape mismatch")
+	}
+	out := &CSR{Rows: a.Rows, Cols: a.Cols}
+	out.RowPtr = make([]int, a.Rows+1)
+	out.Col = make([]int, 0, a.NNZ()+b.NNZ())
+	out.Val = make([]float64, 0, a.NNZ()+b.NNZ())
+	for i := 0; i < a.Rows; i++ {
+		pa, ea := a.RowPtr[i], a.RowPtr[i+1]
+		pb, eb := b.RowPtr[i], b.RowPtr[i+1]
+		for pa < ea || pb < eb {
+			var j int
+			var v float64
+			switch {
+			case pb >= eb || (pa < ea && a.Col[pa] < b.Col[pb]):
+				j, v = a.Col[pa], alpha*a.Val[pa]
+				pa++
+			case pa >= ea || b.Col[pb] < a.Col[pa]:
+				j, v = b.Col[pb], beta*b.Val[pb]
+				pb++
+			default:
+				j, v = a.Col[pa], alpha*a.Val[pa]+beta*b.Val[pb]
+				pa++
+				pb++
+			}
+			if v != 0 {
+				out.Col = append(out.Col, j)
+				out.Val = append(out.Val, v)
+			}
+		}
+		out.RowPtr[i+1] = len(out.Col)
+	}
+	return out
+}
+
+// PermuteSym returns B with B[i][j] = A[perm[i]][perm[j]]; perm maps new
+// index to old index and must be a permutation of 0..n-1. A must be
+// square.
+func (a *CSR) PermuteSym(perm []int) *CSR {
+	if a.Rows != a.Cols {
+		panic("sparse: PermuteSym requires a square matrix")
+	}
+	n := a.Rows
+	if len(perm) != n {
+		panic("sparse: PermuteSym permutation length mismatch")
+	}
+	inv := InversePerm(perm)
+	b := NewBuilder(n, n)
+	for iOld := 0; iOld < n; iOld++ {
+		iNew := inv[iOld]
+		for p := a.RowPtr[iOld]; p < a.RowPtr[iOld+1]; p++ {
+			b.Add(iNew, inv[a.Col[p]], a.Val[p])
+		}
+	}
+	return b.Build()
+}
+
+// PermuteRows returns B with row i of B equal to row perm[i] of A.
+func (a *CSR) PermuteRows(perm []int) *CSR {
+	if len(perm) != a.Rows {
+		panic("sparse: PermuteRows permutation length mismatch")
+	}
+	out := &CSR{Rows: a.Rows, Cols: a.Cols}
+	out.RowPtr = make([]int, a.Rows+1)
+	for i, iOld := range perm {
+		out.RowPtr[i+1] = out.RowPtr[i] + (a.RowPtr[iOld+1] - a.RowPtr[iOld])
+	}
+	out.Col = make([]int, out.RowPtr[a.Rows])
+	out.Val = make([]float64, out.RowPtr[a.Rows])
+	for i, iOld := range perm {
+		copy(out.Col[out.RowPtr[i]:], a.Col[a.RowPtr[iOld]:a.RowPtr[iOld+1]])
+		copy(out.Val[out.RowPtr[i]:], a.Val[a.RowPtr[iOld]:a.RowPtr[iOld+1]])
+	}
+	return out
+}
+
+// Submatrix extracts the block with the given (ordered) row and column
+// index sets. Index sets need not be contiguous; they must be strictly
+// increasing for the result to keep sorted rows.
+func (a *CSR) Submatrix(rows, cols []int) *CSR {
+	colMap := make(map[int]int, len(cols))
+	for k, j := range cols {
+		if k > 0 && cols[k-1] >= j {
+			panic("sparse: Submatrix column set must be strictly increasing")
+		}
+		colMap[j] = k
+	}
+	b := NewBuilder(len(rows), len(cols))
+	for k, i := range rows {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if jNew, ok := colMap[a.Col[p]]; ok {
+				b.Add(k, jNew, a.Val[p])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// IsSymmetric reports whether A equals its transpose within tol on each
+// entry (relative to the larger magnitude of the pair).
+func (a *CSR) IsSymmetric(tol float64) bool {
+	if a.Rows != a.Cols {
+		return false
+	}
+	t := a.Transpose()
+	if t.NNZ() != a.NNZ() {
+		return false
+	}
+	for i := 0; i <= a.Rows; i++ {
+		if t.RowPtr[i] != a.RowPtr[i] {
+			return false
+		}
+	}
+	for p := range a.Col {
+		if a.Col[p] != t.Col[p] {
+			return false
+		}
+		d := a.Val[p] - t.Val[p]
+		m := maxAbs(a.Val[p], t.Val[p])
+		if m == 0 {
+			continue
+		}
+		if d < 0 {
+			d = -d
+		}
+		if d > tol*m {
+			return false
+		}
+	}
+	return true
+}
+
+func maxAbs(a, b float64) float64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PatternUnion returns a matrix with the union of the patterns of A and B
+// and values alpha*A + beta*B, keeping entries even when the sum is zero.
+// It is used to build the symbolic pattern for factorizations of D + sE
+// that must be valid for every s.
+func PatternUnion(a, b *CSR) *CSR {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("sparse: PatternUnion shape mismatch")
+	}
+	out := &CSR{Rows: a.Rows, Cols: a.Cols}
+	out.RowPtr = make([]int, a.Rows+1)
+	for i := 0; i < a.Rows; i++ {
+		pa, ea := a.RowPtr[i], a.RowPtr[i+1]
+		pb, eb := b.RowPtr[i], b.RowPtr[i+1]
+		for pa < ea || pb < eb {
+			var j int
+			var v float64
+			switch {
+			case pb >= eb || (pa < ea && a.Col[pa] < b.Col[pb]):
+				j, v = a.Col[pa], a.Val[pa]
+				pa++
+			case pa >= ea || b.Col[pb] < a.Col[pa]:
+				j, v = b.Col[pb], b.Val[pb]
+				pb++
+			default:
+				j, v = a.Col[pa], a.Val[pa]+b.Val[pb]
+				pa++
+				pb++
+			}
+			out.Col = append(out.Col, j)
+			out.Val = append(out.Val, v)
+		}
+		out.RowPtr[i+1] = len(out.Col)
+	}
+	return out
+}
+
+// InversePerm returns q with q[perm[i]] = i.
+func InversePerm(perm []int) []int {
+	inv := make([]int, len(perm))
+	for i := range inv {
+		inv[i] = -1
+	}
+	for i, p := range perm {
+		if p < 0 || p >= len(perm) || inv[p] != -1 {
+			panic("sparse: invalid permutation")
+		}
+		inv[p] = i
+	}
+	return inv
+}
+
+// IdentityPerm returns the identity permutation of length n.
+func IdentityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Dot returns xᵀy.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("sparse: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	// Two-pass scaling keeps the computation safe against overflow for the
+	// extreme susceptance scales (1e-15 F) seen in RC decks.
+	maxv := 0.0
+	for _, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if maxv == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		r := v / maxv
+		s += r * r
+	}
+	return maxv * math.Sqrt(s)
+}

@@ -1,0 +1,414 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderSumsDuplicates(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 2)
+	b.Add(2, 1, -4)
+	b.Add(2, 1, 4) // cancels to zero and must be dropped
+	b.Add(1, 2, 5)
+	a := b.Build()
+	if got := a.At(0, 0); got != 3 {
+		t.Errorf("At(0,0) = %v, want 3", got)
+	}
+	if got := a.At(2, 1); got != 0 {
+		t.Errorf("At(2,1) = %v, want 0 (cancelled)", got)
+	}
+	if got := a.At(1, 2); got != 5 {
+		t.Errorf("At(1,2) = %v, want 5", got)
+	}
+	if a.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2", a.NNZ())
+	}
+}
+
+func TestBuilderAddSym(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.AddSym(0, 1, -3)
+	b.AddSym(1, 1, 7)
+	a := b.Build()
+	if a.At(0, 1) != -3 || a.At(1, 0) != -3 {
+		t.Errorf("off-diagonals = %v, %v, want -3, -3", a.At(0, 1), a.At(1, 0))
+	}
+	if a.At(1, 1) != 7 {
+		t.Errorf("diagonal = %v, want 7 (AddSym must not double the diagonal)", a.At(1, 1))
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range entry")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}
+
+func randomCSR(rng *rand.Rand, rows, cols, nnz int) *CSR {
+	b := NewBuilder(rows, cols)
+	for k := 0; k < nnz; k++ {
+		b.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+	}
+	return b.Build()
+}
+
+func randomSymCSR(rng *rand.Rand, n, halfNNZ int) *CSR {
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 2+rng.Float64())
+	}
+	for k := 0; k < halfNNZ; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			b.AddSym(i, j, rng.NormFloat64())
+		}
+	}
+	return b.Build()
+}
+
+func TestRowsSortedNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomCSR(rng, 20, 17, 200)
+	for i := 0; i < a.Rows; i++ {
+		cols, _ := a.Row(i)
+		for k := 1; k < len(cols); k++ {
+			if cols[k] <= cols[k-1] {
+				t.Fatalf("row %d not strictly sorted: %v", i, cols)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomCSR(rng, 15, 9, 60)
+	tt := a.Transpose().Transpose()
+	if !reflect.DeepEqual(a.Dense(), tt.Dense()) {
+		t.Fatal("transpose of transpose differs from original")
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomCSR(rng, 12, 8, 50)
+	d := a.Dense()
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := make([]float64, 12)
+	a.MulVec(got, x)
+	for i := 0; i < 12; i++ {
+		want := 0.0
+		for j := 0; j < 8; j++ {
+			want += d[i][j] * x[j]
+		}
+		if math.Abs(got[i]-want) > 1e-12 {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+	// Transposed product against the same dense reference.
+	y := make([]float64, 12)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	gotT := make([]float64, 8)
+	a.MulVecT(gotT, y)
+	for j := 0; j < 8; j++ {
+		want := 0.0
+		for i := 0; i < 12; i++ {
+			want += d[i][j] * y[i]
+		}
+		if math.Abs(gotT[j]-want) > 1e-12 {
+			t.Fatalf("MulVecT[%d] = %v, want %v", j, gotT[j], want)
+		}
+	}
+}
+
+func TestAddMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomCSR(rng, 7, 7, 30)
+	x := make([]float64, 7)
+	dst := make([]float64, 7)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		dst[i] = rng.NormFloat64()
+	}
+	want := make([]float64, 7)
+	copy(want, dst)
+	ax := make([]float64, 7)
+	a.MulVec(ax, x)
+	for i := range want {
+		want[i] += 2.5 * ax[i]
+	}
+	a.AddMulVec(dst, 2.5, x)
+	for i := range dst {
+		if math.Abs(dst[i]-want[i]) > 1e-12 {
+			t.Fatalf("AddMulVec[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestAddMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomCSR(rng, 10, 10, 40)
+	b := randomCSR(rng, 10, 10, 40)
+	c := Add(2, a, -1, b)
+	da, db, dc := a.Dense(), b.Dense(), c.Dense()
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			want := 2*da[i][j] - db[i][j]
+			if math.Abs(dc[i][j]-want) > 1e-12 {
+				t.Fatalf("Add(%d,%d) = %v, want %v", i, j, dc[i][j], want)
+			}
+		}
+	}
+}
+
+func TestPermuteSym(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomSymCSR(rng, 9, 20)
+	perm := rng.Perm(9)
+	b := a.PermuteSym(perm)
+	da, db := a.Dense(), b.Dense()
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			if db[i][j] != da[perm[i]][perm[j]] {
+				t.Fatalf("PermuteSym(%d,%d) = %v, want %v", i, j, db[i][j], da[perm[i]][perm[j]])
+			}
+		}
+	}
+	if !b.IsSymmetric(0) {
+		t.Fatal("symmetric permutation of a symmetric matrix must stay symmetric")
+	}
+}
+
+func TestPermuteRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomCSR(rng, 6, 4, 15)
+	perm := rng.Perm(6)
+	b := a.PermuteRows(perm)
+	da, db := a.Dense(), b.Dense()
+	for i := 0; i < 6; i++ {
+		if !reflect.DeepEqual(db[i], da[perm[i]]) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomCSR(rng, 8, 8, 30)
+	rows := []int{1, 3, 6}
+	cols := []int{0, 2, 5, 7}
+	s := a.Submatrix(rows, cols)
+	da, ds := a.Dense(), s.Dense()
+	for i, io := range rows {
+		for j, jo := range cols {
+			if ds[i][j] != da[io][jo] {
+				t.Fatalf("Submatrix(%d,%d) = %v, want %v", i, j, ds[i][j], da[io][jo])
+			}
+		}
+	}
+}
+
+func TestCSCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomCSR(rng, 11, 13, 70)
+	back := a.ToCSC().ToCSR()
+	if !reflect.DeepEqual(a.Dense(), back.Dense()) {
+		t.Fatal("CSR -> CSC -> CSR round trip changed the matrix")
+	}
+}
+
+func TestTriangleExtraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomSymCSR(rng, 10, 25)
+	up := a.UpperCSC()
+	lo := a.LowerCSC()
+	d := a.Dense()
+	for j := 0; j < 10; j++ {
+		for p := up.ColPtr[j]; p < up.ColPtr[j+1]; p++ {
+			i := up.Row[p]
+			if i > j {
+				t.Fatalf("UpperCSC has subdiagonal entry (%d,%d)", i, j)
+			}
+			if up.Val[p] != d[i][j] {
+				t.Fatalf("UpperCSC value (%d,%d) = %v, want %v", i, j, up.Val[p], d[i][j])
+			}
+		}
+		for p := lo.ColPtr[j]; p < lo.ColPtr[j+1]; p++ {
+			i := lo.Row[p]
+			if i < j {
+				t.Fatalf("LowerCSC has superdiagonal entry (%d,%d)", i, j)
+			}
+			if lo.Val[p] != d[i][j] {
+				t.Fatalf("LowerCSC value (%d,%d) = %v, want %v", i, j, lo.Val[p], d[i][j])
+			}
+		}
+	}
+	// Entry counts of the two triangles must cover the matrix exactly once
+	// (diagonal counted twice).
+	diag := 0
+	for i := 0; i < 10; i++ {
+		if a.At(i, i) != 0 {
+			diag++
+		}
+	}
+	if up.NNZ()+lo.NNZ() != a.NNZ()+diag {
+		t.Fatalf("triangle NNZ %d+%d inconsistent with full %d (+%d diag)", up.NNZ(), lo.NNZ(), a.NNZ(), diag)
+	}
+}
+
+func TestTriangularSolves(t *testing.T) {
+	// Build a well-conditioned lower-triangular matrix and verify both
+	// solves against a known solution.
+	rng := rand.New(rand.NewSource(11))
+	n := 25
+	b := NewBuilder(n, n)
+	for j := 0; j < n; j++ {
+		b.Add(j, j, 2+rng.Float64())
+		for k := 0; k < 3; k++ {
+			i := j + 1 + rng.Intn(n-j)
+			if i < n {
+				b.Add(i, j, 0.3*rng.NormFloat64())
+			}
+		}
+	}
+	l := b.Build().ToCSC()
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	// Forward solve: rhs = L * want.
+	lcsr := l.ToCSR()
+	rhs := make([]float64, n)
+	lcsr.MulVec(rhs, want)
+	LowerSolveCSC(l, rhs)
+	for i := range want {
+		if math.Abs(rhs[i]-want[i]) > 1e-10 {
+			t.Fatalf("LowerSolveCSC[%d] = %v, want %v", i, rhs[i], want[i])
+		}
+	}
+	// Transposed solve: rhs = Lᵀ * want.
+	ltr := lcsr.Transpose()
+	rhs2 := make([]float64, n)
+	ltr.MulVec(rhs2, want)
+	LowerTransposeSolveCSC(l, rhs2)
+	for i := range want {
+		if math.Abs(rhs2[i]-want[i]) > 1e-10 {
+			t.Fatalf("LowerTransposeSolveCSC[%d] = %v, want %v", i, rhs2[i], want[i])
+		}
+	}
+}
+
+func TestInversePerm(t *testing.T) {
+	perm := []int{2, 0, 3, 1}
+	inv := InversePerm(perm)
+	for i, p := range perm {
+		if inv[p] != i {
+			t.Fatalf("inv[%d] = %d, want %d", p, inv[p], i)
+		}
+	}
+}
+
+func TestInversePermRejectsInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicated permutation entry")
+		}
+	}()
+	InversePerm([]int{0, 0, 1})
+}
+
+func TestPatternUnionKeepsZeros(t *testing.T) {
+	a := FromDense([][]float64{{1, 0}, {0, 2}})
+	b := FromDense([][]float64{{-1, 3}, {0, 0}})
+	u := PatternUnion(a, b)
+	// (0,0) sums to zero but the position must stay in the pattern.
+	if u.RowPtr[1]-u.RowPtr[0] != 2 {
+		t.Fatalf("row 0 of union has %d entries, want 2", u.RowPtr[1]-u.RowPtr[0])
+	}
+	if u.At(0, 1) != 3 || u.At(1, 1) != 2 {
+		t.Fatal("union values wrong")
+	}
+}
+
+func TestNorm2Extremes(t *testing.T) {
+	if got := Norm2([]float64{3e-200, 4e-200}); math.Abs(got-5e-200) > 1e-210 {
+		t.Errorf("Norm2 tiny = %v, want 5e-200", got)
+	}
+	if got := Norm2([]float64{3e200, 4e200}); math.Abs(got/5e200-1) > 1e-12 {
+		t.Errorf("Norm2 huge = %v, want 5e200", got)
+	}
+	if Norm2(nil) != 0 {
+		t.Error("Norm2(nil) != 0")
+	}
+}
+
+// Property: (AᵀB x) computed two ways agrees, i.e. MulVecT is the true
+// adjoint of MulVec with respect to the Euclidean inner product.
+func TestAdjointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 1 + r.Intn(12)
+		cols := 1 + r.Intn(12)
+		a := randomCSR(r, rows, cols, rows*cols/2+1)
+		x := make([]float64, cols)
+		y := make([]float64, rows)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		for i := range y {
+			y[i] = r.NormFloat64()
+		}
+		ax := make([]float64, rows)
+		a.MulVec(ax, x)
+		aty := make([]float64, cols)
+		a.MulVecT(aty, y)
+		lhs := Dot(ax, y)
+		rhs := Dot(x, aty)
+		scale := math.Max(math.Abs(lhs), 1)
+		return math.Abs(lhs-rhs) <= 1e-10*scale
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PermuteSym preserves the sorted multiset of eigenvalue-free
+// invariants we can check cheaply: trace and Frobenius norm.
+func TestPermuteSymInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		a := randomSymCSR(r, n, 2*n)
+		perm := r.Perm(n)
+		b := a.PermuteSym(perm)
+		traceA, traceB, frobA, frobB := 0.0, 0.0, 0.0, 0.0
+		for i := 0; i < n; i++ {
+			traceA += a.At(i, i)
+			traceB += b.At(i, i)
+		}
+		for _, v := range a.Val {
+			frobA += v * v
+		}
+		for _, v := range b.Val {
+			frobB += v * v
+		}
+		return math.Abs(traceA-traceB) < 1e-12 && math.Abs(frobA-frobB) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,328 @@
+// Package stamp connects SPICE decks to the PACT matrix world: Extract
+// loads the RC elements of a deck into the partitioned conductance and
+// susceptance matrices (with automatic port detection, as in the RCFIT
+// flow of the paper's Figure 1), and Realize unstamps a reduced model
+// back into SPICE R and C cards.
+package stamp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/netlist"
+	"repro/internal/sparse"
+)
+
+// Extraction is the result of pulling the RC network out of a deck.
+type Extraction struct {
+	// Sys is the partitioned system (ports first).
+	Sys *core.System
+	// PortNames maps System port index to node name.
+	PortNames []string
+	// InternalNames maps System internal index to node name.
+	InternalNames []string
+	// RCElements are the extracted resistor/capacitor cards (to be
+	// replaced by the reduced network).
+	RCElements []netlist.Element
+	// OtherElements is everything else (sources, MOSFETs, ...).
+	OtherElements []netlist.Element
+	// DroppedElements are RC cards in components not connected to any
+	// port; they cannot affect the ports and are removed.
+	DroppedElements []netlist.Element
+}
+
+// Extract separates the RC network of a deck and stamps it into a
+// partitioned System. Following RCFIT, a node becomes a port when it is
+// connected to a resistor or capacitor and also to a device other than a
+// resistor or capacitor; ground is the implicit common node. ExtraPorts
+// lets the caller force nodes (e.g. observation points) to be ports.
+func Extract(deck *netlist.Deck, extraPorts ...string) (*Extraction, error) {
+	ex := &Extraction{}
+	touchRC := map[string]bool{}
+	touchOther := map[string]bool{}
+	for _, e := range deck.Elements {
+		switch e.(type) {
+		case *netlist.Resistor, *netlist.Capacitor:
+			ex.RCElements = append(ex.RCElements, e)
+			for _, n := range e.Nodes() {
+				touchRC[n] = true
+			}
+		default:
+			ex.OtherElements = append(ex.OtherElements, e)
+			for _, n := range e.Nodes() {
+				touchOther[n] = true
+			}
+		}
+	}
+	force := map[string]bool{}
+	for _, p := range extraPorts {
+		force[p] = true
+	}
+	// Node order: first appearance among RC elements; ports first.
+	index := map[string]int{}
+	var portNames, internalNames []string
+	for _, e := range ex.RCElements {
+		for _, n := range e.Nodes() {
+			if n == netlist.Ground {
+				continue
+			}
+			if _, seen := index[n]; seen {
+				continue
+			}
+			index[n] = -1 // placeholder
+			if touchOther[n] || force[n] {
+				portNames = append(portNames, n)
+			} else {
+				internalNames = append(internalNames, n)
+			}
+		}
+	}
+	for _, p := range extraPorts {
+		if _, seen := index[p]; !seen {
+			return nil, fmt.Errorf("stamp: requested port %q does not touch the RC network", p)
+		}
+	}
+	// Drop RC components not reachable from any port or ground. Union-find
+	// over RC nodes, with ground and every port in one "anchored" group.
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+	for _, n := range portNames {
+		union(n, netlist.Ground)
+	}
+	for _, e := range ex.RCElements {
+		ns := e.Nodes()
+		union(ns[0], ns[1])
+	}
+	anchored := find(netlist.Ground)
+	var kept []netlist.Element
+	for _, e := range ex.RCElements {
+		if find(e.Nodes()[0]) == anchored {
+			kept = append(kept, e)
+		} else {
+			ex.DroppedElements = append(ex.DroppedElements, e)
+		}
+	}
+	ex.RCElements = kept
+	keepInternal := internalNames[:0]
+	for _, n := range internalNames {
+		if find(n) == anchored {
+			keepInternal = append(keepInternal, n)
+		} else {
+			delete(index, n)
+		}
+	}
+	internalNames = keepInternal
+
+	m, n := len(portNames), len(internalNames)
+	for i, name := range portNames {
+		index[name] = i
+	}
+	for i, name := range internalNames {
+		index[name] = m + i
+	}
+	gb := sparse.NewBuilder(m+n, m+n)
+	cb := sparse.NewBuilder(m+n, m+n)
+	for _, e := range ex.RCElements {
+		var b *sparse.Builder
+		var val float64
+		switch el := e.(type) {
+		case *netlist.Resistor:
+			if el.Value <= 0 {
+				return nil, fmt.Errorf("stamp: resistor %s has non-positive value %g (network must be passive)", el.Ident, el.Value)
+			}
+			b, val = gb, 1/el.Value
+		case *netlist.Capacitor:
+			if el.Value < 0 {
+				return nil, fmt.Errorf("stamp: capacitor %s has negative value %g (network must be passive)", el.Ident, el.Value)
+			}
+			b, val = cb, el.Value
+		}
+		ns := e.Nodes()
+		i, iOK := index[ns[0]]
+		j, jOK := index[ns[1]]
+		isGndI := ns[0] == netlist.Ground
+		isGndJ := ns[1] == netlist.Ground
+		if isGndI && isGndJ {
+			continue // both terminals grounded: no effect
+		}
+		switch {
+		case isGndI:
+			b.Add(j, j, val)
+		case isGndJ:
+			b.Add(i, i, val)
+		default:
+			if !iOK || !jOK {
+				return nil, fmt.Errorf("stamp: internal error, unindexed node on %s", e.Name())
+			}
+			if i == j {
+				continue // element shorted on one node
+			}
+			b.Add(i, i, val)
+			b.Add(j, j, val)
+			b.AddSym(i, j, -val)
+		}
+	}
+	g, c := gb.Build(), cb.Build()
+	ports := make([]int, m)
+	for i := range ports {
+		ports[i] = i
+	}
+	sys, err := core.Partition(g, c, ports)
+	if err != nil {
+		return nil, err
+	}
+	ex.Sys = sys
+	ex.PortNames = portNames
+	ex.InternalNames = internalNames
+	return ex, nil
+}
+
+// RealizeOptions configures unstamping.
+type RealizeOptions struct {
+	// Prefix names the generated elements and internal nodes (default
+	// "pact").
+	Prefix string
+	// SparsifyTol is the relative threshold of the RCFIT
+	// sparsity-enhancement heuristic applied to the realized matrices
+	// before unstamping (0 disables it).
+	SparsifyTol float64
+	// DropTol removes realized elements whose conductance/capacitance is
+	// below DropTol times the largest diagonal (default 1e-13): numerical
+	// noise that would otherwise bloat the deck.
+	DropTol float64
+}
+
+// Realize unstamps a reduced model into SPICE R and C cards. Port i of
+// the model connects to portNames[i]; each retained pole becomes one
+// internal node named <prefix>_i<p>. Off-diagonal entries of the reduced
+// matrices may be positive, in which case the corresponding branch
+// element has a negative value — legal in SPICE, and harmless here
+// because the matrices (hence the network) remain non-negative definite.
+func Realize(model *core.ReducedModel, portNames []string, opts RealizeOptions) ([]netlist.Element, []string, error) {
+	if len(portNames) != model.M {
+		return nil, nil, fmt.Errorf("stamp: %d port names for %d ports", len(portNames), model.M)
+	}
+	if opts.Prefix == "" {
+		opts.Prefix = "pact"
+	}
+	if opts.DropTol == 0 {
+		opts.DropTol = 1e-13
+	}
+	g, c := model.Matrices()
+	if opts.SparsifyTol > 0 {
+		core.Sparsify(g, opts.SparsifyTol)
+		core.Sparsify(c, opts.SparsifyTol)
+	}
+	names := append([]string(nil), portNames...)
+	var internal []string
+	for p := 0; p < model.K(); p++ {
+		nm := fmt.Sprintf("%s_i%d", opts.Prefix, p+1)
+		names = append(names, nm)
+		internal = append(internal, nm)
+	}
+	var out []netlist.Element
+	rIdx, cIdx := 0, 0
+	emit := func(mat *dense.Mat, isG bool) {
+		n := mat.R
+		scale := 0.0
+		for i := 0; i < n; i++ {
+			if d := math.Abs(mat.At(i, i)); d > scale {
+				scale = d
+			}
+		}
+		thresh := opts.DropTol * scale
+		for i := 0; i < n; i++ {
+			// Branch elements from off-diagonals.
+			for j := i + 1; j < n; j++ {
+				v := mat.At(i, j)
+				if math.Abs(v) <= thresh {
+					continue
+				}
+				if isG {
+					rIdx++
+					out = append(out, &netlist.Resistor{
+						Ident: fmt.Sprintf("r%s%d", opts.Prefix, rIdx),
+						N1:    names[i], N2: names[j], Value: -1 / v,
+					})
+				} else {
+					cIdx++
+					out = append(out, &netlist.Capacitor{
+						Ident: fmt.Sprintf("c%s%d", opts.Prefix, cIdx),
+						N1:    names[i], N2: names[j], Value: -v,
+					})
+				}
+			}
+			// Element to ground from the diagonal surplus.
+			surplus := mat.At(i, i)
+			for j := 0; j < n; j++ {
+				if j != i {
+					surplus += mat.At(i, j)
+				}
+			}
+			if math.Abs(surplus) <= thresh {
+				continue
+			}
+			if isG {
+				rIdx++
+				out = append(out, &netlist.Resistor{
+					Ident: fmt.Sprintf("r%s%d", opts.Prefix, rIdx),
+					N1:    names[i], N2: netlist.Ground, Value: 1 / surplus,
+				})
+			} else {
+				cIdx++
+				out = append(out, &netlist.Capacitor{
+					Ident: fmt.Sprintf("c%s%d", opts.Prefix, cIdx),
+					N1:    names[i], N2: netlist.Ground, Value: surplus,
+				})
+			}
+		}
+	}
+	emit(g, true)
+	emit(c, false)
+	return out, internal, nil
+}
+
+// RealizeSubckt packages the realized reduced network as a .subckt
+// definition plus an instance card connecting it to the original port
+// nodes — the tidier form of rcfit output. The subcircuit's formal ports
+// are p1..pm; internal nodes carry the usual prefix.
+func RealizeSubckt(model *core.ReducedModel, portNames []string, opts RealizeOptions) (*netlist.Subckt, *netlist.XInstance, error) {
+	if opts.Prefix == "" {
+		opts.Prefix = "pact"
+	}
+	formal := make([]string, model.M)
+	for i := range formal {
+		formal[i] = fmt.Sprintf("p%d", i+1)
+	}
+	elems, _, err := Realize(model, formal, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub := &netlist.Subckt{
+		Ident:    opts.Prefix + "net",
+		Ports:    formal,
+		Elements: elems,
+	}
+	inst := &netlist.XInstance{
+		Ident:     "x" + opts.Prefix + "1",
+		NodeList:  append([]string(nil), portNames...),
+		SubcktRef: sub.Ident,
+	}
+	return sub, inst, nil
+}

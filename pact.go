@@ -1,0 +1,293 @@
+// Package pact is the public API of this repository: a Go implementation
+// of PACT — Pole Analysis via Congruence Transformations (Kerns & Yang,
+// DAC 1996) — for reducing large, multiport RC networks while preserving
+// passivity and absolute stability, together with the SPICE-in/SPICE-out
+// RCFIT flow built on top of it.
+//
+// Typical use mirrors RCFIT (Figure 1 of the paper):
+//
+//	deck, _ := pact.ParseString(spiceText)
+//	red, _ := pact.ReduceDeck(deck, pact.Options{FMax: 1e9, Tol: 0.05})
+//	fmt.Print(red.Deck)   // reduced SPICE netlist
+//
+// For matrix-level work (already-partitioned systems), use ReduceSystem,
+// which returns the reduced pole/residue model directly.
+package pact
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/cmplx"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/lanczos"
+	"repro/internal/netlist"
+	"repro/internal/order"
+	"repro/internal/stamp"
+)
+
+// Deck is a parsed SPICE netlist (see internal/netlist for the element
+// model).
+type Deck = netlist.Deck
+
+// System is a partitioned RC multiport: port blocks A, B, connection
+// blocks Q, R and internal blocks D, E.
+type System = core.System
+
+// Model is a reduced multiport admittance: Y(s) = A′ + sB′ − Σ s²rᵢᵀrᵢ/(1+sλᵢ).
+type Model = core.ReducedModel
+
+// ReduceStats reports the work done by a reduction.
+type ReduceStats = core.Stats
+
+// Ordering selects the fill-reducing ordering of the internal conductance
+// block.
+type Ordering = order.Method
+
+// Orderings re-exported for callers.
+const (
+	MinimumDegree = order.MinimumDegree
+	RCM           = order.RCM
+	NaturalOrder  = order.Natural
+)
+
+// LanczosMode selects the reorthogonalization strategy of the pole
+// analysis.
+type LanczosMode = lanczos.Mode
+
+// Lanczos modes re-exported for callers.
+const (
+	Selective  = lanczos.Selective
+	FullReorth = lanczos.Full
+	NoReorth   = lanczos.None
+)
+
+// Parse reads a SPICE deck.
+func Parse(r io.Reader) (*Deck, error) { return netlist.Parse(r) }
+
+// ParseString parses a SPICE deck held in a string.
+func ParseString(s string) (*Deck, error) { return netlist.ParseString(s) }
+
+// Options configures a reduction.
+type Options struct {
+	// FMax is the maximum frequency (Hz) at which the reduced network must
+	// match the original within Tol. Required.
+	FMax float64
+	// Tol is the relative error tolerance (default 0.05 = 5%, mapping to
+	// the paper's cutoff factor of 3.04).
+	Tol float64
+	// Ordering for the Cholesky of the internal conductance block
+	// (default minimum degree).
+	Ordering Ordering
+	// LanczosMode for the pole analysis (default Selective = LASO).
+	LanczosMode LanczosMode
+	// TwoPass selects the memory-minimal two-pass Lanczos.
+	TwoPass bool
+	// MaxPoles optionally caps the number of retained poles.
+	MaxPoles int
+	// ResiduePruneTol additionally drops retained poles whose worst-case
+	// contribution below FMax is smaller than this fraction of the
+	// admittance scale (0 disables). See core.Options.ResiduePruneTol.
+	ResiduePruneTol float64
+	// SparsifyTol enables the RCFIT sparsity-enhancement heuristic on the
+	// realized matrices (relative threshold; 0 disables).
+	SparsifyTol float64
+	// Prefix names generated elements and internal nodes (default
+	// "pact").
+	Prefix string
+	// ExtraPorts forces the given nodes to be treated as ports in
+	// addition to the automatically detected ones.
+	ExtraPorts []string
+	// Seed seeds the Lanczos starting vector (default 1); reductions are
+	// deterministic for a fixed seed.
+	Seed int64
+	// AsSubckt wraps the realized reduced network in a .subckt definition
+	// plus one instance, instead of splicing flat R/C cards into the deck.
+	AsSubckt bool
+}
+
+func (o Options) coreOptions() core.Options {
+	return core.Options{
+		FMax:        o.FMax,
+		Tol:         o.Tol,
+		Ordering:    o.Ordering,
+		LanczosMode: o.LanczosMode,
+		TwoPass:     o.TwoPass,
+		MaxPoles:    o.MaxPoles,
+		Seed:        o.Seed,
+
+		ResiduePruneTol: o.ResiduePruneTol,
+	}
+}
+
+// Reduction is the result of a SPICE-in/SPICE-out reduction.
+type Reduction struct {
+	// Deck is the rewritten netlist: all non-RC elements of the input
+	// followed by the realized reduced RC network.
+	Deck *Deck
+	// Model is the reduced multiport admittance model.
+	Model *Model
+	// Stats reports the reduction work.
+	Stats *ReduceStats
+	// PortNames lists the RC network port nodes in model order.
+	PortNames []string
+	// Sys is the extracted (unreduced) partitioned system, kept so
+	// callers can evaluate the exact admittance for verification.
+	Sys *System
+	// Original and reduced element counts (nodes exclude ground).
+	OriginalNodes, OriginalR, OriginalC int
+	ReducedNodes, ReducedR, ReducedC    int
+	// Elapsed is the wall-clock reduction time.
+	Elapsed time.Duration
+}
+
+// ReduceDeck runs the full RCFIT flow on a deck: extract the RC network
+// (ports are nodes touching both RC and non-RC elements, plus
+// ExtraPorts), reduce it with PACT, realize the reduced network as R/C
+// cards, and reassemble the deck.
+func ReduceDeck(deck *Deck, opts Options) (*Reduction, error) {
+	start := time.Now()
+	ex, err := stamp.Extract(deck, opts.ExtraPorts...)
+	if err != nil {
+		return nil, fmt.Errorf("pact: extract: %w", err)
+	}
+	model, stats, err := core.Reduce(ex.Sys, opts.coreOptions())
+	if err != nil {
+		return nil, fmt.Errorf("pact: reduce: %w", err)
+	}
+	ropts := stamp.RealizeOptions{Prefix: opts.Prefix, SparsifyTol: opts.SparsifyTol}
+	out := &netlist.Deck{
+		Title:    deck.Title + " (pact reduced)",
+		Models:   deck.Models,
+		Controls: append([]string(nil), deck.Controls...),
+	}
+	out.Elements = append(out.Elements, ex.OtherElements...)
+	if opts.AsSubckt {
+		sub, inst, err := stamp.RealizeSubckt(model, ex.PortNames, ropts)
+		if err != nil {
+			return nil, fmt.Errorf("pact: realize: %w", err)
+		}
+		out.Subckts = map[string]*netlist.Subckt{sub.Ident: sub}
+		out.Elements = append(out.Elements, inst)
+	} else {
+		elems, _, err := stamp.Realize(model, ex.PortNames, ropts)
+		if err != nil {
+			return nil, fmt.Errorf("pact: realize: %w", err)
+		}
+		out.Elements = append(out.Elements, elems...)
+	}
+
+	red := &Reduction{
+		Deck:      out,
+		Model:     model,
+		Stats:     stats,
+		PortNames: ex.PortNames,
+		Sys:       ex.Sys,
+		Elapsed:   time.Since(start),
+	}
+	red.OriginalNodes = len(deck.NodeNames())
+	red.OriginalR = len(deck.ElementsOfType('r'))
+	red.OriginalC = len(deck.ElementsOfType('c'))
+	red.ReducedNodes = len(out.NodeNames())
+	red.ReducedR = len(out.ElementsOfType('r'))
+	red.ReducedC = len(out.ElementsOfType('c'))
+	if opts.AsSubckt {
+		// Count the subcircuit body; the flat deck view sees only the
+		// instance card.
+		for _, sub := range out.Subckts {
+			for _, e := range sub.Elements {
+				switch e.Name()[0] {
+				case 'r':
+					red.ReducedR++
+				case 'c':
+					red.ReducedC++
+				}
+			}
+		}
+		red.ReducedNodes += model.K() // internal nodes live inside the subckt
+	}
+	return red, nil
+}
+
+// ReduceString is ReduceDeck on SPICE text, returning the reduced deck as
+// text — the complete SPICE-in, SPICE-out pipe.
+func ReduceString(spice string, opts Options) (string, *Reduction, error) {
+	deck, err := ParseString(spice)
+	if err != nil {
+		return "", nil, err
+	}
+	red, err := ReduceDeck(deck, opts)
+	if err != nil {
+		return "", nil, err
+	}
+	return red.Deck.String(), red, nil
+}
+
+// ReduceSystem reduces an already partitioned system, returning the
+// pole/residue model and statistics. This is the matrix-level entry point
+// for callers that stamp their own networks.
+func ReduceSystem(sys *System, opts Options) (*Model, *ReduceStats, error) {
+	return core.Reduce(sys, opts.coreOptions())
+}
+
+// CutoffFrequency returns the pole-selection cutoff f_c for a maximum
+// frequency and tolerance (f_c = 3.04·f_max at 5%).
+func CutoffFrequency(fmax, tol float64) float64 { return core.CutoffFrequency(fmax, tol) }
+
+// CMatrix is a dense complex matrix as returned by the Y(s) evaluators.
+type CMatrix = dense.CMat
+
+// SParams converts a multiport admittance matrix (from Model.Y or
+// System.Y) to scattering parameters with the given real reference
+// impedance: S = (I − z0·Y)(I + z0·Y)⁻¹.
+func SParams(y *CMatrix, z0 float64) (*CMatrix, error) { return core.SParams(y, z0) }
+
+// VerifyPoint is one sample of a reduction verification sweep.
+type VerifyPoint struct {
+	Freq   float64 // Hz
+	RelErr float64 // max-entry admittance error relative to the matrix scale
+}
+
+// Verify samples the reduced multiport admittance against the exact one
+// at n log-spaced frequencies from fmax/100 to fmax, returning the
+// relative error at each point. It is the "trust but verify" step of the
+// RCFIT flow (cmd/rcfit -verify).
+func (r *Reduction) Verify(fmax float64, n int) ([]VerifyPoint, error) {
+	if r.Sys == nil {
+		return nil, fmt.Errorf("pact: reduction carries no system to verify against")
+	}
+	if n < 1 {
+		n = 5
+	}
+	var out []VerifyPoint
+	for i := 0; i < n; i++ {
+		f := fmax * math.Pow(100, float64(i)/float64(n-1)-1)
+		if n == 1 {
+			f = fmax
+		}
+		s := complex(0, 2*math.Pi*f)
+		exact, err := r.Sys.Y(s)
+		if err != nil {
+			return nil, err
+		}
+		got := r.Model.Y(s)
+		scale := 0.0
+		maxd := 0.0
+		for k := range exact.Data {
+			if a := cmplx.Abs(exact.Data[k]); a > scale {
+				scale = a
+			}
+			if d := cmplx.Abs(got.Data[k] - exact.Data[k]); d > maxd {
+				maxd = d
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		out = append(out, VerifyPoint{Freq: f, RelErr: maxd / scale})
+	}
+	return out, nil
+}
