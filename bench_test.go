@@ -76,7 +76,10 @@ func BenchmarkAblationAWEStability(b *testing.B) { benchExperiment(b, "awe") }
 
 func meshSystem(b *testing.B) *core.System {
 	b.Helper()
-	deck, ports := netgen.Mesh3D(netgen.SmallMeshOpts())
+	deck, ports, err := netgen.Mesh3D(netgen.SmallMeshOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
 	ex, err := stamp.Extract(deck, ports...)
 	if err != nil {
 		b.Fatal(err)

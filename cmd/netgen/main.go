@@ -49,6 +49,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *nseg < 1 {
+		return fmt.Errorf("netgen: -nseg must be at least 1, got %d", *nseg)
+	}
+	if *rtot <= 0 || *ctot <= 0 {
+		return fmt.Errorf("netgen: -r and -c must be positive, got %g and %g", *rtot, *ctot)
+	}
+	if *stages < 1 || *fanout < 1 || *segs < 1 || *sideNets < 0 {
+		return fmt.Errorf("netgen: multiplier shape -stages=%d -fanout=%d -segs=%d -sidenets=%d invalid (positive counts, non-negative side nets)",
+			*stages, *fanout, *segs, *sideNets)
+	}
 
 	var deck *netlist.Deck
 	switch *kind {
@@ -59,7 +69,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case "mesh":
 		o := netgen.MeshOpts{NX: *nx, NY: *ny, NZ: *nz, REdge: *redge, CSurf: *csurf, NPorts: *ports}
 		var portNames []string
-		deck, portNames = netgen.Mesh3D(o)
+		var err error
+		deck, portNames, err = netgen.Mesh3D(o)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(stderr, "netgen: port nodes: %v\n", portNames)
 	case "adder":
 		o := netgen.MeshOpts{NX: *nx, NY: *ny, NZ: *nz, REdge: *redge, CSurf: *csurf, NPorts: *ports}

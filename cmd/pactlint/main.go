@@ -1,0 +1,107 @@
+// Command pactlint runs the repository's domain-aware static analysis
+// (see internal/lint) over the module: float-equality misuse, dropped
+// factorization errors, panic- and exit-policy violations, and
+// per-iteration allocation in the hot reduction loops.
+//
+// Usage:
+//
+//	pactlint ./...            # analyze every package in the module
+//	pactlint ./internal/core  # analyze specific package directories
+//	pactlint -rules           # list the registered rules
+//
+// Findings print as file:line:col with a rule ID and a fix hint, and the
+// exit code is 1 when anything is found. Suppress an individual finding
+// with a trailing or preceding-line comment:
+//
+//	//lint:ignore <rule> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pactlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("pactlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tags := fs.String("tags", "", "comma-separated build tags to enable (e.g. pactcheck)")
+	listRules := fs.Bool("rules", false, "list registered rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *listRules {
+		for _, r := range lint.Registry {
+			fmt.Fprintf(stdout, "%-12s %s\n", r.ID, r.Doc)
+		}
+		return 0, nil
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return 2, err
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		return 2, err
+	}
+	var buildTags []string
+	if *tags != "" {
+		buildTags = strings.Split(*tags, ",")
+	}
+	loader, err := lint.NewLoader(root, buildTags...)
+	if err != nil {
+		return 2, err
+	}
+
+	targets := fs.Args()
+	if len(targets) == 0 {
+		targets = []string{"./..."}
+	}
+	var pkgs []*lint.Package
+	for _, t := range targets {
+		switch {
+		case t == "./..." || t == "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				return 2, err
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			p, err := loader.LoadDir(strings.TrimSuffix(t, "/"))
+			if err != nil {
+				return 2, err
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+	seen := map[string]bool{}
+	count := 0
+	for _, p := range pkgs {
+		if seen[p.Path] {
+			continue
+		}
+		seen[p.Path] = true
+		for _, d := range lint.Run(p, lint.Registry) {
+			fmt.Fprintln(stdout, d)
+			count++
+		}
+	}
+	if count > 0 {
+		fmt.Fprintf(stderr, "pactlint: %d finding(s)\n", count)
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The test binary runs with cwd = this package's source directory, so
+// run() resolves the real module root — these are end-to-end runs of the
+// tool over the actual repository.
+
+func TestRunListRules(t *testing.T) {
+	var out, errb bytes.Buffer
+	code, err := run([]string{"-rules"}, &out, &errb)
+	if err != nil || code != 0 {
+		t.Fatalf("run(-rules) = %d, %v", code, err)
+	}
+	for _, id := range []string{"floatcmp", "checkerr", "panicpolicy", "defersmell", "exitpolicy"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("rule listing missing %q:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSinglePackageClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	code, err := run([]string{"../../internal/dense"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d on internal/dense:\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+func TestRunFlagsFixture(t *testing.T) {
+	var out, errb bytes.Buffer
+	code, err := run([]string{"./testdata/bad"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit %d on known-bad fixture, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "floatcmp") {
+		t.Errorf("expected a floatcmp finding:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Errorf("expected a findings summary on stderr, got %q", errb.String())
+	}
+}
+
+func TestRunUnknownDir(t *testing.T) {
+	var out, errb bytes.Buffer
+	code, err := run([]string{"./no/such/dir"}, &out, &errb)
+	if err == nil || code != 2 {
+		t.Fatalf("run on missing dir = %d, %v; want code 2 and an error", code, err)
+	}
+}

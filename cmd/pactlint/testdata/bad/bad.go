@@ -1,0 +1,9 @@
+// Package bad is a deliberately lint-dirty fixture for pactlint's own
+// tests. It is under testdata/ so the go tool never builds it, but
+// pactlint can still be pointed at the directory explicitly.
+package bad
+
+// Equalish trips the floatcmp rule.
+func Equalish(a, b float64) bool {
+	return a == b
+}

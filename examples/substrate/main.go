@@ -20,7 +20,10 @@ import (
 )
 
 func main() {
-	deck, ports := netgen.Mesh3D(netgen.SmallMeshOpts())
+	deck, ports, err := netgen.Mesh3D(netgen.SmallMeshOpts())
+	if err != nil {
+		log.Fatal(err)
+	}
 	ex, err := stamp.Extract(deck, ports...)
 	if err != nil {
 		log.Fatal(err)

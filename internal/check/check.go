@@ -1,0 +1,33 @@
+// Package check is the runtime invariant layer of the PACT pipeline. The
+// reduction's correctness rests on a small set of structural facts — the
+// stamped matrices are symmetric, the congruence-transformed port blocks
+// stay symmetric and non-negative definite, retained poles are real and
+// negative, the realized reduced network is passive — and this package
+// turns each of them into an executable assertion.
+//
+// The checks are compiled out by default: every function is a no-op stub
+// and Enabled is a false constant, so call sites guarded by
+//
+//	if check.Enabled { check.NonNegDef(...) }
+//
+// cost nothing in release builds. Building with
+//
+//	go build -tags pactcheck ./...
+//	go test  -tags pactcheck ./...
+//
+// swaps in the real implementations, which panic with a "check: ..."
+// message naming the violated invariant. The panics are deliberate:
+// an invariant violation is a bug in the reduction code (or a broken
+// congruence), never a recoverable input condition.
+package check
+
+// DefaultTol is the relative tolerance used by the pipeline's invariant
+// call sites: symmetry and definiteness violations smaller than
+// DefaultTol times the matrix scale are attributed to roundoff.
+const DefaultTol = 1e-7
+
+// OrthTol is the pairwise orthonormality tolerance for converged Ritz
+// bases. It is looser than DefaultTol because selective
+// reorthogonalization only maintains semi-orthogonality (≈√ε) between
+// unconverged Lanczos vectors.
+const OrthTol = 1e-6

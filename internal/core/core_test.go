@@ -129,6 +129,7 @@ func cNorm(y *dense.CMat) float64 {
 }
 
 func TestPartitionFullRoundTrip(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(51))
 	g, c := randomRC(rng, 12)
 	sys, err := Partition(g, c, []int{0, 3, 7})
@@ -155,6 +156,7 @@ func TestPartitionFullRoundTrip(t *testing.T) {
 }
 
 func TestPartitionRejectsBadPorts(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(52))
 	g, c := randomRC(rng, 5)
 	if _, err := Partition(g, c, []int{0, 0}); err == nil {
@@ -166,6 +168,7 @@ func TestPartitionRejectsBadPorts(t *testing.T) {
 }
 
 func TestYAgainstSchur(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(53))
 	for trial := 0; trial < 10; trial++ {
 		sys := randomSystem(rng, 2+rng.Intn(3), 5+rng.Intn(15))
@@ -183,6 +186,7 @@ func TestYAgainstSchur(t *testing.T) {
 }
 
 func TestCutoffFactor(t *testing.T) {
+	t.Parallel()
 	if f := CutoffFactor(0.05); math.Abs(f-3.04) > 0.01 {
 		t.Errorf("CutoffFactor(0.05) = %v, want 3.04 (paper Section 5)", f)
 	}
@@ -196,6 +200,7 @@ func TestCutoffFactor(t *testing.T) {
 const keepAllFMax = 1e9
 
 func TestReduceExactWhenAllPolesKept(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(54))
 	for trial := 0; trial < 8; trial++ {
 		sys := randomSystem(rng, 2+rng.Intn(3), 4+rng.Intn(10))
@@ -220,6 +225,7 @@ func TestReduceExactWhenAllPolesKept(t *testing.T) {
 }
 
 func TestReduceDCAndFirstMomentExact(t *testing.T) {
+	t.Parallel()
 	// Even when poles are dropped, Y(0) and dY/ds(0) are preserved
 	// exactly (A′ and B′ are the first two moments).
 	rng := rand.New(rand.NewSource(55))
@@ -256,6 +262,7 @@ func TestReduceDCAndFirstMomentExact(t *testing.T) {
 }
 
 func TestReduceMeetsTolerance(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(56))
 	for trial := 0; trial < 6; trial++ {
 		sys := randomSystem(rng, 2, 25)
@@ -282,6 +289,7 @@ func TestReduceMeetsTolerance(t *testing.T) {
 }
 
 func TestReduceLanczosMatchesDense(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(57))
 	for trial := 0; trial < 5; trial++ {
 		sys := randomSystem(rng, 3, 40)
@@ -314,6 +322,7 @@ func TestReduceLanczosMatchesDense(t *testing.T) {
 }
 
 func TestReduceTwoPassAgrees(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(58))
 	sys := randomSystem(rng, 2, 45)
 	fmax := 0.08
@@ -335,6 +344,7 @@ func TestReduceTwoPassAgrees(t *testing.T) {
 }
 
 func TestReducePassivity(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		sys := randomSystem(rng, 1+rng.Intn(4), 3+rng.Intn(20))
@@ -350,6 +360,7 @@ func TestReducePassivity(t *testing.T) {
 }
 
 func TestReducePolesAreRealNegative(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(59))
 	sys := randomSystem(rng, 2, 30)
 	model, _, err := Reduce(sys, Options{FMax: 10})
@@ -369,6 +380,7 @@ func TestReducePolesAreRealNegative(t *testing.T) {
 }
 
 func TestReduceNoCacheMatchesCache(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(60))
 	sys := randomSystem(rng, 3, 25)
 	withCache, s1, err := Reduce(sys, Options{FMax: 0.05})
@@ -392,6 +404,7 @@ func TestReduceNoCacheMatchesCache(t *testing.T) {
 }
 
 func TestReduceOrderings(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(61))
 	sys := randomSystem(rng, 2, 30)
 	var ref *ReducedModel
@@ -415,6 +428,7 @@ func TestReduceOrderings(t *testing.T) {
 }
 
 func TestReduceLanczosModes(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(62))
 	sys := randomSystem(rng, 2, 50)
 	ref, _, err := Reduce(sys, Options{FMax: 0.08, DenseThreshold: 100})
@@ -433,6 +447,7 @@ func TestReduceLanczosModes(t *testing.T) {
 }
 
 func TestReduceMaxPoles(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(63))
 	sys := randomSystem(rng, 2, 20)
 	model, _, err := Reduce(sys, Options{FMax: keepAllFMax, MaxPoles: 2})
@@ -451,6 +466,7 @@ func TestReduceMaxPoles(t *testing.T) {
 }
 
 func TestReduceZeroInternal(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(64))
 	g, c := randomRC(rng, 3)
 	sys, err := Partition(g, c, []int{0, 1, 2})
@@ -474,6 +490,7 @@ func TestReduceZeroInternal(t *testing.T) {
 }
 
 func TestReduceRejectsBadOptions(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(65))
 	sys := randomSystem(rng, 2, 5)
 	if _, _, err := Reduce(sys, Options{}); err == nil {
@@ -482,6 +499,7 @@ func TestReduceRejectsBadOptions(t *testing.T) {
 }
 
 func TestMatricesRealizationMatchesY(t *testing.T) {
+	t.Parallel()
 	// The realized (m+k) matrices must reproduce the reduced Y(s) via the
 	// Schur complement, i.e. realization is exact.
 	rng := rand.New(rand.NewSource(66))
@@ -529,6 +547,7 @@ func TestMatricesRealizationMatchesY(t *testing.T) {
 }
 
 func TestSparsifyPreservesNND(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(67))
 	for trial := 0; trial < 20; trial++ {
 		n := 3 + rng.Intn(8)
@@ -555,6 +574,7 @@ func TestSparsifyPreservesNND(t *testing.T) {
 }
 
 func TestRCStats(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(68))
 	sys := randomSystem(rng, 2, 10)
 	nodes, rs, cs := sys.RCStats()
@@ -564,6 +584,7 @@ func TestRCStats(t *testing.T) {
 }
 
 func TestResiduePruning(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(91))
 	sys := randomSystem(rng, 2, 25)
 	fmax := 0.05
@@ -612,6 +633,7 @@ func TestResiduePruning(t *testing.T) {
 }
 
 func TestModelStringAndTransimpedance(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(95))
 	sys := randomSystem(rng, 2, 8)
 	model, _, err := Reduce(sys, Options{FMax: keepAllFMax})
@@ -641,6 +663,7 @@ func TestModelStringAndTransimpedance(t *testing.T) {
 }
 
 func TestReducePureResistive(t *testing.T) {
+	t.Parallel()
 	// E = 0 (no capacitors): no poles exist; the reduction is exactly the
 	// DC Schur complement.
 	rng := rand.New(rand.NewSource(96))
@@ -679,6 +702,7 @@ func TestReducePureResistive(t *testing.T) {
 }
 
 func TestPartitionZeroPorts(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(97))
 	g, c := randomRC(rng, 6)
 	sys, err := Partition(g, c, nil)
@@ -698,6 +722,7 @@ func TestPartitionZeroPorts(t *testing.T) {
 }
 
 func TestPoleResidues(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(98))
 	sys := randomSystem(rng, 2, 10)
 	model, _, err := Reduce(sys, Options{FMax: keepAllFMax})
@@ -730,6 +755,7 @@ func TestPoleResidues(t *testing.T) {
 }
 
 func TestSParamsKnownValues(t *testing.T) {
+	t.Parallel()
 	z0 := 50.0
 	mk := func(y float64) *dense.CMat {
 		m := dense.NewC(1, 1)
@@ -767,6 +793,7 @@ func TestSParamsKnownValues(t *testing.T) {
 // larger. Checked on reduced models across random networks and
 // frequencies.
 func TestSParamsPassiveContraction(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		sys := randomSystem(rng, 1+rng.Intn(3), 3+rng.Intn(12))
@@ -803,6 +830,7 @@ func TestSParamsPassiveContraction(t *testing.T) {
 }
 
 func TestTransformedStatsAccessor(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(99))
 	sys := randomSystem(rng, 2, 6)
 	tr, st, err := Transform1(sys, Options{FMax: 1})
@@ -818,6 +846,7 @@ func TestTransformedStatsAccessor(t *testing.T) {
 }
 
 func TestCutoffFactorPanics(t *testing.T) {
+	t.Parallel()
 	for _, bad := range []float64{0, 1, -0.2, 1.5} {
 		func() {
 			defer func() {
@@ -831,6 +860,7 @@ func TestCutoffFactorPanics(t *testing.T) {
 }
 
 func TestYSweepMatchesSerial(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(100))
 	sys := randomSystem(rng, 3, 30)
 	freqs := []float64{0.01, 0.03, 0.1, 0.3, 1, 3}
@@ -854,5 +884,22 @@ func TestYSweepMatchesSerial(t *testing.T) {
 	}
 	if d := dense.MaxAbsDiff(serial[2], direct); d > 0 {
 		t.Fatalf("sweep vs direct differ by %g", d)
+	}
+}
+
+func TestReduceRejectsBadTol(t *testing.T) {
+	t.Parallel()
+	sys := randomSystem(rand.New(rand.NewSource(42)), 3, 12)
+	for _, tol := range []float64{-0.1, 1, 1.5} {
+		if _, _, err := Reduce(sys, Options{FMax: 1e9, Tol: tol}); err == nil {
+			t.Errorf("Reduce accepted Tol = %g", tol)
+		}
+		tr, _, err := Transform1(sys, Options{FMax: 1e9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Transform2(Options{FMax: 1e9, Tol: tol}); err == nil {
+			t.Errorf("Transform2 accepted Tol = %g", tol)
+		}
 	}
 }

@@ -88,6 +88,7 @@ func randNNDMat(rng *rand.Rand, n, rank int) *dense.Mat {
 // property of Section 3: for square nonsingular V, the pencil
 // (VᵀEV, VᵀDV) has the same eigenvalues as (E, D).
 func TestCongruencePreservesGeneralizedEigenvalues(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(81))
 	for trial := 0; trial < 10; trial++ {
 		n := 2 + rng.Intn(8)
@@ -120,6 +121,7 @@ func TestCongruencePreservesGeneralizedEigenvalues(t *testing.T) {
 // TestCongruencePreservesNND: VᵀWV is NND for NND W and ANY V, including
 // rectangular and singular — the passivity-preservation mechanism.
 func TestCongruencePreservesNND(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(8)
@@ -143,6 +145,7 @@ func TestCongruencePreservesNND(t *testing.T) {
 // the internal blocks — "the poles of Y(s) occur where (D+sE) is
 // singular" (Section 2).
 func TestReducedPolesAreGeneralizedEigenvalues(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(82))
 	for trial := 0; trial < 6; trial++ {
 		sys := randomSystem(rng, 2, 4+rng.Intn(8))
@@ -168,6 +171,7 @@ func TestReducedPolesAreGeneralizedEigenvalues(t *testing.T) {
 // coefficients of Y(s) at s = 0 (the moments the Padé methods also
 // match), for the transformed-but-unreduced system.
 func TestMomentsMatchTaylor(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(83))
 	sys := randomSystem(rng, 3, 12)
 	tr, _, err := Transform1(sys, Options{FMax: 1})
@@ -201,6 +205,7 @@ func TestMomentsMatchTaylor(t *testing.T) {
 // space, checked via the projected admittance instead of raw columns):
 // Y(s) = A′ + sB′ − s² R′ᵀ(I + sE′)⁻¹R′ must equal the exact Y(s).
 func TestRPrimeColumnAgainstDense(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(84))
 	sys := randomSystem(rng, 2, 10)
 	tr, _, err := Transform1(sys, Options{FMax: 1})

@@ -160,6 +160,7 @@ type PoleResidue struct {
 func (r *ReducedModel) PoleResidues() []PoleResidue {
 	out := make([]PoleResidue, 0, r.K())
 	for p, lam := range r.Lambda {
+		//lint:ignore defersmell each residue matrix is a returned value, not loop-local scratch
 		res := dense.New(r.M, r.M)
 		f := -1 / (lam * lam * lam)
 		for i := 0; i < r.M; i++ {

@@ -60,6 +60,7 @@ func extremeSystem(rng *rand.Rand, m, n int) *System {
 // exactness, passivity and Lanczos/dense agreement under stiff
 // conditioning.
 func TestStressExtremeValueSpreads(t *testing.T) {
+	t.Parallel()
 	trials := 20
 	if testing.Short() {
 		trials = 5

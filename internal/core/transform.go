@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/chol"
 	"repro/internal/dense"
 	"repro/internal/lanczos"
@@ -180,6 +181,9 @@ func Reduce(sys *System, opts Options) (*ReducedModel, *Stats, error) {
 // block, and produces the exact port blocks A′ and B′.
 func Transform1(sys *System, opts Options) (*Transformed, *Stats, error) {
 	opts = opts.withDefaults()
+	if opts.Tol <= 0 || opts.Tol >= 1 {
+		return nil, nil, fmt.Errorf("core: Options.Tol must be in (0,1), got %g", opts.Tol)
+	}
 	m, n := sys.M, sys.N
 	stats := &Stats{Ports: m, Internal: n}
 	if opts.FMax > 0 {
@@ -257,6 +261,14 @@ func Transform1(sys *System, opts Options) (*Transformed, *Stats, error) {
 	}
 	aPrime.Symmetrize()
 	bPrime.Symmetrize()
+	if check.Enabled {
+		// Congruence preserves symmetry and definiteness: the exact port
+		// blocks of Transform 1 must inherit both from the input system.
+		check.Symmetric("Transform1 port conductance block A'", aPrime, check.DefaultTol)
+		check.Symmetric("Transform1 port susceptance block B'", bPrime, check.DefaultTol)
+		check.NonNegDef("Transform1 port conductance block A'", aPrime, check.DefaultTol)
+		check.NonNegDef("Transform1 port susceptance block B'", bPrime, check.DefaultTol)
+	}
 	t.APrime = aPrime
 	t.BPrime = bPrime
 	return t, stats, nil
@@ -319,6 +331,9 @@ func (t *Transformed) Transform2(opts Options) (*ReducedModel, error) {
 	if opts.FMax <= 0 {
 		return nil, fmt.Errorf("core: Options.FMax must be positive, got %g", opts.FMax)
 	}
+	if opts.Tol <= 0 || opts.Tol >= 1 {
+		return nil, fmt.Errorf("core: Options.Tol must be in (0,1), got %g", opts.Tol)
+	}
 	m, n := t.M, t.N
 	stats := t.stats
 	if n == 0 {
@@ -358,6 +373,9 @@ func (t *Transformed) Transform2(opts Options) (*ReducedModel, error) {
 	}
 	if opts.MaxPoles > 0 && len(vals) > opts.MaxPoles {
 		vals = vals[:opts.MaxPoles]
+	}
+	if check.Enabled {
+		check.PoleRealNonneg("Transform2 retained eigenvalues of E'", vals)
 	}
 	k := len(vals)
 	stats.PolesFound = k
@@ -399,6 +417,10 @@ func (t *Transformed) Transform2(opts Options) (*ReducedModel, error) {
 	model := &ReducedModel{M: m, Lambda: vals, A: t.APrime, B: t.BPrime, R: rk}
 	if opts.ResiduePruneTol > 0 && k > 0 {
 		model = pruneWeakPoles(model, opts, stats)
+	}
+	if check.Enabled {
+		gr, cr := model.Matrices()
+		check.ReducedPassive("Transform2 realized reduced model", gr, cr, check.DefaultTol)
 	}
 	return model, nil
 }

@@ -29,6 +29,7 @@ func randomMat(rng *rand.Rand, r, c int) *Mat {
 }
 
 func TestMulAgainstNaive(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(41))
 	a := randomMat(rng, 5, 7)
 	b := randomMat(rng, 7, 4)
@@ -47,6 +48,7 @@ func TestMulAgainstNaive(t *testing.T) {
 }
 
 func TestTranspose(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(42))
 	a := randomMat(rng, 3, 6)
 	at := a.T()
@@ -60,6 +62,7 @@ func TestTranspose(t *testing.T) {
 }
 
 func TestSymEigReconstruction(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(43))
 	for trial := 0; trial < 20; trial++ {
 		n := 1 + rng.Intn(25)
@@ -104,6 +107,7 @@ func TestSymEigReconstruction(t *testing.T) {
 }
 
 func TestSymEigKnownValues(t *testing.T) {
+	t.Parallel()
 	// [[2,1],[1,2]] has eigenvalues 1 and 3.
 	a := NewFromRows([][]float64{{2, 1}, {1, 2}})
 	vals, _, err := SymEig(a, true)
@@ -116,6 +120,7 @@ func TestSymEigKnownValues(t *testing.T) {
 }
 
 func TestSymEigRepeatedEigenvalues(t *testing.T) {
+	t.Parallel()
 	// Identity-like with a repeated eigenvalue block.
 	a := NewFromRows([][]float64{
 		{2, 0, 0},
@@ -138,6 +143,7 @@ func TestSymEigRepeatedEigenvalues(t *testing.T) {
 }
 
 func TestTridiagEig(t *testing.T) {
+	t.Parallel()
 	// T = tridiag(-1, 2, -1) of size n has eigenvalues
 	// 2 - 2 cos(kπ/(n+1)).
 	n := 12
@@ -177,6 +183,7 @@ func TestTridiagEig(t *testing.T) {
 }
 
 func TestTridiagEigSize1(t *testing.T) {
+	t.Parallel()
 	vals, z, err := TridiagEig([]float64{7}, nil)
 	if err != nil || len(vals) != 1 || vals[0] != 7 || z.At(0, 0) != 1 {
 		t.Fatalf("size-1 tridiag: vals=%v z=%v err=%v", vals, z, err)
@@ -184,6 +191,7 @@ func TestTridiagEigSize1(t *testing.T) {
 }
 
 func TestCholeskyDense(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(44))
 	for trial := 0; trial < 10; trial++ {
 		n := 1 + rng.Intn(12)
@@ -207,6 +215,7 @@ func TestCholeskyDense(t *testing.T) {
 }
 
 func TestCholeskyRejectsIndefinite(t *testing.T) {
+	t.Parallel()
 	a := NewFromRows([][]float64{{1, 2}, {2, 1}})
 	if err := Cholesky(a); err == nil {
 		t.Fatal("expected error for indefinite matrix")
@@ -214,6 +223,7 @@ func TestCholeskyRejectsIndefinite(t *testing.T) {
 }
 
 func TestIsNonNegDefinite(t *testing.T) {
+	t.Parallel()
 	if !IsNonNegDefinite(NewFromRows([][]float64{{1, -1}, {-1, 1}}), 1e-12) {
 		t.Error("singular NND matrix must pass")
 	}
@@ -223,6 +233,7 @@ func TestIsNonNegDefinite(t *testing.T) {
 }
 
 func TestLUSolve(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(45))
 	for trial := 0; trial < 15; trial++ {
 		n := 1 + rng.Intn(15)
@@ -248,6 +259,7 @@ func TestLUSolve(t *testing.T) {
 }
 
 func TestLUSingular(t *testing.T) {
+	t.Parallel()
 	a := NewFromRows([][]float64{{1, 2}, {2, 4}})
 	if _, err := FactorLU(a); err == nil {
 		t.Fatal("expected singular error")
@@ -255,6 +267,7 @@ func TestLUSingular(t *testing.T) {
 }
 
 func TestCLUSolve(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(46))
 	for trial := 0; trial < 15; trial++ {
 		n := 1 + rng.Intn(12)
@@ -293,6 +306,7 @@ func TestCLUSolve(t *testing.T) {
 // Property: eigenvalue sum equals trace and eigenvalue product sign
 // matches determinant sign heuristics via Cholesky success for SPD.
 func TestSymEigTraceProperty(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 1 + rng.Intn(10)
@@ -317,6 +331,7 @@ func TestSymEigTraceProperty(t *testing.T) {
 }
 
 func TestSymmetrize(t *testing.T) {
+	t.Parallel()
 	a := NewFromRows([][]float64{{1, 2}, {4, 3}})
 	a.Symmetrize()
 	if a.At(0, 1) != 3 || a.At(1, 0) != 3 {
@@ -325,6 +340,7 @@ func TestSymmetrize(t *testing.T) {
 }
 
 func TestScaleAddScaledMaxAbsDiff(t *testing.T) {
+	t.Parallel()
 	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
 	a.Scale(2)
 	if a.At(1, 1) != 8 {

@@ -23,7 +23,10 @@ import (
 // against transimpedance error below f_max.
 func Sparsify(w io.Writer, full bool) error {
 	opts := netgen.SmallMeshOpts() // paper-scale mesh at both settings
-	deck, ports := netgen.Mesh3D(opts)
+	deck, ports, err := netgen.Mesh3D(opts)
+	if err != nil {
+		return err
+	}
 	ex, err := extractMesh(deck, ports)
 	if err != nil {
 		return err
@@ -84,7 +87,10 @@ func Ordering(w io.Writer, full bool) error {
 	if !full {
 		opts = netgen.MeshOpts{NX: 10, NY: 10, NZ: 7, REdge: 630, CSurf: 30e-15, NPorts: 20}
 	}
-	deck, ports := netgen.Mesh3D(opts)
+	deck, ports, err := netgen.Mesh3D(opts)
+	if err != nil {
+		return err
+	}
 	ex, err := extractMesh(deck, ports)
 	if err != nil {
 		return err

@@ -123,7 +123,10 @@ func AWEStability(w io.Writer, full bool) error {
 	if !full {
 		mopts = netgen.MeshOpts{NX: 9, NY: 9, NZ: 7, REdge: 630, CSurf: 30e-15, NPorts: 16}
 	}
-	mdeck, ports := netgen.Mesh3D(mopts)
+	mdeck, ports, err := netgen.Mesh3D(mopts)
+	if err != nil {
+		return err
+	}
 	mex, err := extractMesh(mdeck, ports)
 	if err != nil {
 		return err

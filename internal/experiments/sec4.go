@@ -29,7 +29,10 @@ func Section4(w io.Writer, full bool) error {
 			REdge: 630, CSurf: 30e-15,
 			NPorts: s * s / 4,
 		}
-		deck, ports := netgen.Mesh3D(o)
+		deck, ports, err := netgen.Mesh3D(o)
+		if err != nil {
+			return err
+		}
 		ex, err := extractMesh(deck, ports)
 		if err != nil {
 			return err

@@ -20,7 +20,10 @@ func Table4(w io.Writer, full bool) error {
 	if !full {
 		opts = netgen.MeshOpts{NX: 16, NY: 16, NZ: 10, REdge: 630, CSurf: 30e-15, NPorts: 120}
 	}
-	deck, ports := netgen.Mesh3D(opts)
+	deck, ports, err := netgen.Mesh3D(opts)
+	if err != nil {
+		return err
+	}
 	ex, err := extractMesh(deck, ports)
 	if err != nil {
 		return err

@@ -108,7 +108,10 @@ type deckAlias = pact.Deck
 // each reduced network.
 func Table2(w io.Writer, full bool) error {
 	opts := netgen.SmallMeshOpts()
-	deck, ports := netgen.Mesh3D(opts)
+	deck, ports, err := netgen.Mesh3D(opts)
+	if err != nil {
+		return err
+	}
 	ex, err := extractMesh(deck, ports)
 	if err != nil {
 		return err

@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/check"
 	"repro/internal/dense"
 )
 
@@ -146,6 +147,7 @@ func FindAbove(op Operator, opts Options) (*Result, error) {
 	stableFor := 0
 
 	for j := 0; j < maxIter; j++ {
+		//lint:ignore defersmell storing the Lanczos basis is the algorithm's memory model (reported as PeakVectors); the two-pass variant avoids it
 		w = append(w, append([]float64(nil), cur...))
 		op.Apply(av, cur)
 		res.MatVecs++
@@ -223,8 +225,14 @@ func FindAbove(op Operator, opts Options) (*Result, error) {
 			continue
 		}
 		scal(av, 1/b)
-		prev = cur
-		cur = append([]float64(nil), av...)
+		// Rotate the three working buffers instead of cloning av: w already
+		// holds its own copy of every Lanczos vector, so cur/prev/av can
+		// cycle. av inherits the retired prev buffer (nil on the first
+		// iteration and after a restart).
+		prev, cur, av = cur, av, prev
+		if av == nil {
+			av = make([]float64, n)
+		}
 		betaPrev = b
 		beta = append(beta, b)
 
@@ -395,6 +403,9 @@ func finish(op Operator, w [][]float64, alpha, betaSub []float64, cutoff, convTo
 	res.Vectors = vecs
 	if pv := len(w) + len(cols) + 3; pv > res.PeakVectors {
 		res.PeakVectors = pv
+	}
+	if check.Enabled {
+		check.Orthonormal("LASO Ritz basis", res.Vectors, check.OrthTol)
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/check"
 	"repro/internal/dense"
 )
 
@@ -261,6 +262,9 @@ func TwoPass(op Operator, opts Options) (*Result, error) {
 	res.Vectors = vecs
 	if len(outVals) == 0 && len(keptVals) > 0 {
 		return nil, fmt.Errorf("lanczos: two-pass vector accumulation degenerated")
+	}
+	if check.Enabled {
+		check.Orthonormal("two-pass Ritz basis", res.Vectors, check.OrthTol)
 	}
 	return res, nil
 }

@@ -1,0 +1,225 @@
+// Package lint is a domain-aware static analyzer for this repository. It
+// loads every package of the module with the standard library's go/ast,
+// go/parser, go/types and go/token (no external tooling), and runs a
+// table-driven registry of rules that enforce the numerical-correctness
+// conventions the PACT passivity argument rests on: no raw float
+// equality, no silently dropped factorization errors, a strict panic
+// policy, no per-iteration matrix allocation in the hot reduction loops,
+// and no process exits from library code.
+//
+// Findings can be suppressed in the source with a comment on the line of
+// the finding or the line directly above it:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// The reason is mandatory: a suppression without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, carrying everything the driver needs to
+// print a file:line report with a fix hint.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+	Hint string
+}
+
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+	if d.Hint != "" {
+		s += " (fix: " + d.Hint + ")"
+	}
+	return s
+}
+
+// Rule is one analysis pass. Rules are pure functions of a type-checked
+// package; adding a rule means writing a Run func and appending a table
+// entry to Registry.
+type Rule struct {
+	// ID is the short name used in reports and //lint:ignore comments.
+	ID string
+	// Doc is the one-line description shown by `pactlint -rules`.
+	Doc string
+	// Hint is the default fix hint attached to findings that do not
+	// provide their own.
+	Hint string
+	// Run reports findings via report; pos anchors the finding, hint may
+	// be "" to use the rule's default.
+	Run func(p *Package, report func(pos token.Pos, msg, hint string))
+}
+
+// Registry is the table of active rules, in reporting order. Later PRs
+// extend the analyzer by appending here.
+var Registry = []Rule{
+	floatcmpRule,
+	checkerrRule,
+	panicpolicyRule,
+	defersmellRule,
+	exitpolicyRule,
+}
+
+// RuleByID returns the registered rule with the given ID.
+func RuleByID(id string) (Rule, bool) {
+	for _, r := range Registry {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// Run applies the given rules to a package and returns the surviving
+// diagnostics, sorted by position, with //lint:ignore suppressions
+// applied. Malformed suppressions (no rule list, or no reason) are
+// reported under the pseudo-rule "badignore".
+func Run(p *Package, rules []Rule) []Diagnostic {
+	sup, bad := collectSuppressions(p)
+	var out []Diagnostic
+	out = append(out, bad...)
+	for _, r := range rules {
+		rule := r
+		r.Run(p, func(pos token.Pos, msg, hint string) {
+			position := p.Fset.Position(pos)
+			if sup.covers(position.Filename, position.Line, rule.ID) {
+				return
+			}
+			if hint == "" {
+				hint = rule.Hint
+			}
+			out = append(out, Diagnostic{Pos: position, Rule: rule.ID, Msg: msg, Hint: hint})
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// RunAll applies every registered rule to every package.
+func RunAll(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		out = append(out, Run(p, Registry)...)
+	}
+	return out
+}
+
+// suppressions maps file -> line -> set of suppressed rule IDs ("" means
+// all rules). A //lint:ignore comment covers its own line and the line
+// immediately below it, so both trailing and preceding-line placement
+// work.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) covers(file string, line int, rule string) bool {
+	lines := s[file]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{line, line - 1} {
+		if set := lines[ln]; set != nil && (set[rule] || set["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s suppressions) add(file string, line int, rules []string) {
+	lines := s[file]
+	if lines == nil {
+		lines = map[int]map[string]bool{}
+		s[file] = lines
+	}
+	set := lines[line]
+	if set == nil {
+		set = map[string]bool{}
+		lines[line] = set
+	}
+	for _, r := range rules {
+		set[r] = true
+	}
+}
+
+// collectSuppressions scans every comment of the package for
+// //lint:ignore directives.
+func collectSuppressions(p *Package) (suppressions, []Diagnostic) {
+	sup := suppressions{}
+	var bad []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:  pos,
+						Rule: "badignore",
+						Msg:  "malformed suppression: want //lint:ignore <rule>[,<rule>] <reason>",
+						Hint: "name the suppressed rule(s) and give a reason",
+					})
+					continue
+				}
+				sup.add(pos.Filename, pos.Line, strings.Split(fields[0], ","))
+			}
+		}
+	}
+	return sup, bad
+}
+
+// --- shared AST/type helpers used by several rules ---
+
+// inspect walks every file of the package.
+func inspect(p *Package, fn func(n ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// packageLayer classifies an import path into the layers the panic and
+// exit policies distinguish.
+type layer int
+
+const (
+	layerLibrary layer = iota // internal/ numerical packages: prefixed panics allowed
+	layerNoPanic              // parser/simulator layers: must return errors
+	layerMain                 // cmd/ and examples/ binaries
+)
+
+// layerOf classifies by import path shape, not by hard-coded module name,
+// so the rules work on fixture modules in tests too.
+func layerOf(p *Package) layer {
+	if p.Types.Name() == "main" {
+		return layerMain
+	}
+	for _, suffix := range noPanicPackages {
+		if strings.HasSuffix(p.Path, suffix) {
+			return layerNoPanic
+		}
+	}
+	return layerLibrary
+}
+
+// noPanicPackages are the user-input-facing layers where panicking on bad
+// data is a bug: the deck parser and the circuit simulator.
+var noPanicPackages = []string{"/internal/netlist", "/internal/sim"}

@@ -1,0 +1,370 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureLoader writes a throwaway module (path "fixturemod", so the
+// rules' suffix-based package classification is exercised independently
+// of this repository's module name) and returns a loader over it.
+func fixtureLoader(t *testing.T, files map[string]string) *Loader {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module fixturemod\n\ngo 1.22\n"
+	for name, src := range files {
+		p := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// runRule loads one fixture package and runs a single rule on it.
+func runRule(t *testing.T, l *Loader, dir, ruleID string) []Diagnostic {
+	t.Helper()
+	p, err := l.LoadDir(filepath.Join(l.Root, filepath.FromSlash(dir)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := RuleByID(ruleID)
+	if !ok {
+		t.Fatalf("rule %q not registered", ruleID)
+	}
+	return Run(p, []Rule{r})
+}
+
+// lines extracts the flagged line numbers.
+func lines(ds []Diagnostic) []int {
+	out := make([]int, len(ds))
+	for i, d := range ds {
+		out[i] = d.Pos.Line
+	}
+	return out
+}
+
+func wantLines(t *testing.T, ds []Diagnostic, want ...int) {
+	t.Helper()
+	got := lines(ds)
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings on lines %v, want lines %v\n%v", len(got), got, want, ds)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("finding %d on line %d, want line %d\n%v", i, got[i], want[i], ds)
+		}
+	}
+}
+
+func TestFloatcmp(t *testing.T) {
+	t.Parallel()
+	l := fixtureLoader(t, map[string]string{
+		"internal/num/num.go": `package num
+
+func Bad(a, b float64) bool { return a == b }
+func BadNeq(a, b float64) bool { return a != b }
+func BadComplex(a, b complex128) bool { return a == b }
+func BadConst(a float64) bool { return a == 1.5 }
+func OkZero(a float64) bool { return a == 0 }
+func OkZeroLeft(a float64) bool { return 0 != a }
+func OkInt(a, b int) bool { return a == b }
+func OkString(a, b string) bool { return a == b }
+`,
+	})
+	wantLines(t, runRule(t, l, "internal/num", "floatcmp"), 3, 4, 5, 6)
+}
+
+func TestCheckerr(t *testing.T) {
+	t.Parallel()
+	l := fixtureLoader(t, map[string]string{
+		"internal/chol/chol.go": `package chol
+
+type Factor struct{}
+
+func Factorize() (*Factor, error) { return &Factor{}, nil }
+`,
+		"internal/other/other.go": `package other
+
+func MayFail() error { return nil }
+`,
+		"internal/use/use.go": `package use
+
+import (
+	"fmt"
+	"fixturemod/internal/chol"
+	"fixturemod/internal/other"
+)
+
+func Bad() {
+	chol.Factorize()
+	_, _ = chol.Factorize()
+	other.MayFail()
+}
+
+func Ok() error {
+	f, err := chol.Factorize()
+	if err != nil {
+		return err
+	}
+	_ = f
+	fmt.Println("stdlib errors are not this rule's business")
+	return other.MayFail()
+}
+`,
+	})
+	ds := runRule(t, l, "internal/use", "checkerr")
+	wantLines(t, ds, 10, 11, 12)
+	if !strings.Contains(ds[1].Msg, "blank") {
+		t.Fatalf("line 11 should be the blank-discard form: %v", ds[1])
+	}
+}
+
+func TestCheckerrBlankDiscardOnlyForWatchlist(t *testing.T) {
+	t.Parallel()
+	l := fixtureLoader(t, map[string]string{
+		"internal/other/other.go": `package other
+
+func MayFail() error { return nil }
+`,
+		"internal/use/use.go": `package use
+
+import "fixturemod/internal/other"
+
+func DeliberateDiscard() {
+	_ = other.MayFail()
+}
+`,
+	})
+	// other is not a factorization/solve package, so an explicit blank
+	// assignment is a visible, deliberate choice and not flagged.
+	wantLines(t, runRule(t, l, "internal/use", "checkerr"))
+}
+
+func TestPanicpolicy(t *testing.T) {
+	t.Parallel()
+	l := fixtureLoader(t, map[string]string{
+		"internal/dense/dense.go": `package dense
+
+import "fmt"
+
+func Ok(n int) {
+	panic("dense: dimension mismatch")
+}
+
+func OkSprintf(n int) {
+	panic(fmt.Sprintf("dense: bad dimension %d", n))
+}
+
+func BadPrefix() {
+	panic("wrong prefix")
+}
+
+func BadDynamic(err error) {
+	panic(err)
+}
+
+func BadSprintfPrefix(n int) {
+	panic(fmt.Sprintf("oops %d", n))
+}
+`,
+		"internal/netlist/parse.go": `package netlist
+
+func Bad() {
+	panic("netlist: even prefixed panics are banned in the parser layer")
+}
+`,
+		"cmd/tool/main.go": `package main
+
+func main() {
+	panic("no panics in binaries")
+}
+`,
+	})
+	wantLines(t, runRule(t, l, "internal/dense", "panicpolicy"), 14, 18, 22)
+	wantLines(t, runRule(t, l, "internal/netlist", "panicpolicy"), 4)
+	wantLines(t, runRule(t, l, "cmd/tool", "panicpolicy"), 4)
+}
+
+func TestDefersmell(t *testing.T) {
+	t.Parallel()
+	denseStub := `package dense
+
+type Mat struct{ R, C int }
+
+func New(r, c int) *Mat        { return &Mat{R: r, C: c} }
+func (m *Mat) Clone() *Mat     { return &Mat{R: m.R, C: m.C} }
+`
+	l := fixtureLoader(t, map[string]string{
+		"internal/dense/dense.go": denseStub,
+		"internal/core/hot.go": `package core
+
+import "fixturemod/internal/dense"
+
+func Bad(n int, f func()) {
+	for i := 0; i < n; i++ {
+		defer f()
+		m := dense.New(n, n)
+		_ = m.Clone()
+		buf := append([]float64(nil), make([]float64, n)...)
+		_ = buf
+	}
+}
+
+func Ok(n int) {
+	m := dense.New(n, n)
+	buf := make([]float64, n)
+	for i := 0; i < n; i++ {
+		buf[i] = float64(i)
+	}
+	_ = m
+}
+
+func OkFuncLit(n int) func() *dense.Mat {
+	var fs []func() *dense.Mat
+	for i := 0; i < n; i++ {
+		fs = append(fs, func() *dense.Mat { return dense.New(n, n) })
+	}
+	return fs[0]
+}
+`,
+		"internal/cold/cold.go": `package cold
+
+import "fixturemod/internal/dense"
+
+func NotHotPackage(n int) {
+	for i := 0; i < n; i++ {
+		_ = dense.New(n, n)
+	}
+}
+`,
+	})
+	// Line 7 defer, 8 dense.New, 9 Clone, 10 append-clone.
+	wantLines(t, runRule(t, l, "internal/core", "defersmell"), 7, 8, 9, 10)
+	// Matrix allocation in loops is only policed in the hot packages.
+	wantLines(t, runRule(t, l, "internal/cold", "defersmell"))
+}
+
+func TestExitpolicy(t *testing.T) {
+	t.Parallel()
+	l := fixtureLoader(t, map[string]string{
+		"internal/lib/lib.go": `package lib
+
+import (
+	"log"
+	"os"
+)
+
+func Bad() {
+	log.Fatal("library exit")
+}
+
+func AlsoBad() {
+	os.Exit(3)
+}
+`,
+		"cmd/tool/main.go": `package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		log.Fatal("fine here")
+	}
+	helper()
+	os.Exit(0)
+}
+
+func helper() {
+	log.Fatalf("not fine here: %d", 1)
+}
+`,
+	})
+	wantLines(t, runRule(t, l, "internal/lib", "exitpolicy"), 9, 13)
+	wantLines(t, runRule(t, l, "cmd/tool", "exitpolicy"), 17)
+}
+
+func TestSuppression(t *testing.T) {
+	t.Parallel()
+	l := fixtureLoader(t, map[string]string{
+		"internal/num/num.go": `package num
+
+func PrecedingLine(a, b float64) bool {
+	//lint:ignore floatcmp test of the suppression mechanism
+	return a == b
+}
+
+func TrailingSameLine(a, b float64) bool {
+	return a == b //lint:ignore floatcmp also suppressed
+}
+
+func WrongRule(a, b float64) bool {
+	//lint:ignore checkerr wrong rule name does not suppress
+	return a == b
+}
+
+func Malformed(a, b float64) bool {
+	//lint:ignore floatcmp
+	return a == b
+}
+`,
+	})
+	ds := runRule(t, l, "internal/num", "floatcmp")
+	// Line 14 (wrong rule) and line 19 (malformed ignore is no ignore)
+	// still flagged, plus the badignore report on line 18.
+	var flagged, bad []int
+	for _, d := range ds {
+		if d.Rule == "badignore" {
+			bad = append(bad, d.Pos.Line)
+		} else {
+			flagged = append(flagged, d.Pos.Line)
+		}
+	}
+	if len(flagged) != 2 || flagged[0] != 14 || flagged[1] != 19 {
+		t.Fatalf("floatcmp findings on %v, want [14 19]", flagged)
+	}
+	if len(bad) != 1 || bad[0] != 18 {
+		t.Fatalf("badignore findings on %v, want [18]", bad)
+	}
+}
+
+// TestRepositoryIsLintClean runs every registered rule over this entire
+// module — the acceptance criterion that `pactlint ./...` stays at zero
+// findings is enforced by the ordinary test suite.
+func TestRepositoryIsLintClean(t *testing.T) {
+	t.Parallel()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; module walk is broken", len(pkgs))
+	}
+	for _, d := range RunAll(pkgs) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,440 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ---------------------------------------------------------------- floatcmp
+
+// floatcmpRule flags == and != between floating-point (or complex)
+// expressions. Exact float equality against a computed value is almost
+// always a latent bug in this codebase: eigenvalues, pivots and residuals
+// are never bit-exact. The one legitimate pattern — comparing against a
+// literal 0, the sparsity test used throughout internal/dense and
+// internal/sparse to skip structural zeros — is allowed.
+var floatcmpRule = Rule{
+	ID:   "floatcmp",
+	Doc:  "== / != between float expressions (comparison with a literal 0 is allowed)",
+	Hint: "compare with a tolerance, e.g. math.Abs(a-b) <= tol*scale, or math.IsNaN for NaN tests",
+	Run:  runFloatcmp,
+}
+
+func runFloatcmp(p *Package, report func(pos token.Pos, msg, hint string)) {
+	inspect(p, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		tx, ty := p.Info.Types[be.X], p.Info.Types[be.Y]
+		if !isFloatType(tx.Type) || !isFloatType(ty.Type) {
+			return true
+		}
+		if isZeroConst(tx.Value) || isZeroConst(ty.Value) {
+			return true
+		}
+		report(be.OpPos, fmt.Sprintf("floating-point %s comparison between computed values", be.Op), "")
+		return true
+	})
+}
+
+func isFloatType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isZeroConst(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	case constant.Complex:
+		return constant.Sign(constant.Real(v)) == 0 && constant.Sign(constant.Imag(v)) == 0
+	}
+	return false
+}
+
+// ---------------------------------------------------------------- checkerr
+
+// errWatchSuffixes are the factorization/solve packages whose error
+// results guard numerical validity: dropping one silently turns a
+// singular or indefinite matrix into garbage downstream. Blank-discarding
+// (`_ =`) an error from these packages is flagged too.
+var errWatchSuffixes = []string{"/internal/chol", "/internal/dense", "/internal/sim", "/internal/sparse"}
+
+// checkerrRule flags ignored error results from module-internal calls: a
+// call used as a bare statement whose callee returns an error (go vet is
+// silent about these), and blank-assigned errors from the
+// factorization/solve watchlist.
+var checkerrRule = Rule{
+	ID:   "checkerr",
+	Doc:  "ignored error results from module-internal calls (factorization/solve APIs also flag `_ =` discards)",
+	Hint: "handle or return the error; a failed factorization invalidates everything computed from it",
+	Run:  runCheckerr,
+}
+
+func runCheckerr(p *Package, report func(pos token.Pos, msg, hint string)) {
+	inspect(p, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || !inModule(p, fn) {
+				return true
+			}
+			if errorResultIndex(fn) >= 0 {
+				report(call.Pos(), fmt.Sprintf("error result of %s is silently discarded", funcLabel(fn)), "")
+			}
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || !onWatchlist(fn) {
+				return true
+			}
+			idx := errorResultIndex(fn)
+			if idx < 0 || idx >= len(st.Lhs) {
+				return true
+			}
+			if id, ok := st.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+				report(id.Pos(), fmt.Sprintf("error result of %s assigned to blank identifier", funcLabel(fn)), "")
+			}
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves the static callee of a call, or nil for builtins,
+// conversions and indirect calls.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func inModule(p *Package, fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == p.Module || strings.HasPrefix(pkg.Path(), p.Module+"/")
+}
+
+func onWatchlist(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	for _, s := range errWatchSuffixes {
+		if strings.HasSuffix(pkg.Path(), s) {
+			return true
+		}
+	}
+	return false
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+// errorResultIndex returns the index of the (last) error result of fn, or
+// -1 if it has none.
+func errorResultIndex(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	res := sig.Results()
+	for i := res.Len() - 1; i >= 0; i-- {
+		if types.Identical(res.At(i).Type(), errType) {
+			return i
+		}
+	}
+	return -1
+}
+
+func funcLabel(fn *types.Func) string {
+	if pkg := fn.Pkg(); pkg != nil {
+		return pkg.Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// ------------------------------------------------------------- panicpolicy
+
+// panicpolicyRule enforces the repository's panic conventions:
+//
+//   - cmd/ and example binaries never panic — they validate input and
+//     return errors with non-zero exit codes;
+//   - the deck parser and the circuit simulator (user-input-facing
+//     layers) never panic either;
+//   - the numerical library packages under internal/ may panic only for
+//     programmer errors, and the message must be a constant string (or a
+//     fmt.Sprintf of a constant format) prefixed "<pkg>: ", matching the
+//     existing "dense: Mul dimension mismatch" style so a stack trace
+//     names the guilty layer.
+var panicpolicyRule = Rule{
+	ID:   "panicpolicy",
+	Doc:  "panic misuse: any panic in cmd/, examples or parser/sim layers; unprefixed or dynamic panic messages in library packages",
+	Hint: "return an error for bad input; for programmer errors panic with a constant \"<pkg>: ...\" message",
+	Run:  runPanicpolicy,
+}
+
+func runPanicpolicy(p *Package, report func(pos token.Pos, msg, hint string)) {
+	lay := layerOf(p)
+	prefix := p.Types.Name() + ": "
+	inspect(p, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		switch lay {
+		case layerMain:
+			report(call.Pos(), "panic in a command binary; report the error and exit non-zero instead", "")
+		case layerNoPanic:
+			report(call.Pos(), "panic in a user-input-facing layer; return an error instead", "")
+		default:
+			if len(call.Args) == 1 && panicMessageOK(p, call.Args[0], prefix) {
+				return true
+			}
+			report(call.Pos(),
+				fmt.Sprintf("library panic message must be a constant string prefixed %q", prefix), "")
+		}
+		return true
+	})
+}
+
+// panicMessageOK reports whether the panic argument is a constant string
+// with the required prefix, directly or through fmt.Sprintf.
+func panicMessageOK(p *Package, arg ast.Expr, prefix string) bool {
+	if tv, ok := p.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return strings.HasPrefix(constant.StringVal(tv.Value), prefix)
+	}
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Sprintf" {
+		return false
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	return strings.HasPrefix(constant.StringVal(tv.Value), prefix)
+}
+
+// -------------------------------------------------------------- defersmell
+
+// hotAllocSuffixes are the packages whose loops dominate the reduction
+// runtime (admittance evaluation, the congruence transforms, and the
+// Lanczos recursions). Per-iteration dense-matrix or full-length-vector
+// allocation there is a performance bug unless deliberately part of the
+// algorithm's memory model — in which case it carries a //lint:ignore
+// with the reason.
+var hotAllocSuffixes = []string{"/internal/core", "/internal/lanczos"}
+
+// defersmellRule flags defer statements inside loops (they pile up until
+// function exit — a classic leak with per-iteration resources), and
+// per-iteration allocation of dense matrices or full-length vector clones
+// inside loops of the hot numerical packages.
+var defersmellRule = Rule{
+	ID:   "defersmell",
+	Doc:  "defer inside a loop; per-iteration dense.Mat allocation or vector cloning in hot-loop packages",
+	Hint: "hoist the allocation out of the loop and reuse a buffer, or move the defer into a helper function",
+	Run:  runDefersmell,
+}
+
+func runDefersmell(p *Package, report func(pos token.Pos, msg, hint string)) {
+	hot := false
+	for _, s := range hotAllocSuffixes {
+		if strings.HasSuffix(p.Path, s) {
+			hot = true
+			break
+		}
+	}
+	for _, f := range p.Files {
+		walkLoopDepth(f, 0, func(n ast.Node, depth int) {
+			if depth == 0 {
+				return
+			}
+			switch nn := n.(type) {
+			case *ast.DeferStmt:
+				report(nn.Pos(), "defer inside a loop runs only at function exit, once per iteration", "")
+			case *ast.CallExpr:
+				if !hot {
+					return
+				}
+				if fn := calleeFunc(p, nn); fn != nil && isDenseAlloc(fn) {
+					report(nn.Pos(), fmt.Sprintf("%s allocates a dense matrix every loop iteration", funcLabel(fn)), "")
+				} else if isSliceCloneAppend(p, nn) {
+					report(nn.Pos(), "append([]T(nil), ...) clones a full-length vector every loop iteration", "")
+				}
+			}
+		})
+	}
+}
+
+// walkLoopDepth visits every node, tracking how many for/range loops
+// enclose it.
+func walkLoopDepth(n ast.Node, depth int, fn func(n ast.Node, depth int)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		switch loop := c.(type) {
+		case *ast.ForStmt:
+			fn(c, depth)
+			if loop.Init != nil {
+				walkLoopDepth(loop.Init, depth, fn)
+			}
+			if loop.Cond != nil {
+				walkLoopDepth(loop.Cond, depth, fn)
+			}
+			if loop.Post != nil {
+				walkLoopDepth(loop.Post, depth+1, fn)
+			}
+			walkLoopDepth(loop.Body, depth+1, fn)
+			return false
+		case *ast.RangeStmt:
+			fn(c, depth)
+			walkLoopDepth(loop.X, depth, fn)
+			walkLoopDepth(loop.Body, depth+1, fn)
+			return false
+		case *ast.FuncLit:
+			// A function literal resets loop context: its body runs when
+			// called, not per enclosing-loop iteration.
+			fn(c, depth)
+			walkLoopDepth(loop.Body, 0, fn)
+			return false
+		}
+		fn(c, depth)
+		return true
+	})
+}
+
+// isDenseAlloc reports whether fn is a dense-matrix allocator: the New /
+// NewC constructors or the Clone methods of the dense package.
+func isDenseAlloc(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil || !strings.HasSuffix(pkg.Path(), "/internal/dense") {
+		return false
+	}
+	switch fn.Name() {
+	case "New", "NewC", "Clone", "NewFromRows", "Identity":
+		return true
+	}
+	return false
+}
+
+// isSliceCloneAppend matches the append([]T(nil), src...) cloning idiom.
+func isSliceCloneAppend(p *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if call.Ellipsis == token.NoPos || len(call.Args) != 2 {
+		return false
+	}
+	conv, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok || len(conv.Args) != 1 {
+		return false
+	}
+	if arg, ok := ast.Unparen(conv.Args[0]).(*ast.Ident); !ok || arg.Name != "nil" {
+		return false
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	_, isSlice := tv.Type.Underlying().(*types.Slice)
+	return isSlice
+}
+
+// -------------------------------------------------------------- exitpolicy
+
+// exitpolicyRule flags process-terminating calls (os.Exit, log.Fatal*,
+// log.Panic*) outside the main function of a main package. Library code
+// must return errors so callers — including the planned long-running
+// service — keep control of process lifetime.
+var exitpolicyRule = Rule{
+	ID:   "exitpolicy",
+	Doc:  "os.Exit / log.Fatal* / log.Panic* outside func main of a main package",
+	Hint: "return an error up to main and exit there",
+	Run:  runExitpolicy,
+}
+
+func runExitpolicy(p *Package, report func(pos token.Pos, msg, hint string)) {
+	isMainPkg := p.Types.Name() == "main"
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			allowed := isMainPkg && isFunc && fd.Recv == nil && fd.Name.Name == "main"
+			if allowed {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p, call)
+				if fn == nil || !isExitCall(fn) {
+					return true
+				}
+				where := "library code"
+				if isMainPkg {
+					where = "code outside func main"
+				}
+				report(call.Pos(), fmt.Sprintf("%s terminates the process in %s", funcLabel(fn), where), "")
+				return true
+			})
+		}
+	}
+}
+
+func isExitCall(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "log":
+		switch fn.Name() {
+		case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+			return true
+		}
+	}
+	return false
+}

@@ -30,7 +30,13 @@ type AdderInfo struct {
 //
 // The mesh options must provide at least 25 ports.
 func FullAdderOnMesh(o MeshOpts) (*netlist.Deck, *AdderInfo, error) {
-	ports := meshPorts(o)
+	if err := o.validate(); err != nil {
+		return nil, nil, err
+	}
+	ports, err := meshPorts(o)
+	if err != nil {
+		return nil, nil, err
+	}
 	if len(ports) < 25 {
 		return nil, nil, fmt.Errorf("netgen: full adder needs 25 mesh ports, mesh has %d", len(ports))
 	}

@@ -221,13 +221,40 @@ func MeshNode(x, y, z int) string { return fmt.Sprintf("m%d_%d_%d", x, y, z) }
 // Mesh3D builds a pure-RC substrate mesh deck and returns the deck and
 // the port node names (top-surface contacts on a uniform sub-grid). The
 // ports carry no devices; pass them to stamp.Extract as extra ports or
-// wire devices to them.
-func Mesh3D(o MeshOpts) (*netlist.Deck, []string) {
+// wire devices to them. The options are validated: lattice dimensions
+// must be at least 1, the edge resistance positive, the surface
+// capacitance non-negative, and the port count must fit the top surface.
+func Mesh3D(o MeshOpts) (*netlist.Deck, []string, error) {
+	if err := o.validate(); err != nil {
+		return nil, nil, err
+	}
+	ports, err := meshPorts(o)
+	if err != nil {
+		return nil, nil, err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "3d substrate mesh %dx%dx%d\n", o.NX, o.NY, o.NZ)
 	meshCards(&b, o)
 	fmt.Fprintln(&b, ".end")
-	return mustParse(b.String()), meshPorts(o)
+	return mustParse(b.String()), ports, nil
+}
+
+// validate rejects degenerate mesh configurations before any cards are
+// emitted, so callers get an error instead of a nonsense deck.
+func (o MeshOpts) validate() error {
+	if o.NX < 1 || o.NY < 1 || o.NZ < 1 {
+		return fmt.Errorf("netgen: mesh dimensions %dx%dx%d; every axis needs at least one node", o.NX, o.NY, o.NZ)
+	}
+	if o.REdge <= 0 {
+		return fmt.Errorf("netgen: mesh edge resistance %g must be positive (network must be passive)", o.REdge)
+	}
+	if o.CSurf < 0 {
+		return fmt.Errorf("netgen: mesh surface capacitance %g must be non-negative", o.CSurf)
+	}
+	if o.NPorts < 1 {
+		return fmt.Errorf("netgen: mesh needs at least one port, got %d", o.NPorts)
+	}
+	return nil
 }
 
 // meshCards emits the mesh R/C cards into b.
@@ -269,10 +296,10 @@ func meshCards(b *strings.Builder, o MeshOpts) {
 }
 
 // meshPorts spreads NPorts contact nodes over the top surface.
-func meshPorts(o MeshOpts) []string {
+func meshPorts(o MeshOpts) ([]string, error) {
 	total := o.NX * o.NY
 	if o.NPorts > total {
-		panic("netgen: more ports than surface nodes")
+		return nil, fmt.Errorf("netgen: %d ports requested but the top surface has only %d nodes", o.NPorts, total)
 	}
 	ports := make([]string, 0, o.NPorts)
 	// Uniform stride over the linearized surface with a deterministic
@@ -284,5 +311,5 @@ func meshPorts(o MeshOpts) []string {
 		y := idx / o.NX
 		ports = append(ports, MeshNode(x, y, 0))
 	}
-	return ports
+	return ports, nil
 }

@@ -90,7 +90,10 @@ func TestMultiplierStructure(t *testing.T) {
 
 func TestMesh3DCounts(t *testing.T) {
 	o := MeshOpts{NX: 4, NY: 3, NZ: 2, REdge: 100, CSurf: 1e-15, NPorts: 5}
-	deck, ports := Mesh3D(o)
+	deck, ports, err := Mesh3D(o)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ports) != 5 {
 		t.Fatalf("ports = %d", len(ports))
 	}
@@ -116,7 +119,10 @@ func TestMesh3DCounts(t *testing.T) {
 }
 
 func TestSmallMeshMatchesPaperScale(t *testing.T) {
-	deck, ports := Mesh3D(SmallMeshOpts())
+	deck, ports, err := Mesh3D(SmallMeshOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	nodes := len(deck.NodeNames())
 	if nodes != 13*13*9 {
 		t.Fatalf("nodes = %d", nodes)
@@ -234,7 +240,10 @@ func TestFullAdderTruthTable(t *testing.T) {
 
 func TestMeshPortsDistinct(t *testing.T) {
 	for _, o := range []MeshOpts{SmallMeshOpts(), {NX: 6, NY: 6, NZ: 2, REdge: 1, NPorts: 36}} {
-		ports := meshPorts(o)
+		ports, err := meshPorts(o)
+		if err != nil {
+			t.Fatal(err)
+		}
 		seen := map[string]bool{}
 		for _, p := range ports {
 			if seen[p] {
@@ -328,5 +337,33 @@ func TestMultiplierIdealStructure(t *testing.T) {
 	v, _ := c.Voltage(res.X, "out")
 	if math.Abs(v) > 1e-3 {
 		t.Fatalf("V(out) = %v, want 0", v)
+	}
+}
+
+func TestMesh3DRejectsBadOptions(t *testing.T) {
+	base := MeshOpts{NX: 4, NY: 4, NZ: 2, REdge: 100, CSurf: 1e-15, NPorts: 4}
+	cases := []struct {
+		name   string
+		mutate func(*MeshOpts)
+	}{
+		{"zero axis", func(o *MeshOpts) { o.NZ = 0 }},
+		{"negative axis", func(o *MeshOpts) { o.NX = -1 }},
+		{"non-positive resistance", func(o *MeshOpts) { o.REdge = 0 }},
+		{"negative capacitance", func(o *MeshOpts) { o.CSurf = -1e-15 }},
+		{"no ports", func(o *MeshOpts) { o.NPorts = 0 }},
+		{"too many ports", func(o *MeshOpts) { o.NPorts = 17 }},
+	}
+	for _, tc := range cases {
+		o := base
+		tc.mutate(&o)
+		if _, _, err := Mesh3D(o); err == nil {
+			t.Errorf("%s: Mesh3D(%+v) accepted invalid options", tc.name, o)
+		}
+		if _, _, err := FullAdderOnMesh(o); err == nil {
+			t.Errorf("%s: FullAdderOnMesh(%+v) accepted invalid options", tc.name, o)
+		}
+	}
+	if _, _, err := Mesh3D(base); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -64,6 +65,100 @@ func FuzzTokenize(f *testing.F) {
 		for _, tk := range toks {
 			if strings.ContainsAny(tk, " \t") {
 				t.Fatalf("token %q contains whitespace", tk)
+			}
+		}
+	})
+}
+
+// FuzzFormatValue: every finite float must format to a token that
+// ParseValue accepts and that recovers the value to round-off.
+func FuzzFormatValue(f *testing.F) {
+	for _, v := range []float64{0, 630, 30e-15, 1.35e-12, -2.5e-9, 5e6, 1e-3, -1, 2.2250738585072014e-308, 1.7976931348623157e308} {
+		f.Add(v)
+	}
+	f.Fuzz(func(t *testing.T, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Skip("only finite values have a SPICE representation")
+		}
+		s := FormatValue(v)
+		if strings.ContainsAny(s, " \t\n(),") {
+			t.Fatalf("FormatValue(%v) = %q contains separator characters", v, s)
+		}
+		v2, err := ParseValue(s)
+		if err != nil {
+			t.Fatalf("FormatValue(%v) = %q does not parse: %v", v, s, err)
+		}
+		if v == 0 {
+			if v2 != 0 {
+				t.Fatalf("FormatValue(0) = %q parsed back as %v", s, v2)
+			}
+			return
+		}
+		rel := (v2 - v) / v
+		if rel < -1e-6 || rel > 1e-6 {
+			t.Fatalf("round trip %v -> %q -> %v (rel err %g)", v, s, v2, rel)
+		}
+	})
+}
+
+// FuzzWaveform drives the source-card waveform pipeline: arbitrary
+// waveform specifications must parse or error (never panic), evaluate
+// without panicking, and survive a Card() round trip with identical
+// sample values.
+func FuzzWaveform(f *testing.F) {
+	f.Add("pulse(0 5 1n 0.1n 0.1n 4n 10n)")
+	f.Add("pulse(0 5)")
+	f.Add("sin(0 1 1meg)")
+	f.Add("sin(2.5 2.5 50meg 1n 1e6)")
+	f.Add("pwl(0 0 1n 5 2n 5 3n 0)")
+	f.Add("pwl(0 0 0 5)")
+	f.Add("pulse(0 5 -1n -2 3 4")
+	f.Add("sin(1 2)")
+	f.Add("pwl(1 2 3)")
+	f.Fuzz(func(t *testing.T, spec string) {
+		if strings.ContainsAny(spec, "\n\r") {
+			t.Skip("a spec cannot span cards")
+		}
+		deck, err := ParseString("fuzz waveform\nv1 a 0 dc 0 " + spec + "\n.end\n")
+		if err != nil {
+			return
+		}
+		var wave Waveform
+		for _, e := range deck.Elements {
+			if v, ok := e.(*VSource); ok {
+				wave = v.Wave
+			}
+		}
+		if wave == nil {
+			return
+		}
+		samples := []float64{0, 1e-10, 1e-9, 2.5e-9, 1e-6, 1}
+		for _, ts := range samples {
+			wave.At(ts) // must not panic, whatever the parameters
+		}
+		card := wave.Card()
+		deck2, err := ParseString("fuzz waveform\nv1 a 0 dc 0 " + card + "\n.end\n")
+		if err != nil {
+			t.Fatalf("Card() = %q does not re-parse: %v", card, err)
+		}
+		var wave2 Waveform
+		for _, e := range deck2.Elements {
+			if v, ok := e.(*VSource); ok {
+				wave2 = v.Wave
+			}
+		}
+		if wave2 == nil {
+			t.Fatalf("Card() = %q lost the waveform on re-parse", card)
+		}
+		for _, ts := range samples {
+			a, b := wave.At(ts), wave2.At(ts)
+			if math.IsNaN(a) && math.IsNaN(b) {
+				continue
+			}
+			diff := a - b
+			scale := math.Abs(a) + math.Abs(b) + 1
+			if diff/scale < -1e-6 || diff/scale > 1e-6 {
+				t.Fatalf("At(%g) changed across Card round trip: %v vs %v (card %q)", ts, a, b, card)
 			}
 		}
 	})

@@ -103,33 +103,37 @@ func (d *Deck) expand(x *XInstance, depth int) ([]Element, error) {
 			out = append(out, expanded...)
 			continue
 		}
-		out = append(out, cloneRenamed(e, mapNode, "_"+x.Ident))
+		ce, err := cloneRenamed(e, mapNode, "_"+x.Ident)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ce)
 	}
 	return out, nil
 }
 
 // cloneRenamed copies an element with its nodes mapped and its name
 // suffixed (the type letter stays first, so downstream dispatch works).
-func cloneRenamed(e Element, mapNode func(string) string, suffix string) Element {
+func cloneRenamed(e Element, mapNode func(string) string, suffix string) (Element, error) {
 	switch el := e.(type) {
 	case *Resistor:
-		return &Resistor{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), Value: el.Value}
+		return &Resistor{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), Value: el.Value}, nil
 	case *Capacitor:
-		return &Capacitor{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), Value: el.Value}
+		return &Capacitor{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), Value: el.Value}, nil
 	case *Inductor:
-		return &Inductor{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), Value: el.Value}
+		return &Inductor{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), Value: el.Value}, nil
 	case *VSource:
-		return &VSource{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), DC: el.DC, ACMag: el.ACMag, Wave: el.Wave}
+		return &VSource{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), DC: el.DC, ACMag: el.ACMag, Wave: el.Wave}, nil
 	case *ISource:
-		return &ISource{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), DC: el.DC, ACMag: el.ACMag, Wave: el.Wave}
+		return &ISource{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), DC: el.DC, ACMag: el.ACMag, Wave: el.Wave}, nil
 	case *Diode:
-		return &Diode{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), ModelName: el.ModelName}
+		return &Diode{Ident: el.Ident + suffix, N1: mapNode(el.N1), N2: mapNode(el.N2), ModelName: el.ModelName}, nil
 	case *MOSFET:
 		return &MOSFET{
 			Ident: el.Ident + suffix,
 			D:     mapNode(el.D), G: mapNode(el.G), S: mapNode(el.S), B: mapNode(el.B),
 			ModelName: el.ModelName, W: el.W, L: el.L,
-		}
+		}, nil
 	}
-	panic(fmt.Sprintf("netlist: cannot clone element type %T", e))
+	return nil, fmt.Errorf("netlist: cannot clone element type %T", e)
 }

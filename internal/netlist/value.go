@@ -103,11 +103,18 @@ func FormatValue(v float64) string {
 			return trimFloat(v/u.mult) + u.suf
 		}
 	}
-	return fmt.Sprintf("%.10g", v)
+	return trimFloat(v)
 }
 
 func trimFloat(v float64) string {
 	// Ten significant digits: reduced-network element values must survive
 	// a write/parse round trip without visibly perturbing waveforms.
-	return strconv.FormatFloat(v, 'g', 10, 64)
+	s := strconv.FormatFloat(v, 'g', 10, 64)
+	// Rounding to ten digits can carry values at the very edge of the
+	// float64 range past it (MaxFloat64 becomes 1.797693135e+308, which
+	// overflows on re-parse); fall back to the shortest exact form.
+	if f, err := strconv.ParseFloat(s, 64); err != nil || math.IsInf(f, 0) {
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return s
 }

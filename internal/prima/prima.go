@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/chol"
 	"repro/internal/core"
 	"repro/internal/dense"
@@ -150,6 +151,13 @@ func Reduce(sys *core.System, q int, s0 float64, ordering order.Method) (*Model,
 	}
 	gr.Symmetrize()
 	cr.Symmetrize()
+	if check.Enabled {
+		// The projection VᵀGV, VᵀCV is a congruence, so the reduced
+		// matrices must stay non-negative definite — PRIMA's passivity
+		// argument, checked here directly.
+		check.NonNegDef("PRIMA projected conductance", gr, check.DefaultTol)
+		check.NonNegDef("PRIMA projected susceptance", cr, check.DefaultTol)
+	}
 	for j := 0; j < m; j++ {
 		for i := 0; i < k; i++ {
 			br.Set(i, j, basis[i][sym.Inv[j]])

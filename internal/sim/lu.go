@@ -188,6 +188,7 @@ func LUFactor[T Numeric](n int, colPtr, rowIdx []int, vals []T, q []int, abs fun
 func (lu *SparseLU[T]) Solve(b []T) {
 	n := lu.N
 	if len(b) != n {
+		//lint:ignore panicpolicy dimension mismatch is a programmer error, and Solve sits on the per-timestep hot path where an error return would be dead weight
 		panic("sim: LU solve dimension mismatch")
 	}
 	x := make([]T, n)

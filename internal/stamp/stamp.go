@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/dense"
 	"repro/internal/netlist"
@@ -179,6 +180,10 @@ func Extract(deck *netlist.Deck, extraPorts ...string) (*Extraction, error) {
 		}
 	}
 	g, c := gb.Build(), cb.Build()
+	if check.Enabled {
+		check.SymmetricCSR("stamped conductance matrix", g, check.DefaultTol)
+		check.SymmetricCSR("stamped susceptance matrix", c, check.DefaultTol)
+	}
 	ports := make([]int, m)
 	for i := range ports {
 		ports[i] = i

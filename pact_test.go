@@ -145,7 +145,10 @@ func TestReducedDeckSimulates(t *testing.T) {
 func TestReduceSystemACAccuracy(t *testing.T) {
 	// Substrate-style mesh: reduced admittance within tolerance below
 	// fmax (the Figure 5 property) on a small mesh.
-	deck, ports := netgen.Mesh3D(netgen.MeshOpts{NX: 5, NY: 5, NZ: 4, REdge: 400, CSurf: 15e-15, NPorts: 9})
+	deck, ports, err := netgen.Mesh3D(netgen.MeshOpts{NX: 5, NY: 5, NZ: 4, REdge: 400, CSurf: 15e-15, NPorts: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ex, err := stamp.Extract(deck, ports...)
 	if err != nil {
 		t.Fatal(err)
@@ -443,7 +446,10 @@ func TestPaperScaleSubstrate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paper-scale run skipped in short mode")
 	}
-	deck, ports := netgen.Mesh3D(netgen.SmallMeshOpts())
+	deck, ports, err := netgen.Mesh3D(netgen.SmallMeshOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	ex, err := stamp.Extract(deck, ports...)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full verification pass: build, vet, domain lint, race-enabled tests,
+# invariant-checked (pactcheck) tests, and a fuzz smoke run. CI executes
+# exactly this script; run it locally before sending a change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build (default and pactcheck)"
+go build ./...
+go build -tags pactcheck ./...
+
+echo "== go vet (default and pactcheck)"
+go vet ./...
+go vet -tags pactcheck ./...
+
+echo "== pactlint"
+go run ./cmd/pactlint ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== invariant-checked tests (-tags pactcheck)"
+go test -tags pactcheck ./internal/check/ ./internal/core/ ./internal/prima/ \
+    ./internal/lanczos/ ./internal/stamp/
+
+echo "== fuzz smoke (10s per target)"
+# go test rejects a -fuzz pattern matching several targets, so run them
+# one at a time.
+for target in FuzzParse FuzzParseValue FuzzTokenize FuzzFormatValue FuzzWaveform; do
+    go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime 10s ./internal/netlist/
+done
+
+echo "all checks passed"
