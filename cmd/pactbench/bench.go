@@ -1,0 +1,222 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/experiments"
+	"repro/internal/netgen"
+	"repro/internal/par"
+	"repro/internal/stamp"
+)
+
+// BenchReport is the machine-readable benchmark output of pactbench
+// -json: environment metadata plus serial (GOMAXPROCS=1) and parallel
+// (ambient GOMAXPROCS) timings per kernel. The speedup field is the
+// measured serial/parallel ratio on the machine that produced the file —
+// meaningful only alongside num_cpu/gomaxprocs, which is why both are
+// recorded.
+type BenchReport struct {
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	NumCPU      int           `json:"num_cpu"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	BenchTimeNs int64         `json:"bench_time_ns"`
+	Results     []BenchResult `json:"results"`
+}
+
+// BenchResult is one kernel's measurement.
+type BenchResult struct {
+	Name            string  `json:"name"`
+	SerialNsPerOp   float64 `json:"serial_ns_per_op"`
+	ParallelNsPerOp float64 `json:"parallel_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	SerialIters     int     `json:"serial_iters"`
+	ParallelIters   int     `json:"parallel_iters"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	BytesPerOp      float64 `json:"bytes_per_op"`
+}
+
+// benchCase is a named operation prepared once and timed under both
+// GOMAXPROCS settings.
+type benchCase struct {
+	name string
+	op   func() error
+}
+
+// measure times op until benchtime has elapsed (at least one iteration)
+// and reports ns/op plus allocation rates from the runtime.MemStats
+// deltas (global counters, so allocations on pool goroutines are
+// included).
+func measure(op func() error, benchtime time.Duration) (nsPerOp, allocsPerOp, bytesPerOp float64, iters int, err error) {
+	if err := op(); err != nil { // warm-up: caches, one-time symbolic work
+		return 0, 0, 0, 0, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var elapsed time.Duration
+	for elapsed < benchtime {
+		if err := op(); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		iters++
+		elapsed = time.Since(start)
+	}
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return float64(elapsed.Nanoseconds()) / n,
+		float64(after.Mallocs-before.Mallocs) / n,
+		float64(after.TotalAlloc-before.TotalAlloc) / n,
+		iters, nil
+}
+
+// benchCases builds the benchmark set. "kernels" covers the parallelized
+// primitives (fast enough for a CI smoke run); "all" adds end-to-end
+// experiment regenerations.
+func benchCases(set string) ([]benchCase, error) {
+	mat := dense.New(512, 512)
+	mat2 := dense.New(512, 512)
+	fillMat(mat, 1)
+	fillMat(mat2, 2)
+	vecMat := dense.New(1024, 1024)
+	fillMat(vecMat, 3)
+	vec := make([]float64, 1024)
+	for i := range vec {
+		vec[i] = float64(i%13) * 0.5
+	}
+
+	deck, ports, err := netgen.Mesh3D(netgen.SmallMeshOpts())
+	if err != nil {
+		return nil, err
+	}
+	ex, err := stamp.Extract(deck, ports...)
+	if err != nil {
+		return nil, err
+	}
+	sys := ex.Sys
+	opts := core.Options{FMax: 3e9, Tol: 0.05}
+	tr, _, err := core.Transform1(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	sweep := make([]float64, 16)
+	for i := range sweep {
+		sweep[i] = 1e7 * math.Pow(10, 3*float64(i)/15)
+	}
+
+	cases := []benchCase{
+		{"dense.Mul/512x512", func() error {
+			dense.Mul(mat, mat2)
+			return nil
+		}},
+		{"dense.MulVec/1024x1024", func() error {
+			vecMat.MulVec(vec)
+			return nil
+		}},
+		{"core.Transform1/mesh25", func() error {
+			_, _, err := core.Transform1(sys, opts)
+			return err
+		}},
+		{"core.RPrimeBlock/mesh25", func() error {
+			tr.RPrimeBlock()
+			return nil
+		}},
+		{"core.YSweep/mesh25x16", func() error {
+			_, err := sys.YSweep(sweep, par.Workers(len(sweep)))
+			return err
+		}},
+		{"core.Reduce/mesh25", func() error {
+			_, _, err := core.Reduce(sys, opts)
+			return err
+		}},
+	}
+	if set == "all" {
+		for _, name := range []string{"eq20", "sparsify"} {
+			name := name
+			cases = append(cases, benchCase{"experiments/" + name, func() error {
+				return experiments.Run(name, io.Discard, false)
+			}})
+		}
+	}
+	return cases, nil
+}
+
+func fillMat(m *dense.Mat, seed uint64) {
+	s := seed
+	for i := range m.Data {
+		s = s*6364136223846793005 + 1442695040888963407
+		m.Data[i] = float64(int64(s>>11)) / float64(1<<52)
+	}
+}
+
+// runBenchJSON executes the benchmark set serially (GOMAXPROCS=1) and at
+// the ambient GOMAXPROCS and writes the report as JSON to path ("-" for
+// stdout).
+func runBenchJSON(path, set string, benchtime time.Duration, stdout io.Writer) error {
+	if set != "kernels" && set != "all" {
+		return fmt.Errorf("unknown -benchset %q (want kernels or all)", set)
+	}
+	if benchtime <= 0 {
+		return fmt.Errorf("-benchtime must be positive, got %v", benchtime)
+	}
+	cases, err := benchCases(set)
+	if err != nil {
+		return err
+	}
+	ambient := runtime.GOMAXPROCS(0)
+	report := &BenchReport{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  ambient,
+		BenchTimeNs: benchtime.Nanoseconds(),
+	}
+	for _, bc := range cases {
+		runtime.GOMAXPROCS(1)
+		serialNs, _, _, serialIters, err := measure(bc.op, benchtime)
+		runtime.GOMAXPROCS(ambient)
+		if err != nil {
+			return fmt.Errorf("%s (serial): %w", bc.name, err)
+		}
+		parNs, allocs, bytes, parIters, err := measure(bc.op, benchtime)
+		if err != nil {
+			return fmt.Errorf("%s (parallel): %w", bc.name, err)
+		}
+		report.Results = append(report.Results, BenchResult{
+			Name:            bc.name,
+			SerialNsPerOp:   serialNs,
+			ParallelNsPerOp: parNs,
+			Speedup:         serialNs / parNs,
+			SerialIters:     serialIters,
+			ParallelIters:   parIters,
+			AllocsPerOp:     allocs,
+			BytesPerOp:      bytes,
+		})
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d benchmarks, GOMAXPROCS %d, %d CPUs)\n",
+		path, len(report.Results), ambient, report.NumCPU)
+	return nil
+}

@@ -5,9 +5,15 @@
 //	pactbench -ex all            # every experiment, quick scale
 //	pactbench -ex table2 -full   # one experiment at paper scale
 //	pactbench -list              # list experiments
+//	pactbench -json BENCH.json   # machine-readable kernel benchmarks
 //
 // Quick scale keeps every run under a few seconds; -full uses the paper's
 // problem sizes (table4 at full scale takes roughly a minute).
+//
+// The -json mode times each parallelized kernel twice — at GOMAXPROCS=1
+// and at the ambient GOMAXPROCS — and writes ns/op, allocations per op
+// and the measured speedup together with the machine's CPU count, so a
+// committed report stays interpretable.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -34,8 +41,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	full := fs.Bool("full", false, "run at paper scale instead of quick scale")
 	list := fs.Bool("list", false, "list experiments and exit")
 	outDir := fs.String("o", "", "write each experiment's report to <dir>/<name>.txt instead of stdout")
+	jsonOut := fs.String("json", "", "benchmark the parallel kernels and write a JSON report to this file ('-' for stdout)")
+	benchset := fs.String("benchset", "kernels", "benchmark set for -json: kernels (fast) or all (adds experiment regenerations)")
+	benchtime := fs.Duration("benchtime", 200*time.Millisecond, "minimum measuring time per benchmark leg for -json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut != "" {
+		return runBenchJSON(*jsonOut, *benchset, *benchtime, stdout)
 	}
 	if *list {
 		for _, e := range experiments.Registry {

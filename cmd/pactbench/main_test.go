@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,6 +35,44 @@ func TestRunUnknownExperiment(t *testing.T) {
 	var out, errw bytes.Buffer
 	if err := run([]string{"-ex", "zzz"}, &out, &errw); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH.json")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-json", path, "-benchset", "kernels", "-benchtime", "1ms"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH.json is not valid JSON: %v\n%s", err, data)
+	}
+	if report.NumCPU < 1 || report.GOMAXPROCS < 1 || report.GoVersion == "" {
+		t.Fatalf("report missing environment metadata: %+v", report)
+	}
+	if len(report.Results) < 5 {
+		t.Fatalf("expected the kernel benchmark set, got %d results", len(report.Results))
+	}
+	for _, r := range report.Results {
+		if r.SerialNsPerOp <= 0 || r.ParallelNsPerOp <= 0 || r.SerialIters < 1 || r.ParallelIters < 1 {
+			t.Fatalf("degenerate measurement: %+v", r)
+		}
+		if r.Speedup <= 0 {
+			t.Fatalf("non-positive speedup: %+v", r)
+		}
+	}
+}
+
+func TestRunBenchJSONRejectsBadSet(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-json", "-", "-benchset", "bogus"}, &out, &errw); err == nil {
+		t.Fatal("bogus benchset accepted")
 	}
 }
 

@@ -9,8 +9,26 @@ import (
 	"repro/internal/dense"
 	"repro/internal/lanczos"
 	"repro/internal/order"
+	"repro/internal/par"
 	"repro/internal/sparse"
 )
+
+// workCounters accumulates solve/matvec counts on a single worker of a
+// parallel region; Stats.merge folds the per-worker deltas back into the
+// shared Stats in a fixed order, keeping the counters exact (and the
+// whole pipeline free of shared mutable state inside pool bodies).
+type workCounters struct {
+	solves  int
+	matVecs int
+}
+
+// merge folds per-worker counters into the stats.
+func (s *Stats) merge(wcs []workCounters) {
+	for _, wc := range wcs {
+		s.Solves += wc.solves
+		s.MatVecs += wc.matVecs
+	}
+}
 
 // Options configures the PACT reduction.
 type Options struct {
@@ -230,37 +248,58 @@ func Transform1(sys *System, opts Options) (*Transformed, *Stats, error) {
 
 	// A′ = A − QᵀX,  B′ = B − S − Sᵀ + T with S = RᵀX and T = QᵀZ,
 	// Z = D⁻¹EX (so T_ij = x_iᵀ E x_j, computed with sparse dots only).
+	//
+	// The m port columns are independent multi-RHS solves against the one
+	// Cholesky factor, so they fan out across the worker pool; worker w
+	// owns scratch[w], and column j owns every mirrored write pair
+	// {(i,j),(j,i)} with i ≤ j, so no two goroutines touch the same cell
+	// and the result is bit-identical at any GOMAXPROCS. Symmetry of A′
+	// and T is constructional (dense.SetSym mirrors the i ≤ j values);
+	// S = RᵀX is genuinely unsymmetric and is kept in full.
 	aPrime := denseFromCSR(sys.A, m)
 	bPrime := denseFromCSR(sys.B, m)
 	sMat := dense.New(m, m)
 	tMat := dense.New(m, m)
-	qtx := make([]float64, m)
-	rtx := make([]float64, m)
-	qtz := make([]float64, m)
-	w := make([]float64, n)
-	xbuf := make([]float64, n)
-	for j := 0; j < m; j++ {
-		x := t.columnX(j, xbuf)
-		qpT.MulVec(qtx, x)
-		rpT.MulVec(rtx, x)
-		ep.MulVec(w, x)
-		stats.MatVecs++
-		fact.Solve(w) // w := z_j = D⁻¹ E x_j
-		stats.Solves++
-		qpT.MulVec(qtz, w)
+	type t1Scratch struct {
+		qtx, rtx, qtz, w, x []float64
+	}
+	workers := par.Workers(m)
+	scratch := make([]t1Scratch, workers)
+	wcs := make([]workCounters, workers)
+	for w := range scratch {
+		scratch[w] = t1Scratch{
+			qtx: make([]float64, m),
+			rtx: make([]float64, m),
+			qtz: make([]float64, m),
+			w:   make([]float64, n),
+			x:   make([]float64, n),
+		}
+	}
+	par.ForWorkers(m, func(w, j int) {
+		scr := &scratch[w]
+		wc := &wcs[w]
+		x := t.columnX(j, scr.x, wc)
+		qpT.MulVec(scr.qtx, x)
+		rpT.MulVec(scr.rtx, x)
+		ep.MulVec(scr.w, x)
+		wc.matVecs++
+		fact.Solve(scr.w) // scr.w := z_j = D⁻¹ E x_j
+		wc.solves++
+		qpT.MulVec(scr.qtz, scr.w)
 		for i := 0; i < m; i++ {
-			aPrime.Add(i, j, -qtx[i])
-			sMat.Set(i, j, rtx[i])
-			tMat.Set(i, j, qtz[i])
+			sMat.Set(i, j, scr.rtx[i])
 		}
-	}
+		for i := 0; i <= j; i++ {
+			aPrime.SetSym(i, j, aPrime.At(i, j)-scr.qtx[i])
+			tMat.SetSym(i, j, scr.qtz[i])
+		}
+	})
+	stats.merge(wcs)
 	for i := 0; i < m; i++ {
-		for j := 0; j < m; j++ {
-			bPrime.Add(i, j, -sMat.At(i, j)-sMat.At(j, i)+tMat.At(i, j))
+		for j := i; j < m; j++ {
+			bPrime.SetSym(i, j, bPrime.At(i, j)-sMat.At(i, j)-sMat.At(j, i)+tMat.At(i, j))
 		}
 	}
-	aPrime.Symmetrize()
-	bPrime.Symmetrize()
 	if check.Enabled {
 		// Congruence preserves symmetry and definiteness: the exact port
 		// blocks of Transform 1 must inherit both from the input system.
@@ -275,8 +314,10 @@ func Transform1(sys *System, opts Options) (*Transformed, *Stats, error) {
 }
 
 // columnX returns column j of X = D⁻¹Q, from the cache when enabled,
-// recomputed into buf otherwise.
-func (t *Transformed) columnX(j int, buf []float64) []float64 {
+// recomputed into buf otherwise. Solve counts go to wc, never to the
+// shared stats, so concurrent callers for distinct j are race-free (the
+// cache slot write is per-j and thus owned by exactly one goroutine).
+func (t *Transformed) columnX(j int, buf []float64, wc *workCounters) []float64 {
 	if t.cacheX && t.xCache[j] != nil {
 		return t.xCache[j]
 	}
@@ -288,7 +329,7 @@ func (t *Transformed) columnX(j int, buf []float64) []float64 {
 		buf[i] = vals[p]
 	}
 	t.fact.Solve(buf)
-	t.stats.Solves++
+	wc.solves++
 	if t.cacheX {
 		t.xCache[j] = append([]float64(nil), buf...)
 		return t.xCache[j]
@@ -303,11 +344,23 @@ func (t *Transformed) EOp() lanczos.Operator {
 
 // RPrimeColumn computes column j of R′ = L⁻¹(R − EX) into dst (length N).
 // Forming all of R′ takes the m·n memory the Padé-based methods need and
-// PACT avoids; it is exported for exactly that comparison.
+// PACT avoids; it is exported for exactly that comparison. It updates the
+// shared statistics and is therefore not safe for concurrent use — batch
+// callers should use RPrimeBlock, which fans the independent port columns
+// out across the worker pool.
 func (t *Transformed) RPrimeColumn(j int, dst []float64) {
-	x := t.columnX(j, make([]float64, t.N))
+	var wc workCounters
+	t.rPrimeColumn(j, dst, make([]float64, t.N), &wc)
+	t.stats.Solves += wc.solves
+	t.stats.MatVecs += wc.matVecs
+}
+
+// rPrimeColumn is the reentrant core of RPrimeColumn: xbuf is scratch for
+// the X column (unused when cached) and counters go to wc.
+func (t *Transformed) rPrimeColumn(j int, dst, xbuf []float64, wc *workCounters) {
+	x := t.columnX(j, xbuf, wc)
 	t.ep.MulVec(dst, x)
-	t.stats.MatVecs++
+	wc.matVecs++
 	for i := range dst {
 		dst[i] = -dst[i]
 	}
@@ -316,7 +369,29 @@ func (t *Transformed) RPrimeColumn(j int, dst []float64) {
 		dst[i] += vals[p]
 	}
 	t.fact.LSolve(dst)
-	t.stats.Solves++
+	wc.solves++
+}
+
+// RPrimeBlock computes all M columns of R′ = L⁻¹(R − EX) as a parallel
+// multi-RHS triangular solve: each worker owns one scratch X buffer and
+// the columns land in index order, bit-identical to M serial
+// RPrimeColumn calls.
+func (t *Transformed) RPrimeBlock() [][]float64 {
+	m, n := t.M, t.N
+	out := make([][]float64, m)
+	workers := par.Workers(m)
+	wcs := make([]workCounters, workers)
+	xbufs := make([][]float64, workers)
+	for w := range xbufs {
+		xbufs[w] = make([]float64, n)
+	}
+	par.ForWorkers(m, func(w, j int) {
+		col := make([]float64, n)
+		t.rPrimeColumn(j, col, xbufs[w], &wcs[w])
+		out[j] = col
+	})
+	t.stats.merge(wcs)
+	return out
 }
 
 // Stats returns the running statistics of this transform.
@@ -345,7 +420,7 @@ func (t *Transformed) Transform2(opts Options) (*ReducedModel, error) {
 	var err error
 	if opts.DenseThreshold >= 0 && n <= opts.DenseThreshold {
 		stats.DenseEig = true
-		vals, uk, err = denseEigAbove(op, stats.LambdaC)
+		vals, uk, err = t.denseEigAbove(stats.LambdaC)
 		if err != nil {
 			return nil, err
 		}
@@ -381,27 +456,37 @@ func (t *Transformed) Transform2(opts Options) (*ReducedModel, error) {
 	stats.PolesFound = k
 
 	// R_k = Ukᵀ R′ = Zkᵀ P with Zk = L⁻ᵀ Uk and P = R − EX, assembled
-	// column by column: R_k[c][j] = z_cᵀ r_j − (E z_c)ᵀ x_j.
+	// column by column: R_k[c][j] = z_cᵀ r_j − (E z_c)ᵀ x_j. Both stages
+	// are independent per column (k triangular solves, then m projection
+	// columns), so each fans out across the pool with per-worker counters
+	// and scratch; every slot is written by exactly one goroutine.
 	rk := dense.New(k, m)
 	if k > 0 {
 		zk := make([][]float64, k)
 		ez := make([][]float64, k)
-		for c := 0; c < k; c++ {
+		zwcs := make([]workCounters, par.Workers(k))
+		par.ForWorkers(k, func(w, c int) {
 			z := make([]float64, n)
 			for i := 0; i < n; i++ {
 				z[i] = uk.At(i, c)
 			}
 			t.fact.LTSolve(z)
-			stats.Solves++
+			zwcs[w].solves++
 			zk[c] = z
 			e := make([]float64, n)
 			t.ep.MulVec(e, z)
-			stats.MatVecs++
+			zwcs[w].matVecs++
 			ez[c] = e
+		})
+		stats.merge(zwcs)
+		workers := par.Workers(m)
+		wcs := make([]workCounters, workers)
+		xbufs := make([][]float64, workers)
+		for w := range xbufs {
+			xbufs[w] = make([]float64, n)
 		}
-		xbuf := make([]float64, n)
-		for j := 0; j < m; j++ {
-			x := t.columnX(j, xbuf)
+		par.ForWorkers(m, func(w, j int) {
+			x := t.columnX(j, xbufs[w], &wcs[w])
 			cols, vals2 := t.rpT.Row(j) // column j of permuted R
 			for c := 0; c < k; c++ {
 				s := 0.0
@@ -411,7 +496,8 @@ func (t *Transformed) Transform2(opts Options) (*ReducedModel, error) {
 				s -= sparse.Dot(ez[c], x)
 				rk.Set(c, j, s)
 			}
-		}
+		})
+		stats.merge(wcs)
 	}
 
 	model := &ReducedModel{M: m, Lambda: vals, A: t.APrime, B: t.BPrime, R: rk}
@@ -475,23 +561,36 @@ func pruneWeakPoles(model *ReducedModel, opts Options, stats *Stats) *ReducedMod
 
 // denseEigAbove builds E′ explicitly by applying the operator to unit
 // vectors and solves the dense symmetric eigenproblem — the exact
-// reference path for small internal blocks.
-func denseEigAbove(op lanczos.Operator, cutoff float64) ([]float64, *dense.Mat, error) {
-	n := op.Dim()
+// reference path for small internal blocks, doubling as the
+// cross-validation of the Lanczos path. The n independent operator
+// columns fan out across the pool (each worker owns a stats-free E′
+// operator and its scratch); column j owns the mirrored pair writes for
+// i ≤ j, so E′ is constructionally symmetric and bit-identical at every
+// GOMAXPROCS. The QL eigensolve itself is inherently sequential.
+func (t *Transformed) denseEigAbove(cutoff float64) ([]float64, *dense.Mat, error) {
+	n := t.N
 	eMat := dense.New(n, n)
-	src := make([]float64, n)
-	dst := make([]float64, n)
-	for j := 0; j < n; j++ {
+	workers := par.Workers(n)
+	ops := make([]*ePrimeOp, workers)
+	srcs := make([][]float64, workers)
+	dsts := make([][]float64, workers)
+	for w := range ops {
+		ops[w] = &ePrimeOp{n: n, fact: t.fact, ep: t.ep, tmp: make([]float64, n)}
+		srcs[w] = make([]float64, n)
+		dsts[w] = make([]float64, n)
+	}
+	par.ForWorkers(n, func(w, j int) {
+		src, dst := srcs[w], dsts[w]
 		for i := range src {
 			src[i] = 0
 		}
 		src[j] = 1
-		op.Apply(dst, src)
-		for i := 0; i < n; i++ {
-			eMat.Set(i, j, dst[i])
+		ops[w].Apply(dst, src)
+		for i := 0; i <= j; i++ {
+			eMat.SetSym(i, j, dst[i])
 		}
-	}
-	eMat.Symmetrize()
+	})
+	t.stats.MatVecs += n
 	vals, vecs, err := dense.SymEig(eMat, true)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: dense eigensolve of E′: %w", err)

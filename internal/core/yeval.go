@@ -3,11 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"repro/internal/chol"
 	"repro/internal/dense"
 	"repro/internal/order"
+	"repro/internal/par"
 	"repro/internal/sparse"
 )
 
@@ -160,51 +160,19 @@ func TransimpedanceOf(y *dense.CMat, i, j int) (complex128, error) {
 // YSweep evaluates the exact multiport admittance at every frequency of
 // the sweep (Hz, evaluated at s = j2πf) using up to workers goroutines
 // (workers <= 1 runs serially). The factorizations per frequency are
-// independent, so this is an embarrassingly parallel version of the
-// dominant cost of full-network AC verification.
+// independent, so the sweep fans out over the par pool — the dominant
+// cost of full-network AC verification. Each result lands in its own
+// index slot and errors are reported by lowest failing frequency index,
+// so the outcome is identical at every worker count.
 func (s *System) YSweep(freqs []float64, workers int) ([]*dense.CMat, error) {
 	if err := s.initYEval(); err != nil {
 		return nil, err
 	}
 	out := make([]*dense.CMat, len(freqs))
-	if workers <= 1 || len(freqs) < 2 {
-		for k, f := range freqs {
-			y, err := s.Y(complex(0, 2*math.Pi*f))
-			if err != nil {
-				return nil, err
-			}
-			out[k] = y
-		}
-		return out, nil
-	}
-	if workers > len(freqs) {
-		workers = len(freqs)
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, workers)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			for k := range next {
-				if errs[id] != nil {
-					continue // drain so the feeder never blocks
-				}
-				y, err := s.Y(complex(0, 2*math.Pi*freqs[k]))
-				if err != nil {
-					errs[id] = err
-					continue
-				}
-				out[k] = y
-			}
-		}(w)
-	}
-	for k := range freqs {
-		next <- k
-	}
-	close(next)
-	wg.Wait()
+	errs := make([]error, len(freqs))
+	par.Do(workers, len(freqs), func(_, k int) {
+		out[k], errs[k] = s.Y(complex(0, 2*math.Pi*freqs[k]))
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

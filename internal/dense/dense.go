@@ -8,6 +8,8 @@ package dense
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/par"
 )
 
 // Mat is a dense row-major matrix.
@@ -59,6 +61,16 @@ func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.C+j] = v }
 // Add accumulates v into element (i, j).
 func (m *Mat) Add(i, j int, v float64) { m.Data[i*m.C+j] += v }
 
+// SetSym assigns v to both (i, j) and (j, i), making symmetry
+// constructional: a matrix filled only through SetSym (one triangle's
+// worth of computed values, mirrored at write time) is exactly symmetric
+// with no post-hoc Symmetrize averaging. In parallel fills, the pair
+// {(i,j), (j,i)} must be written by a single goroutine.
+func (m *Mat) SetSym(i, j int, v float64) {
+	m.Data[i*m.C+j] = v
+	m.Data[j*m.C+i] = v
+}
+
 // Row returns row i as a sub-slice of the backing storage.
 func (m *Mat) Row(i int) []float64 { return m.Data[i*m.C : (i+1)*m.C] }
 
@@ -85,35 +97,113 @@ func (m *Mat) Scale(f float64) {
 	}
 }
 
-// Mul returns a*b.
+// Cache-tiling parameters for the blocked Mul kernel. A k-tile of B
+// (mulBlockK rows × mulBlockJ columns ≈ 128 KiB) stays resident across a
+// whole row panel of A, and each output-row segment (mulBlockJ entries,
+// 2 KiB) lives in L1 while its k-tile accumulates. Below
+// mulSerialFlops (multiply-adds) the triple loop runs unblocked and
+// inline so small products pay no tiling or pool overhead.
+const (
+	mulBlockK      = 64
+	mulBlockJ      = 256
+	mulSerialFlops = 1 << 18
+)
+
+// Mul returns a*b using a cache-tiled kernel with row-panel parallelism
+// for large products. For every output entry the k-summation runs in
+// ascending index order with structural zeros of a skipped, exactly as
+// in the serial triple loop, so the result is bit-identical at every
+// GOMAXPROCS and to the small-product fallback.
 func Mul(a, b *Mat) *Mat {
 	if a.C != b.R {
 		panic(fmt.Sprintf("dense: Mul dimension mismatch %dx%d * %dx%d", a.R, a.C, b.R, b.C))
 	}
 	out := New(a.R, b.C)
-	for i := 0; i < a.R; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, aik := range arow {
-			if aik == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bkj := range brow {
-				orow[j] += aik * bkj
-			}
-		}
+	if int64(a.R)*int64(a.C)*int64(b.C) < mulSerialFlops {
+		mulRows(out, a, b, 0, a.R)
+		return out
 	}
+	workers := par.Workers(a.R)
+	panel := (a.R + workers - 1) / workers
+	par.For(workers, func(p int) {
+		i0 := p * panel
+		i1 := i0 + panel
+		if i1 > a.R {
+			i1 = a.R
+		}
+		if i0 < i1 {
+			mulRows(out, a, b, i0, i1)
+		}
+	})
 	return out
 }
 
-// MulVec returns A x as a new slice.
+// mulRows computes rows [i0, i1) of out = a*b with k- and j-tiling. The
+// k tiles advance in ascending order, so per output entry the
+// accumulation order matches the naive i-k-j loop exactly.
+func mulRows(out, a, b *Mat, i0, i1 int) {
+	n, p := a.C, b.C
+	for kk := 0; kk < n; kk += mulBlockK {
+		kend := kk + mulBlockK
+		if kend > n {
+			kend = n
+		}
+		for jj := 0; jj < p; jj += mulBlockJ {
+			jend := jj + mulBlockJ
+			if jend > p {
+				jend = p
+			}
+			for i := i0; i < i1; i++ {
+				arow := a.Row(i)
+				orow := out.Row(i)[jj:jend]
+				for k := kk; k < kend; k++ {
+					aik := arow[k]
+					if aik == 0 {
+						continue
+					}
+					brow := b.Row(k)[jj:jend]
+					for j, bkj := range brow {
+						orow[j] += aik * bkj
+					}
+				}
+			}
+		}
+	}
+}
+
+// mulVecSerialFlops is the multiply-add count below which MulVec stays
+// serial; one matrix row is always computed by one goroutine, so the
+// result is bit-identical at every GOMAXPROCS.
+const mulVecSerialFlops = 1 << 16
+
+// MulVec returns A x as a new slice, computing row panels in parallel
+// for large matrices.
 func (m *Mat) MulVec(x []float64) []float64 {
 	if len(x) != m.C {
 		panic("dense: MulVec dimension mismatch")
 	}
 	out := make([]float64, m.R)
-	for i := 0; i < m.R; i++ {
+	if int64(m.R)*int64(m.C) < mulVecSerialFlops {
+		m.mulVecRows(out, x, 0, m.R)
+		return out
+	}
+	workers := par.Workers(m.R)
+	panel := (m.R + workers - 1) / workers
+	par.For(workers, func(p int) {
+		i0 := p * panel
+		i1 := i0 + panel
+		if i1 > m.R {
+			i1 = m.R
+		}
+		if i0 < i1 {
+			m.mulVecRows(out, x, i0, i1)
+		}
+	})
+	return out
+}
+
+func (m *Mat) mulVecRows(out, x []float64, i0, i1 int) {
+	for i := i0; i < i1; i++ {
 		row := m.Row(i)
 		s := 0.0
 		for j, v := range row {
@@ -121,7 +211,6 @@ func (m *Mat) MulVec(x []float64) []float64 {
 		}
 		out[i] = s
 	}
-	return out
 }
 
 // AddScaled computes m += f*b in place.

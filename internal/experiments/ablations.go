@@ -12,6 +12,7 @@ import (
 	"repro/internal/netgen"
 	"repro/internal/netlist"
 	"repro/internal/order"
+	"repro/internal/par"
 	"repro/internal/stamp"
 )
 
@@ -38,16 +39,15 @@ func Sparsify(w io.Writer, full bool) error {
 	}
 	freqs := []float64{1e8, 3e8, 1e9, 2e9, 3e9}
 	iMon, jDrv := 0, ex.Sys.M/2
-	zref := make([]complex128, len(freqs))
-	for k, f := range freqs {
-		y, err := ex.Sys.Y(complex(0, 2*math.Pi*f))
-		if err != nil {
-			return err
-		}
-		zref[k], err = core.TransimpedanceOf(y, iMon, jDrv)
-		if err != nil {
-			return err
-		}
+	ys, err := ex.Sys.YSweep(freqs, par.Workers(len(freqs)))
+	if err != nil {
+		return err
+	}
+	zref, err := par.Map(len(freqs), func(k int) (complex128, error) {
+		return core.TransimpedanceOf(ys[k], iMon, jDrv)
+	})
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(w, "reduced model: %d ports + %d poles; error measured on |Z(%d,%d)| below fmax\n\n",
 		model.M, model.K(), iMon, jDrv)

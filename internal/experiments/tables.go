@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netgen"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/stamp"
 )
@@ -123,21 +124,18 @@ func Table2(w io.Writer, full bool) error {
 	freqs := sim.LogSpace(10e6, 10e9, 81)
 	iMon, jDrv := 2, 12 // monitor port, an "NMOS body" port
 
-	// Original AC sweep (exact Y(s) per frequency).
-	zOrig := make([]complex128, len(freqs))
+	// Original AC sweep (exact Y(s) per frequency), with the independent
+	// frequency points fanned out across the worker pool.
+	var zOrig []complex128
 	acOrig, err := timeIt(func() error {
-		for k, f := range freqs {
-			y, err := ex.Sys.Y(complex(0, 2*math.Pi*f))
-			if err != nil {
-				return err
-			}
-			z, err := core.TransimpedanceOf(y, iMon, jDrv)
-			if err != nil {
-				return err
-			}
-			zOrig[k] = z
+		ys, err := ex.Sys.YSweep(freqs, par.Workers(len(freqs)))
+		if err != nil {
+			return err
 		}
-		return nil
+		zOrig, err = par.Map(len(freqs), func(k int) (complex128, error) {
+			return core.TransimpedanceOf(ys[k], iMon, jDrv)
+		})
+		return err
 	})
 	if err != nil {
 		return err
@@ -170,17 +168,14 @@ func Table2(w io.Writer, full bool) error {
 		if err != nil {
 			return err
 		}
-		z := make([]complex128, len(freqs))
+		var z []complex128
 		acTime, err := timeIt(func() error {
-			for k, f := range freqs {
-				y := model.Y(complex(0, 2*math.Pi*f))
-				zz, err := core.TransimpedanceOf(y, iMon, jDrv)
-				if err != nil {
-					return err
-				}
-				z[k] = zz
-			}
-			return nil
+			var e error
+			z, e = par.Map(len(freqs), func(k int) (complex128, error) {
+				y := model.Y(complex(0, 2*math.Pi*freqs[k]))
+				return core.TransimpedanceOf(y, iMon, jDrv)
+			})
+			return e
 		})
 		if err != nil {
 			return err

@@ -254,6 +254,40 @@ func NotHotPackage(n int) {
 	wantLines(t, runRule(t, l, "internal/cold", "defersmell"))
 }
 
+// TestDefersmellParIsHot pins internal/par into the hot-package set: the
+// worker-pool layer sits under every parallel hot loop, so per-iteration
+// dense allocation or vector cloning there multiplies across all callers.
+func TestDefersmellParIsHot(t *testing.T) {
+	t.Parallel()
+	l := fixtureLoader(t, map[string]string{
+		"internal/dense/dense.go": `package dense
+
+type Mat struct{ R, C int }
+
+func New(r, c int) *Mat { return &Mat{R: r, C: c} }
+`,
+		"internal/par/par.go": `package par
+
+import "fixturemod/internal/dense"
+
+func Bad(n int, scratch []float64) {
+	for i := 0; i < n; i++ {
+		_ = dense.New(n, n)
+		_ = append([]float64(nil), scratch...)
+	}
+}
+
+func Ok(n int) {
+	bufs := make([][]float64, n)
+	for w := range bufs {
+		bufs[w] = make([]float64, n)
+	}
+}
+`,
+	})
+	wantLines(t, runRule(t, l, "internal/par", "defersmell"), 7, 8)
+}
+
 func TestExitpolicy(t *testing.T) {
 	t.Parallel()
 	l := fixtureLoader(t, map[string]string{

@@ -258,7 +258,7 @@ func panicMessageOK(p *Package, arg ast.Expr, prefix string) bool {
 // allocation there is a performance bug unless deliberately part of the
 // algorithm's memory model — in which case it carries a //lint:ignore
 // with the reason.
-var hotAllocSuffixes = []string{"/internal/core", "/internal/lanczos"}
+var hotAllocSuffixes = []string{"/internal/core", "/internal/lanczos", "/internal/par"}
 
 // defersmellRule flags defer statements inside loops (they pile up until
 // function exit — a classic leak with per-iteration resources), and

@@ -53,12 +53,8 @@ func Reduce(sys *core.System, q int, opts core.Options) (*core.ReducedModel, *St
 	op := t.EOp()
 
 	// Form R′ in full — the dense n×m block the Padé methods require.
-	rPrime := make([][]float64, m)
-	for j := 0; j < m; j++ {
-		col := make([]float64, n)
-		t.RPrimeColumn(j, col)
-		rPrime[j] = col
-	}
+	// RPrimeBlock solves the m port columns in parallel.
+	rPrime := t.RPrimeBlock()
 	stats.PeakVectors = m
 
 	// Block Lanczos with full orthogonalization — the O(m²·q) vector

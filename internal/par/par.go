@@ -1,0 +1,133 @@
+// Package par is the worker-pool layer of the numerical core: bounded
+// fan-out over independent loop iterations with deterministic result
+// placement. The hot loops of the PACT flow — the per-port triangular
+// solves of Transform 1, row panels of dense matrix products, and the
+// independent frequency points of the AC verification sweeps — are all
+// embarrassingly parallel, and this package gives them one shared,
+// allocation-disciplined scheduling primitive instead of ad-hoc
+// goroutine spawns.
+//
+// Determinism contract: every parallel entry point assigns iteration i
+// the same work regardless of worker count, and results land in
+// caller-owned slots indexed by i. Callers that keep per-iteration
+// arithmetic independent (no shared accumulators, fixed reduction order)
+// therefore get bit-identical output at every GOMAXPROCS, which is what
+// lets the golden experiment outputs stay exact while the wall-clock
+// drops. Worker-owned scratch is supported by the worker index passed to
+// ForWorkers/Do: allocate one scratch slot per worker up front and index
+// it with that id; no two iterations on the same worker overlap.
+//
+// Panics inside a worker are captured and re-raised on the calling
+// goroutine (first worker id wins, deterministically ordered), so a
+// library invariant violation inside a pool behaves like one in a serial
+// loop instead of crashing the process from an anonymous goroutine.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the bounded fan-out for n independent iterations:
+// min(GOMAXPROCS, n), at least 1. This is the pool size ForWorkers uses.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// capturedPanic holds a worker panic until the caller re-raises it.
+type capturedPanic struct {
+	value any
+	stack []byte
+}
+
+// Do runs body(worker, i) for every i in [0, n) using at most the given
+// number of workers (clamped to [1, min(GOMAXPROCS, n)]). Iterations are
+// handed out dynamically, so uneven per-iteration cost load-balances;
+// the worker argument identifies which pool member is running (dense in
+// [0, workers)), letting callers own one scratch buffer per worker. With
+// one worker the body runs inline on the calling goroutine — no
+// goroutines, no synchronization — so small problems pay nothing.
+//
+// If any body call panics, Do waits for the remaining workers, then
+// re-panics on the calling goroutine with the first captured panic (by
+// worker id) and its stack.
+func Do(workers, n int, body func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if max := Workers(n); workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	panics := make([]*capturedPanic, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[w] = &capturedPanic{value: r, stack: debug.Stack()}
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("par: worker panic: %v\n%s", p.value, p.stack))
+		}
+	}
+}
+
+// ForWorkers runs body(worker, i) for every i in [0, n) on Workers(n)
+// workers. Use the worker index to address pre-allocated per-worker
+// scratch.
+func ForWorkers(n int, body func(worker, i int)) {
+	Do(Workers(n), n, body)
+}
+
+// For runs body(i) for every i in [0, n) on Workers(n) workers. For
+// loops whose iterations need no worker-owned scratch.
+func For(n int, body func(i int)) {
+	Do(Workers(n), n, func(_, i int) { body(i) })
+}
+
+// Map evaluates f(i) for every i in [0, n) in parallel and returns the
+// results in index order. If any call errors, Map returns the error of
+// the lowest failing index (deterministic regardless of completion
+// order) and a nil slice.
+func Map[T any](n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForWorkers(n, func(_, i int) { out[i], errs[i] = f(i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

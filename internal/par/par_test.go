@@ -1,0 +1,156 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		hits := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForWorkersIDsAreDense(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	pool := Workers(64)
+	var bad atomic.Int64
+	ForWorkers(64, func(w, i int) {
+		if w < 0 || w >= pool {
+			bad.Store(int64(w) + 1)
+		}
+	})
+	if b := bad.Load(); b != 0 {
+		t.Fatalf("worker id %d outside pool of %d", b-1, pool)
+	}
+}
+
+func TestDoSerialWhenOneWorker(t *testing.T) {
+	// With workers=1 the body must run inline, in order, on the calling
+	// goroutine (observable via strictly increasing indices without
+	// synchronization).
+	last := -1
+	Do(1, 50, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("serial path used worker %d", w)
+		}
+		if i != last+1 {
+			t.Fatalf("serial path out of order: %d after %d", i, last)
+		}
+		last = i
+	})
+	if last != 49 {
+		t.Fatalf("serial path stopped at %d", last)
+	}
+}
+
+func TestMapDeterministicOrdering(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	out, err := Map(200, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	errAt := func(i int) error { return fmt.Errorf("fail@%d", i) }
+	out, err := Map(100, func(i int) (int, error) {
+		if i == 17 || i == 63 {
+			return 0, errAt(i)
+		}
+		return i, nil
+	})
+	if out != nil {
+		t.Fatalf("Map returned results alongside error")
+	}
+	if err == nil || err.Error() != "fail@17" {
+		t.Fatalf("Map error = %v, want fail@17 (lowest failing index)", err)
+	}
+}
+
+func TestWorkerPanicIsCapturedAndRethrown(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "par: worker panic") || !strings.Contains(msg, "boom") {
+			t.Fatalf("unexpected re-panic payload: %v", r)
+		}
+	}()
+	For(32, func(i int) {
+		if i == 5 {
+			panic(errors.New("boom"))
+		}
+	})
+}
+
+func TestWorkersBounds(t *testing.T) {
+	if w := Workers(0); w != 1 {
+		t.Fatalf("Workers(0) = %d, want 1", w)
+	}
+	if w := Workers(1); w != 1 {
+		t.Fatalf("Workers(1) = %d, want 1", w)
+	}
+	if w := Workers(1 << 20); w > runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers exceeds GOMAXPROCS: %d", w)
+	}
+}
+
+// TestDeterministicSumAcrossGOMAXPROCS drives the determinism contract:
+// per-index arithmetic with a fixed merge order must be bit-identical at
+// every worker count.
+func TestDeterministicSumAcrossGOMAXPROCS(t *testing.T) {
+	n := 1000
+	run := func() []float64 {
+		out := make([]float64, n)
+		ForWorkers(n, func(_, i int) {
+			v := 1.0
+			for k := 1; k <= 40; k++ {
+				v = v*1.0000001 + float64(i%7)*1e-9
+			}
+			out[i] = v
+		})
+		return out
+	}
+	old := runtime.GOMAXPROCS(1)
+	serial := run()
+	runtime.GOMAXPROCS(4)
+	parallel := run()
+	runtime.GOMAXPROCS(old)
+	for i := range serial {
+		if math.Float64bits(serial[i]) != math.Float64bits(parallel[i]) {
+			t.Fatalf("index %d differs across GOMAXPROCS: %g vs %g", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func BenchmarkForOverheadSmall(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		For(1, func(int) {})
+	}
+}

@@ -135,22 +135,22 @@ func Reduce(sys *core.System, q int, s0 float64, ordering order.Method) (*Model,
 	k := len(basis)
 	stats.BasisSize = k
 
-	// Congruence projection.
+	// Congruence projection. VᵀGV and VᵀCV are symmetric by construction,
+	// so compute each pair once from column j's product and mirror it with
+	// SetSym instead of averaging afterwards.
 	gr := dense.New(k, k)
 	cr := dense.New(k, k)
 	br := dense.New(k, m)
 	for j := 0; j < k; j++ {
 		gp.MulVec(tmp, basis[j])
-		for i := 0; i < k; i++ {
-			gr.Set(i, j, dot(basis[i], tmp))
+		for i := 0; i <= j; i++ {
+			gr.SetSym(i, j, dot(basis[i], tmp))
 		}
 		cp.MulVec(tmp, basis[j])
-		for i := 0; i < k; i++ {
-			cr.Set(i, j, dot(basis[i], tmp))
+		for i := 0; i <= j; i++ {
+			cr.SetSym(i, j, dot(basis[i], tmp))
 		}
 	}
-	gr.Symmetrize()
-	cr.Symmetrize()
 	if check.Enabled {
 		// The projection VᵀGV, VᵀCV is a congruence, so the reduced
 		// matrices must stay non-negative definite — PRIMA's passivity

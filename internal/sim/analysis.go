@@ -4,7 +4,26 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+
+	"repro/internal/check"
+	"repro/internal/sparse"
 )
+
+// checkMNASymmetry asserts (under -tags pactcheck) that the assembled MNA
+// matrix is numerically symmetric. Every stamp except the MOSFET's —
+// resistor, capacitor, inductor and source branch rows, diode
+// linearization, gmin — is symmetric, so the invariant holds exactly when
+// the circuit has no MOSFETs. The CSC arrays reinterpreted as CSR
+// describe the transpose, whose symmetry is the same property.
+func (c *Circuit) checkMNASymmetry(ctx string, vals []float64) {
+	if !check.Enabled || len(c.mosfets) > 0 {
+		return
+	}
+	check.SymmetricCSR(ctx, &sparse.CSR{
+		Rows: c.nUnknown, Cols: c.nUnknown,
+		RowPtr: c.colPtr, Col: c.rowIdx, Val: vals,
+	}, check.DefaultTol)
+}
 
 // DCResult is a DC operating point.
 type DCResult struct {
@@ -110,6 +129,7 @@ func (c *Circuit) newton(x []float64, load func(vals, rhs, x []float64), maxIter
 	)
 	for iter := 1; iter <= maxIter; iter++ {
 		load(vals, rhs, x)
+		c.checkMNASymmetry("sim Newton MNA matrix", vals)
 		lu, err := LUFactor(n, c.colPtr, c.rowIdx, vals, c.q, math.Abs, 0.1)
 		if err != nil {
 			return iter, fmt.Errorf("sim: %w", err)
@@ -527,6 +547,16 @@ func (c *Circuit) AC(freqs []float64) (*ACResult, error) {
 		}
 		for i := 0; i < c.nNodes; i++ {
 			vals[c.diagPos[i]] += complex(c.Gmin, 0)
+		}
+		if check.Enabled && len(c.mosfets) == 0 {
+			re := make([]float64, len(vals))
+			im := make([]float64, len(vals))
+			for p, v := range vals {
+				re[p] = real(v)
+				im[p] = imag(v)
+			}
+			c.checkMNASymmetry("sim AC MNA matrix (real part)", re)
+			c.checkMNASymmetry("sim AC MNA matrix (imaginary part)", im)
 		}
 		lu, err := LUFactor(n, c.colPtr, c.rowIdx, vals, c.q, cmplx.Abs, 0.1)
 		if err != nil {

@@ -19,9 +19,16 @@ go run ./cmd/pactlint ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== parallel-core race leg (pactcheck + -race on the pool-driven packages)"
+go test -race -tags pactcheck ./internal/par/ ./internal/core/ ./internal/dense/
+
 echo "== invariant-checked tests (-tags pactcheck)"
 go test -tags pactcheck ./internal/check/ ./internal/core/ ./internal/prima/ \
-    ./internal/lanczos/ ./internal/stamp/
+    ./internal/lanczos/ ./internal/stamp/ ./internal/sim/
+
+echo "== pactbench -json smoke"
+go run ./cmd/pactbench -json /tmp/pactbench-smoke.json -benchset kernels -benchtime 10ms
+rm -f /tmp/pactbench-smoke.json
 
 echo "== fuzz smoke (10s per target)"
 # go test rejects a -fuzz pattern matching several targets, so run them
