@@ -12,23 +12,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	pact "repro"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "rcfit:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("rcfit", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fmax := fs.Float64("fmax", 0, "maximum frequency of interest in Hz (required)")
@@ -42,12 +46,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	verify := fs.Bool("verify", false, "sample exact vs reduced admittance and report errors on stderr")
 	asSubckt := fs.Bool("subckt", false, "emit the reduced network as a .subckt + instance")
 	quiet := fs.Bool("q", false, "suppress the statistics report on stderr")
+	timeout := fs.Duration("timeout", 0, "abort the reduction after this long (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *fmax <= 0 {
 		fs.Usage()
 		return fmt.Errorf("-fmax is required and must be positive")
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	in := stdin
 	if fs.NArg() > 0 {
@@ -66,7 +76,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if *portsFlag != "" {
 		extra = strings.Split(*portsFlag, ",")
 	}
-	red, err := pact.ReduceDeck(deck, pact.Options{
+	red, err := pact.ReduceDeckContext(ctx, deck, pact.Options{
 		FMax:        *fmax,
 		Tol:         *tol,
 		SparsifyTol: *sparsify,
@@ -77,6 +87,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		AsSubckt:    *asSubckt,
 	})
 	if err != nil {
+		if pact.IsCancellation(err) && *timeout > 0 {
+			return fmt.Errorf("reduction did not finish within -timeout %v: %w", *timeout, err)
+		}
 		return err
 	}
 	w := stdout
@@ -97,6 +110,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "rcfit: nodes %d -> %d, R %d -> %d, C %d -> %d in %v\n",
 			red.OriginalNodes, red.ReducedNodes, red.OriginalR, red.ReducedR,
 			red.OriginalC, red.ReducedC, red.Elapsed)
+		for _, rec := range red.Stats.Recoveries {
+			fmt.Fprintf(stderr, "rcfit: degraded: %s\n", rec.String())
+		}
 	}
 	if *verify {
 		pts, err := red.Verify(*fmax, 7)

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/netgen"
 )
@@ -11,7 +14,7 @@ import (
 func TestRunLadder(t *testing.T) {
 	in := strings.NewReader(netgen.Ladder(100, 250, 1.35e-12).String())
 	var out, errw bytes.Buffer
-	if err := run([]string{"-fmax", "5e9", "-verify"}, in, &out, &errw); err != nil {
+	if err := run(context.Background(), []string{"-fmax", "5e9", "-verify"}, in, &out, &errw); err != nil {
 		t.Fatalf("%v\nstderr:\n%s", err, errw.String())
 	}
 	if !strings.Contains(out.String(), "rpact1") || !strings.Contains(out.String(), ".end") {
@@ -27,14 +30,14 @@ func TestRunLadder(t *testing.T) {
 
 func TestRunRequiresFmax(t *testing.T) {
 	var out, errw bytes.Buffer
-	if err := run(nil, strings.NewReader("t\n.end\n"), &out, &errw); err == nil {
+	if err := run(context.Background(), nil, strings.NewReader("t\n.end\n"), &out, &errw); err == nil {
 		t.Fatal("missing -fmax accepted")
 	}
 }
 
 func TestRunBadDeck(t *testing.T) {
 	var out, errw bytes.Buffer
-	if err := run([]string{"-fmax", "1e9"}, strings.NewReader("t\nz1 bogus\n.end\n"), &out, &errw); err == nil {
+	if err := run(context.Background(), []string{"-fmax", "1e9"}, strings.NewReader("t\nz1 bogus\n.end\n"), &out, &errw); err == nil {
 		t.Fatal("bad deck accepted")
 	}
 }
@@ -48,7 +51,7 @@ c1 c 0 1p
 .end
 `
 	var out, errw bytes.Buffer
-	if err := run([]string{"-fmax", "1e9", "-ports", "c", "-q"}, strings.NewReader(deck), &out, &errw); err != nil {
+	if err := run(context.Background(), []string{"-fmax", "1e9", "-ports", "c", "-q"}, strings.NewReader(deck), &out, &errw); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), " c ") && !strings.Contains(out.String(), " c\n") {
@@ -59,10 +62,37 @@ c1 c 0 1p
 func TestRunSubcktOutput(t *testing.T) {
 	in := strings.NewReader(netgen.Ladder(40, 250, 1.35e-12).String())
 	var out, errw bytes.Buffer
-	if err := run([]string{"-fmax", "5e9", "-subckt", "-q"}, in, &out, &errw); err != nil {
+	if err := run(context.Background(), []string{"-fmax", "5e9", "-subckt", "-q"}, in, &out, &errw); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), ".subckt pactnet") {
 		t.Fatalf("subckt output missing:\n%s", out.String())
+	}
+}
+
+func TestRunTimeoutInterruptsLargeReduction(t *testing.T) {
+	// A 20000-segment ladder takes far longer than 1ms to reduce; the
+	// -timeout deadline must interrupt it cooperatively, report the
+	// timeout, and leave no worker goroutines behind.
+	in := strings.NewReader(netgen.Ladder(20000, 250, 1.35e-12).String())
+	var out, errw bytes.Buffer
+	base := runtime.NumGoroutine()
+	start := time.Now()
+	err := run(context.Background(), []string{"-fmax", "5e9", "-timeout", "1ms", "-q"}, in, &out, &errw)
+	if err == nil {
+		t.Skip("reduction finished before the deadline on this machine")
+	}
+	if !strings.Contains(err.Error(), "did not finish within -timeout") {
+		t.Fatalf("err = %v, want the -timeout report", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v, not cooperative", elapsed)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after timeout: %d live, want <= %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

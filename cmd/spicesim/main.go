@@ -13,23 +13,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"repro/internal/netlist"
 	"repro/internal/sim"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "spicesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("spicesim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	tran := fs.String("tran", "", "override/add a transient: \"step stop\" (SPICE values)")
@@ -37,8 +41,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	dc := fs.String("dc", "", "override/add a DC transfer sweep: \"src start stop step\"")
 	printVars := fs.String("print", "", "override/add print variables, e.g. \"tran v(out)\"")
 	op := fs.Bool("op", false, "add an operating-point analysis")
+	timeout := fs.Duration("timeout", 0, "abort the analyses after this long (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	in := stdin
 	if fs.NArg() > 0 {
@@ -68,5 +78,5 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if *printVars != "" {
 		deck.Controls = append(deck.Controls, ".print "+*printVars)
 	}
-	return sim.RunDeck(deck, stdout)
+	return sim.RunDeckCtx(ctx, deck, stdout)
 }

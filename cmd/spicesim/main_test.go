@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ c1 b 0 159.155p
 
 func TestRunOP(t *testing.T) {
 	var out, errw bytes.Buffer
-	if err := run([]string{"-op"}, strings.NewReader(rcDeck), &out, &errw); err != nil {
+	if err := run(context.Background(), []string{"-op"}, strings.NewReader(rcDeck), &out, &errw); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "v(b) = 1") {
@@ -26,7 +27,7 @@ func TestRunOP(t *testing.T) {
 
 func TestRunACFlag(t *testing.T) {
 	var out, errw bytes.Buffer
-	err := run([]string{"-ac", "dec 2 1e4 1e8", "-print", "ac vm(b)"}, strings.NewReader(rcDeck), &out, &errw)
+	err := run(context.Background(), []string{"-ac", "dec 2 1e4 1e8", "-print", "ac vm(b)"}, strings.NewReader(rcDeck), &out, &errw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ c1 b 0 1n
 .end
 `
 	var out, errw bytes.Buffer
-	if err := run([]string{"-tran", "50n 5u", "-print", "tran v(b)"}, strings.NewReader(deck), &out, &errw); err != nil {
+	if err := run(context.Background(), []string{"-tran", "50n 5u", "-print", "tran v(b)"}, strings.NewReader(deck), &out, &errw); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -65,7 +66,20 @@ c1 b 0 1n
 
 func TestRunNoAnalysis(t *testing.T) {
 	var out, errw bytes.Buffer
-	if err := run(nil, strings.NewReader(rcDeck), &out, &errw); err == nil {
+	if err := run(context.Background(), nil, strings.NewReader(rcDeck), &out, &errw); err == nil {
 		t.Fatal("deck without analysis accepted")
+	}
+}
+
+func TestRunTimeoutInterruptsTransient(t *testing.T) {
+	// 10ms of a 1µs-step transient is ten thousand steps; the 5ms deadline
+	// must land mid-integration and surface as a cancellation error.
+	var out, errw bytes.Buffer
+	err := run(context.Background(), []string{"-tran", "1u 10m", "-timeout", "5ms"}, strings.NewReader(rcDeck), &out, &errw)
+	if err == nil {
+		t.Skip("transient finished before the deadline on this machine")
+	}
+	if !strings.Contains(err.Error(), "transient") || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("err = %v, want a transient-stage cancellation", err)
 	}
 }

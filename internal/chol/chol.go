@@ -19,6 +19,7 @@ import (
 	"math/cmplx"
 
 	"repro/internal/order"
+	"repro/internal/resilience/inject"
 	"repro/internal/sparse"
 )
 
@@ -91,6 +92,15 @@ func Factorize(a *sparse.CSR, sym *order.Symbolic) (*Factor, error) {
 			l.Row[q] = k
 			l.Val[q] = lkj
 			nextFree[j]++
+		}
+		if inject.Enabled {
+			// Fault-injection sites (compiled out of release builds): poison
+			// the pivot of elimination k, or fail it outright, as if the
+			// matrix were singular there.
+			d = inject.PoisonValue(inject.CholPoison, k, d)
+			if inject.ShouldFail(inject.CholPivot, k) {
+				return nil, fmt.Errorf("%w: injected pivot failure at elimination %d", ErrNotPositiveDefinite, k)
+			}
 		}
 		// A pivot that collapsed by 13+ orders of magnitude relative to its
 		// original diagonal is numerical noise around a singular matrix
@@ -203,6 +213,9 @@ func FactorizeComplex(pattern *sparse.CSR, val func(p int) complex128, sym *orde
 			lval[q] = lkj
 			nextFree[j]++
 		}
+		if inject.Enabled && inject.ShouldFail(inject.CholComplexPivot, k) {
+			return nil, fmt.Errorf("chol: injected zero pivot %d in complex LDLᵀ", k)
+		}
 		if cmplx.Abs(d) == 0 || cmplx.IsNaN(d) {
 			return nil, fmt.Errorf("chol: zero pivot %d in complex LDLᵀ", k)
 		}
@@ -211,11 +224,13 @@ func FactorizeComplex(pattern *sparse.CSR, val func(p int) complex128, sym *orde
 	return &ComplexFactor{L: l, LVal: lval, D: diag}, nil
 }
 
-// Solve solves A x = b in place using A = L D Lᵀ.
-func (f *ComplexFactor) Solve(b []complex128) {
+// Solve solves A x = b in place using A = L D Lᵀ. A right-hand side of
+// the wrong length is reported as an error (every sibling solve path
+// returns typed errors; this one used to panic).
+func (f *ComplexFactor) Solve(b []complex128) error {
 	n := f.L.Cols
 	if len(b) != n {
-		panic("chol: complex solve dimension mismatch")
+		return fmt.Errorf("chol: complex solve dimension mismatch: rhs length %d, factor order %d", len(b), n)
 	}
 	// Forward: L z = b (unit diagonal).
 	for j := 0; j < n; j++ {
@@ -236,4 +251,5 @@ func (f *ComplexFactor) Solve(b []complex128) {
 		}
 		b[j] = s
 	}
+	return nil
 }

@@ -237,12 +237,35 @@ func TestComplexLDLTMatchesDense(t *testing.T) {
 		}
 		want := denseComplexSolve(ad, b)
 		got := append([]complex128(nil), b...)
-		f.Solve(got)
+		if err := f.Solve(got); err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
 		for i := range want {
 			if cmplx.Abs(got[i]-want[i]) > 1e-7*(1+cmplx.Abs(want[i])) {
 				t.Fatalf("trial %d: Solve[%d] = %v, want %v", trial, i, got[i], want[i])
 			}
 		}
+	}
+}
+
+func TestComplexSolveDimensionMismatch(t *testing.T) {
+	b := sparse.NewBuilder(3, 3)
+	for i := 0; i < 3; i++ {
+		b.Add(i, i, float64(i+2))
+	}
+	pat := b.Build()
+	sym := order.Analyze(pat, order.Natural)
+	f, err := FactorizeComplex(pat, func(p int) complex128 {
+		return complex(pat.Val[p], 0)
+	}, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Solve(make([]complex128, 2)); err == nil {
+		t.Fatal("Solve with short rhs must return an error, not succeed")
+	}
+	if err := f.Solve(make([]complex128, 3)); err != nil {
+		t.Fatalf("Solve with correct rhs length: %v", err)
 	}
 }
 

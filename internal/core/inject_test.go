@@ -1,0 +1,180 @@
+//go:build pactcheck
+
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chol"
+	"repro/internal/resilience"
+	"repro/internal/resilience/inject"
+)
+
+// TestInjectedPivotFailureRecovers drives the chol.pivot injection point:
+// a single forced pivot failure on the clean matrix must be absorbed by
+// the first regularization rung, leaving a recorded recovery and a model
+// indistinguishable from the clean run to well below the reported bound.
+func TestInjectedPivotFailureRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	sys := randomSystem(rng, 3, 25)
+	clean, _, err := Reduce(sys, Options{FMax: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := inject.NewSchedule().Arm(inject.CholPivot, 0)
+	inject.Install(s)
+	defer inject.Reset()
+	model, stats, err := Reduce(sys, Options{FMax: 0.1})
+	if err != nil {
+		t.Fatalf("ladder did not absorb an injected pivot failure: %v", err)
+	}
+	if s.Fired(inject.CholPivot) != 1 {
+		t.Fatal("injection point did not fire")
+	}
+	if len(stats.Recoveries) != 1 || stats.Recoveries[0].Stage != resilience.StageCholesky {
+		t.Fatalf("Recoveries = %+v, want one Cholesky entry", stats.Recoveries)
+	}
+	if stats.Recoveries[0].Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2 (failure + first rung)", stats.Recoveries[0].Attempts)
+	}
+	if clean.K() != model.K() {
+		t.Fatalf("recovered run kept %d poles, clean run %d", model.K(), clean.K())
+	}
+	for i := range clean.Lambda {
+		if math.Abs(clean.Lambda[i]-model.Lambda[i]) > 1e-6*clean.Lambda[i] {
+			t.Fatalf("pole %d drifted: %v vs %v", i, model.Lambda[i], clean.Lambda[i])
+		}
+	}
+}
+
+// TestInjectedNaNPoisonExhaustsLadder drives chol.poison: a pivot that is
+// NaN at every elimination defeats every γ rung, and the terminal error
+// must be a StageError carrying the full attempt history and still
+// matching the chol sentinel through errors.Is.
+func TestInjectedNaNPoisonExhaustsLadder(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	sys := randomSystem(rng, 2, 15)
+	inject.Install(inject.NewSchedule().ArmPoison(inject.CholPoison, -1, -1, inject.NaN()))
+	defer inject.Reset()
+	_, _, err := Reduce(sys, Options{FMax: 0.1})
+	var se *resilience.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want a StageError", err)
+	}
+	if se.Stage != resilience.StageCholesky {
+		t.Fatalf("stage = %s, want %s", se.Stage, resilience.StageCholesky)
+	}
+	if want := 1 + len(cholGammaRungs); len(se.Attempts) != want {
+		t.Fatalf("attempt history has %d entries, want %d", len(se.Attempts), want)
+	}
+	if !errors.Is(err, chol.ErrNotPositiveDefinite) {
+		t.Fatalf("StageError no longer matches the chol sentinel: %v", err)
+	}
+}
+
+// TestInjectedLanczosStagnationFallsBackDense drives lanczos.iter: armed
+// twice, the injection defeats both the initial LASO run and the
+// restarted full-reorthogonalization rung, forcing the dense eigenpath.
+// The fallback runs the same deterministic code as the DenseThreshold
+// path, so the resulting model must be bit-identical to it.
+func TestInjectedLanczosStagnationFallsBackDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	sys := randomSystem(rng, 3, 40)
+	ref, refStats, err := Reduce(sys, Options{FMax: 0.08, DenseThreshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refStats.DenseEig {
+		t.Fatal("reference run must take the dense path")
+	}
+	s := inject.NewSchedule().ArmN(inject.LanczosIter, -1, 2)
+	inject.Install(s)
+	defer inject.Reset()
+	model, stats, err := Reduce(sys, Options{FMax: 0.08, DenseThreshold: -1})
+	if err != nil {
+		t.Fatalf("fallback ladder failed: %v", err)
+	}
+	if got := s.Fired(inject.LanczosIter); got != 2 {
+		t.Fatalf("lanczos.iter fired %d times, want 2 (initial + restart)", got)
+	}
+	if !stats.DenseEig {
+		t.Fatal("fallback did not mark DenseEig")
+	}
+	if len(stats.Recoveries) != 1 || stats.Recoveries[0].Action != "dense eigenpath fallback" {
+		t.Fatalf("Recoveries = %+v, want the dense fallback entry", stats.Recoveries)
+	}
+	if stats.Recoveries[0].Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3", stats.Recoveries[0].Attempts)
+	}
+	if len(model.Lambda) != len(ref.Lambda) {
+		t.Fatalf("fallback kept %d poles, dense path %d", len(model.Lambda), len(ref.Lambda))
+	}
+	for i := range ref.Lambda {
+		if math.Float64bits(model.Lambda[i]) != math.Float64bits(ref.Lambda[i]) {
+			t.Fatalf("pole %d not bit-identical: %x vs %x",
+				i, math.Float64bits(model.Lambda[i]), math.Float64bits(ref.Lambda[i]))
+		}
+	}
+	for c := 0; c < len(ref.Lambda); c++ {
+		for j := 0; j < ref.M; j++ {
+			if math.Float64bits(model.R.At(c, j)) != math.Float64bits(ref.R.At(c, j)) {
+				t.Fatalf("R(%d,%d) not bit-identical: %g vs %g", c, j, model.R.At(c, j), ref.R.At(c, j))
+			}
+		}
+	}
+}
+
+// TestSeededFaultSweepIsTypedAndReproducible replays FromSeed schedules
+// against the full reduction. Whatever the armed faults hit, the outcome
+// must be either a success (with any ladder firings recorded as
+// recoveries) or a typed StageError — never a panic — and replaying the
+// same seed must reproduce the outcome exactly.
+func TestSeededFaultSweepIsTypedAndReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	sys := randomSystem(rng, 2, 30)
+	oneRun := func(seed int64) string {
+		inject.Install(inject.FromSeed(seed, 10, inject.CholPivot, inject.LanczosIter))
+		defer inject.Reset()
+		model, stats, err := Reduce(sys, Options{FMax: 0.1})
+		if err != nil {
+			var se *resilience.StageError
+			if !errors.As(err, &se) {
+				t.Fatalf("seed %d: untyped failure: %v", seed, err)
+			}
+			return "error: " + err.Error()
+		}
+		return fmt.Sprintf("ok: %d poles, %d recoveries", model.K(), len(stats.Recoveries))
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		first := oneRun(seed)
+		if second := oneRun(seed); second != first {
+			t.Fatalf("seed %d not reproducible:\n  first:  %s\n  second: %s", seed, first, second)
+		}
+	}
+}
+
+// TestInjectedComplexPivotFailsYEval drives chol.complexpivot: the exact
+// admittance evaluation must surface the factorization failure as a typed
+// error instead of a panic or a silent wrong answer.
+func TestInjectedComplexPivotFailsYEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	sys := randomSystem(rng, 2, 12)
+	s := inject.NewSchedule().Arm(inject.CholComplexPivot, -1)
+	inject.Install(s)
+	defer inject.Reset()
+	_, err := sys.Y(complex(0, 0.3))
+	if err == nil {
+		t.Fatal("injected complex pivot failure was swallowed")
+	}
+	if s.Fired(inject.CholComplexPivot) != 1 {
+		t.Fatal("injection point did not fire")
+	}
+	inject.Reset()
+	if _, err := sys.Y(complex(0, 0.3)); err != nil {
+		t.Fatalf("clean retry after reset failed: %v", err)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -10,6 +12,7 @@ import (
 	"repro/internal/lanczos"
 	"repro/internal/order"
 	"repro/internal/par"
+	"repro/internal/resilience"
 	"repro/internal/sparse"
 )
 
@@ -113,6 +116,12 @@ type Stats struct {
 	CholeskyBytes int64
 	DenseEig      bool // eigenproblem solved densely (small n)
 	XCached       bool
+	// Recoveries lists every recovery ladder that fired during the
+	// reduction, with the perturbation applied (Gamma) and its worst-case
+	// DC admittance error bound (ErrBound) where applicable. An empty list
+	// means the pipeline ran clean; a non-empty list means the result is
+	// degraded in the recorded, bounded ways.
+	Recoveries []resilience.Recovery
 }
 
 // CutoffFactor maps a relative error tolerance to the ratio f_c/f_max.
@@ -179,25 +188,63 @@ type Transformed struct {
 // Reduce runs the full PACT reduction on sys and returns the reduced
 // model together with work statistics.
 func Reduce(sys *System, opts Options) (*ReducedModel, *Stats, error) {
+	return ReduceContext(context.Background(), sys, opts)
+}
+
+// ReduceContext is Reduce with cooperative cancellation: both transforms
+// observe ctx between parallel work items and solver iterations, so a
+// deadline or an interrupt stops the reduction at the next checkpoint
+// with a resilience.StageError identifying where it stopped.
+func ReduceContext(ctx context.Context, sys *System, opts Options) (*ReducedModel, *Stats, error) {
 	opts = opts.withDefaults()
 	if opts.FMax <= 0 {
 		return nil, nil, fmt.Errorf("core: Options.FMax must be positive, got %g", opts.FMax)
 	}
-	t, stats, err := Transform1(sys, opts)
+	t, stats, err := Transform1Context(ctx, sys, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	model, err := t.Transform2(opts)
+	model, err := t.Transform2Context(ctx, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	return model, stats, nil
 }
 
+// cholGammaRungs is the escalation schedule of the Cholesky recovery
+// ladder: γ starts near the noise floor of the diagonal scale and climbs
+// three decades per rung. Matrices that a γ of 1e-3·‖diag(D)‖∞ cannot
+// rescue (NaN/Inf contamination, wildly indefinite blocks) are reported
+// as terminal rather than silently crushed by huge regularization.
+var cholGammaRungs = []float64{1e-12, 1e-9, 1e-6, 1e-3}
+
+// maxAbsDiag returns max_i |A_ii|, the scale reference for γ.
+func maxAbsDiag(a *sparse.CSR) float64 {
+	s := 0.0
+	for i := 0; i < a.Rows; i++ {
+		if v := math.Abs(a.At(i, i)); v > s {
+			s = v
+		}
+	}
+	return s
+}
+
 // Transform1 performs the Cholesky congruence transform (Section 3.1 of
 // the paper): it orders and factors D, zeroes the connection conductance
 // block, and produces the exact port blocks A′ and B′.
 func Transform1(sys *System, opts Options) (*Transformed, *Stats, error) {
+	return Transform1Context(context.Background(), sys, opts)
+}
+
+// Transform1Context is Transform1 with cooperative cancellation and a
+// recovery ladder on the Cholesky of D: when D is not positive definite
+// (classically a floating internal subnetwork), the factorization is
+// retried on D + γI with γ escalating from ~1e-12·‖diag(D)‖∞ by three
+// decades per rung. A rescued run records a resilience.Recovery in the
+// stats carrying the applied γ and the first-order worst-case DC
+// admittance perturbation ‖ΔY(0)‖_F ≤ γ·‖X‖²_F (X = D_γ⁻¹Q); an
+// exhausted ladder returns a resilience.StageError listing every attempt.
+func Transform1Context(ctx context.Context, sys *System, opts Options) (*Transformed, *Stats, error) {
 	opts = opts.withDefaults()
 	if opts.Tol <= 0 || opts.Tol >= 1 {
 		return nil, nil, fmt.Errorf("core: Options.Tol must be in (0,1), got %g", opts.Tol)
@@ -220,13 +267,51 @@ func Transform1(sys *System, opts Options) (*Transformed, *Stats, error) {
 
 	sym := order.Analyze(sys.D, opts.Ordering)
 	dp := sys.D.PermuteSym(sym.Perm)
+	fact, err := chol.Factorize(dp, sym)
+	gamma := 0.0
+	if err != nil && errors.Is(err, chol.ErrNotPositiveDefinite) {
+		attempts := []resilience.Attempt{{Action: "factorize(D)", Err: err}}
+		scale := maxAbsDiag(sys.D)
+		if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+			scale = 1
+		}
+		for _, rung := range cholGammaRungs {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, nil, resilience.Canceled(resilience.StageCholesky, ctx)
+			}
+			g := rung * scale
+			// Regularizing may create diagonal entries the pattern lacked,
+			// so the symbolic analysis is redone on the shifted matrix.
+			dreg := sparse.AddDiagonal(sys.D, g)
+			symG := order.Analyze(dreg, opts.Ordering)
+			dpG := dreg.PermuteSym(symG.Perm)
+			factG, ferr := chol.Factorize(dpG, symG)
+			if ferr == nil {
+				sym, dp, fact, gamma, err = symG, dpG, factG, g, nil
+				stats.Recoveries = append(stats.Recoveries, resilience.Recovery{
+					Stage:    resilience.StageCholesky,
+					Action:   "diagonal regularization D+γI",
+					Attempts: len(attempts) + 1,
+					Gamma:    g,
+					Reason:   attempts[0].Err.Error(),
+				})
+				break
+			}
+			attempts = append(attempts, resilience.Attempt{
+				Action: fmt.Sprintf("factorize(D+γI), γ=%.3g", g),
+				Err:    ferr,
+			})
+		}
+		if err != nil {
+			return nil, nil, resilience.NewStageError(resilience.StageCholesky,
+				"escalating diagonal regularization exhausted", attempts, err)
+		}
+	} else if err != nil {
+		return nil, nil, fmt.Errorf("core: Cholesky of internal conductance block: %w", err)
+	}
 	ep := sys.E.PermuteSym(sym.Perm)
 	qp := sys.Q.PermuteRows(sym.Perm)
 	rp := sys.R.PermuteRows(sym.Perm)
-	fact, err := chol.Factorize(dp, sym)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: Cholesky of internal conductance block: %w", err)
-	}
 	stats.CholeskyNNZ = fact.NNZ()
 	stats.CholeskyBytes = fact.Bytes()
 	qpT := qp.Transpose() // m×n, row j = column j of Q (in permuted internal order)
@@ -275,10 +360,20 @@ func Transform1(sys *System, opts Options) (*Transformed, *Stats, error) {
 			x:   make([]float64, n),
 		}
 	}
-	par.ForWorkers(m, func(w, j int) {
+	// Per-column ‖x_j‖² slots for the regularization error bound: each j
+	// owns its slot and the reduction over columns happens serially below,
+	// so the bound is bit-identical at every worker count.
+	var xNorm2 []float64
+	if gamma > 0 {
+		xNorm2 = make([]float64, m)
+	}
+	perr := par.ForWorkersCtx(ctx, m, func(w, j int) {
 		scr := &scratch[w]
 		wc := &wcs[w]
 		x := t.columnX(j, scr.x, wc)
+		if xNorm2 != nil {
+			xNorm2[j] = sparse.Dot(x, x)
+		}
 		qpT.MulVec(scr.qtx, x)
 		rpT.MulVec(scr.rtx, x)
 		ep.MulVec(scr.w, x)
@@ -295,6 +390,18 @@ func Transform1(sys *System, opts Options) (*Transformed, *Stats, error) {
 		}
 	})
 	stats.merge(wcs)
+	if perr != nil {
+		return nil, nil, resilience.Canceled(resilience.StageCholesky, ctx)
+	}
+	if gamma > 0 {
+		// First-order worst-case DC admittance perturbation of the
+		// regularization: ΔY(0) ≈ γ·XᵀX, so ‖ΔY(0)‖_F ≤ γ·‖X‖²_F.
+		sum := 0.0
+		for _, v := range xNorm2 {
+			sum += v
+		}
+		stats.Recoveries[len(stats.Recoveries)-1].ErrBound = gamma * sum
+	}
 	for i := 0; i < m; i++ {
 		for j := i; j < m; j++ {
 			bPrime.SetSym(i, j, bPrime.At(i, j)-sMat.At(i, j)-sMat.At(j, i)+tMat.At(i, j))
@@ -402,6 +509,18 @@ func (t *Transformed) Stats() *Stats { return t.stats }
 // otherwise with LASO), and the kept eigenspace is projected onto the
 // connection block.
 func (t *Transformed) Transform2(opts Options) (*ReducedModel, error) {
+	return t.Transform2Context(context.Background(), opts)
+}
+
+// Transform2Context is Transform2 with cooperative cancellation and a
+// recovery ladder on Lanczos stagnation: a run that fails with
+// lanczos.ErrNoConvergence is restarted once with a fresh starting seed
+// and full reorthogonalization; if that also stagnates, the eigenproblem
+// falls back to the dense eigenpath (exact, the same code the
+// DenseThreshold cross-validation uses) with the reason recorded in
+// Stats.Recoveries and Stats.DenseEig set. Cancellation and non-stagnation
+// failures are never retried.
+func (t *Transformed) Transform2Context(ctx context.Context, opts Options) (*ReducedModel, error) {
 	opts = opts.withDefaults()
 	if opts.FMax <= 0 {
 		return nil, fmt.Errorf("core: Options.FMax must be positive, got %g", opts.FMax)
@@ -420,8 +539,11 @@ func (t *Transformed) Transform2(opts Options) (*ReducedModel, error) {
 	var err error
 	if opts.DenseThreshold >= 0 && n <= opts.DenseThreshold {
 		stats.DenseEig = true
-		vals, uk, err = t.denseEigAbove(stats.LambdaC)
+		vals, uk, err = t.denseEigAbove(ctx, stats.LambdaC)
 		if err != nil {
+			if resilience.IsCancellation(err) {
+				return nil, resilience.Canceled(resilience.StagePoleAnalysis, ctx)
+			}
 			return nil, err
 		}
 	} else {
@@ -431,20 +553,76 @@ func (t *Transformed) Transform2(opts Options) (*ReducedModel, error) {
 			ConvTol: opts.LanczosConvTol,
 			Seed:    opts.Seed,
 		}
-		var res *lanczos.Result
-		if opts.TwoPass {
-			res, err = lanczos.TwoPass(op, lopts)
-		} else {
-			res, err = lanczos.FindAbove(op, lopts)
+		run := func(o lanczos.Options) (*lanczos.Result, error) {
+			if opts.TwoPass {
+				return lanczos.TwoPassCtx(ctx, op, o)
+			}
+			return lanczos.FindAboveCtx(ctx, op, o)
 		}
-		if err != nil {
-			return nil, fmt.Errorf("core: pole analysis (LASO): %w", err)
+		res, lerr := run(lopts)
+		if lerr != nil && errors.Is(lerr, lanczos.ErrNoConvergence) {
+			// Recovery ladder. Rung 1: restart with a fresh starting vector
+			// and full reorthogonalization — stagnation from an unlucky seed
+			// or from orthogonality loss is cured by exactly this.
+			attempts := []resilience.Attempt{{
+				Action: fmt.Sprintf("laso(mode=%v, seed=%d)", lopts.Mode, lopts.Seed),
+				Err:    lerr,
+			}}
+			retry := lopts
+			retry.Seed = lopts.Seed + 1
+			retry.Mode = lanczos.Full
+			res2, rerr := run(retry)
+			switch {
+			case rerr == nil:
+				res, lerr = res2, nil
+				stats.Recoveries = append(stats.Recoveries, resilience.Recovery{
+					Stage:    resilience.StagePoleAnalysis,
+					Action:   "lanczos restart (fresh seed, full reorthogonalization)",
+					Attempts: 2,
+					Reason:   attempts[0].Err.Error(),
+				})
+			case errors.Is(rerr, lanczos.ErrNoConvergence):
+				// Rung 2: dense eigenpath — exact and unconditionally
+				// convergent, at the O(n²) memory the paper avoids; a
+				// degraded-but-correct answer beats none.
+				attempts = append(attempts, resilience.Attempt{
+					Action: "lanczos restart (fresh seed, full reorthogonalization)",
+					Err:    rerr,
+				})
+				dvals, duk, derr := t.denseEigAbove(ctx, stats.LambdaC)
+				if derr != nil {
+					if resilience.IsCancellation(derr) {
+						return nil, resilience.Canceled(resilience.StagePoleAnalysis, ctx)
+					}
+					attempts = append(attempts, resilience.Attempt{Action: "dense eigenpath fallback", Err: derr})
+					return nil, resilience.NewStageError(resilience.StagePoleAnalysis,
+						"recovery ladder exhausted", attempts, lerr)
+				}
+				stats.DenseEig = true
+				stats.Recoveries = append(stats.Recoveries, resilience.Recovery{
+					Stage:    resilience.StagePoleAnalysis,
+					Action:   "dense eigenpath fallback",
+					Attempts: 3,
+					Reason:   attempts[0].Err.Error(),
+				})
+				vals, uk, res, lerr = dvals, duk, nil, nil
+			default:
+				lerr = rerr // cancellation or a hard failure on the retry
+			}
 		}
-		vals = res.Values
-		uk = res.Vectors
-		stats.LanczosIters = res.Iterations
-		stats.Reorths = res.Reorths
-		stats.PeakVectors = res.PeakVectors
+		if lerr != nil {
+			if resilience.IsCancellation(lerr) {
+				return nil, resilience.Canceled(resilience.StagePoleAnalysis, ctx)
+			}
+			return nil, fmt.Errorf("core: pole analysis (LASO): %w", lerr)
+		}
+		if res != nil {
+			vals = res.Values
+			uk = res.Vectors
+			stats.LanczosIters = res.Iterations
+			stats.Reorths = res.Reorths
+			stats.PeakVectors = res.PeakVectors
+		}
 	}
 	if opts.MaxPoles > 0 && len(vals) > opts.MaxPoles {
 		vals = vals[:opts.MaxPoles]
@@ -465,7 +643,7 @@ func (t *Transformed) Transform2(opts Options) (*ReducedModel, error) {
 		zk := make([][]float64, k)
 		ez := make([][]float64, k)
 		zwcs := make([]workCounters, par.Workers(k))
-		par.ForWorkers(k, func(w, c int) {
+		zerr := par.ForWorkersCtx(ctx, k, func(w, c int) {
 			z := make([]float64, n)
 			for i := 0; i < n; i++ {
 				z[i] = uk.At(i, c)
@@ -479,13 +657,16 @@ func (t *Transformed) Transform2(opts Options) (*ReducedModel, error) {
 			ez[c] = e
 		})
 		stats.merge(zwcs)
+		if zerr != nil {
+			return nil, resilience.Canceled(resilience.StagePoleAnalysis, ctx)
+		}
 		workers := par.Workers(m)
 		wcs := make([]workCounters, workers)
 		xbufs := make([][]float64, workers)
 		for w := range xbufs {
 			xbufs[w] = make([]float64, n)
 		}
-		par.ForWorkers(m, func(w, j int) {
+		perr := par.ForWorkersCtx(ctx, m, func(w, j int) {
 			x := t.columnX(j, xbufs[w], &wcs[w])
 			cols, vals2 := t.rpT.Row(j) // column j of permuted R
 			for c := 0; c < k; c++ {
@@ -498,6 +679,9 @@ func (t *Transformed) Transform2(opts Options) (*ReducedModel, error) {
 			}
 		})
 		stats.merge(wcs)
+		if perr != nil {
+			return nil, resilience.Canceled(resilience.StagePoleAnalysis, ctx)
+		}
 	}
 
 	model := &ReducedModel{M: m, Lambda: vals, A: t.APrime, B: t.BPrime, R: rk}
@@ -567,7 +751,7 @@ func pruneWeakPoles(model *ReducedModel, opts Options, stats *Stats) *ReducedMod
 // operator and its scratch); column j owns the mirrored pair writes for
 // i ≤ j, so E′ is constructionally symmetric and bit-identical at every
 // GOMAXPROCS. The QL eigensolve itself is inherently sequential.
-func (t *Transformed) denseEigAbove(cutoff float64) ([]float64, *dense.Mat, error) {
+func (t *Transformed) denseEigAbove(ctx context.Context, cutoff float64) ([]float64, *dense.Mat, error) {
 	n := t.N
 	eMat := dense.New(n, n)
 	workers := par.Workers(n)
@@ -579,7 +763,7 @@ func (t *Transformed) denseEigAbove(cutoff float64) ([]float64, *dense.Mat, erro
 		srcs[w] = make([]float64, n)
 		dsts[w] = make([]float64, n)
 	}
-	par.ForWorkers(n, func(w, j int) {
+	if err := par.ForWorkersCtx(ctx, n, func(w, j int) {
 		src, dst := srcs[w], dsts[w]
 		for i := range src {
 			src[i] = 0
@@ -589,7 +773,9 @@ func (t *Transformed) denseEigAbove(cutoff float64) ([]float64, *dense.Mat, erro
 		for i := 0; i <= j; i++ {
 			eMat.SetSym(i, j, dst[i])
 		}
-	})
+	}); err != nil {
+		return nil, nil, fmt.Errorf("core: dense eigenpath canceled: %w", err)
+	}
 	t.stats.MatVecs += n
 	vals, vecs, err := dense.SymEig(eMat, true)
 	if err != nil {

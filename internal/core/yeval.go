@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/dense"
 	"repro/internal/order"
 	"repro/internal/par"
+	"repro/internal/resilience"
 	"repro/internal/sparse"
 )
 
@@ -117,7 +119,9 @@ func (s *System) Y(sv complex128) (*dense.CMat, error) {
 		for p, i := range cols {
 			x[i] += sv * complex(vals[p], 0)
 		}
-		f.Solve(x)
+		if err := f.Solve(x); err != nil {
+			return nil, fmt.Errorf("core: admittance solve for port %d at s=%v: %w", j, sv, err)
+		}
 		for i := 0; i < m; i++ {
 			var acc complex128
 			cols, vals = s.yQP.Row(i)
@@ -165,14 +169,23 @@ func TransimpedanceOf(y *dense.CMat, i, j int) (complex128, error) {
 // index slot and errors are reported by lowest failing frequency index,
 // so the outcome is identical at every worker count.
 func (s *System) YSweep(freqs []float64, workers int) ([]*dense.CMat, error) {
+	return s.YSweepCtx(context.Background(), freqs, workers)
+}
+
+// YSweepCtx is YSweep with cooperative cancellation between frequency
+// points: a canceled sweep returns a resilience.StageError for the
+// admittance stage instead of partial results.
+func (s *System) YSweepCtx(ctx context.Context, freqs []float64, workers int) ([]*dense.CMat, error) {
 	if err := s.initYEval(); err != nil {
 		return nil, err
 	}
 	out := make([]*dense.CMat, len(freqs))
 	errs := make([]error, len(freqs))
-	par.Do(workers, len(freqs), func(_, k int) {
+	if err := par.DoCtx(ctx, workers, len(freqs), func(_, k int) {
 		out[k], errs[k] = s.Y(complex(0, 2*math.Pi*freqs[k]))
-	})
+	}); err != nil {
+		return nil, resilience.Canceled(resilience.StageYEval, ctx)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -15,13 +15,23 @@
 package lanczos
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/check"
 	"repro/internal/dense"
+	"repro/internal/resilience/inject"
 )
+
+// ErrNoConvergence is the sentinel wrapped by every stagnation failure of
+// the iterative eigensolvers (FindAbove, TwoPass). Callers match it with
+// errors.Is to decide whether a restart with different options — or the
+// dense fallback — is worth attempting; other error causes (a broken
+// tridiagonal eigensolve, cancellation) are not retryable.
+var ErrNoConvergence = errors.New("lanczos: no convergence")
 
 // Operator is a symmetric linear operator.
 type Operator interface {
@@ -102,8 +112,16 @@ const machEps = 2.220446049250313e-16
 
 // FindAbove runs the Lanczos iteration on op until every eigenvalue above
 // opts.Cutoff has converged (or MaxIter is reached, which returns an
-// error).
+// error wrapping ErrNoConvergence).
 func FindAbove(op Operator, opts Options) (*Result, error) {
+	return FindAboveCtx(context.Background(), op, opts)
+}
+
+// FindAboveCtx is FindAbove with cooperative cancellation: the context is
+// checked once per Lanczos step (each step costs at least one operator
+// application, so the check is free by comparison), and a canceled run
+// returns ctx.Err() wrapped with the iteration it stopped at.
+func FindAboveCtx(ctx context.Context, op Operator, opts Options) (*Result, error) {
 	n := op.Dim()
 	if n == 0 {
 		return &Result{Vectors: dense.New(0, 0)}, nil
@@ -147,6 +165,12 @@ func FindAbove(op Operator, opts Options) (*Result, error) {
 	stableFor := 0
 
 	for j := 0; j < maxIter; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("lanczos: canceled at iteration %d: %w", j, err)
+		}
+		if inject.Enabled && inject.ShouldFail(inject.LanczosIter, j) {
+			return nil, fmt.Errorf("%w: injected stagnation at iteration %d (cutoff %g)", ErrNoConvergence, j, opts.Cutoff)
+		}
 		//lint:ignore defersmell storing the Lanczos basis is the algorithm's memory model (reported as PeakVectors); the two-pass variant avoids it
 		w = append(w, append([]float64(nil), cur...))
 		op.Apply(av, cur)
@@ -208,7 +232,7 @@ func FindAbove(op Operator, opts Options) (*Result, error) {
 				if opts.Mode != Full {
 					full := opts
 					full.Mode = Full
-					fres, err := FindAbove(op, full)
+					fres, err := FindAboveCtx(ctx, op, full)
 					if err != nil {
 						return nil, err
 					}
@@ -315,7 +339,7 @@ func FindAbove(op Operator, opts Options) (*Result, error) {
 		if opts.Mode != Full {
 			full := opts
 			full.Mode = Full
-			fres, err := FindAbove(op, full)
+			fres, err := FindAboveCtx(ctx, op, full)
 			if err != nil {
 				return nil, err
 			}
@@ -325,7 +349,7 @@ func FindAbove(op Operator, opts Options) (*Result, error) {
 		}
 		return finish(op, w, alpha, beta[:len(beta)-1], opts.Cutoff, convTol, res)
 	}
-	return nil, fmt.Errorf("lanczos: no convergence after %d iterations (cutoff %g)", res.Iterations, opts.Cutoff)
+	return nil, fmt.Errorf("%w after %d iterations (cutoff %g)", ErrNoConvergence, res.Iterations, opts.Cutoff)
 }
 
 // keyOf buckets a Ritz value so repeated convergence detections of the

@@ -1,12 +1,14 @@
 package lanczos
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/check"
 	"repro/internal/dense"
+	"repro/internal/resilience/inject"
 )
 
 // TwoPass finds the eigenvalues of op above opts.Cutoff with the
@@ -24,6 +26,12 @@ import (
 // The result's PeakVectors field reports how many length-n vectors were
 // simultaneously live, for the memory benches.
 func TwoPass(op Operator, opts Options) (*Result, error) {
+	return TwoPassCtx(context.Background(), op, opts)
+}
+
+// TwoPassCtx is TwoPass with cooperative cancellation, checked once per
+// Lanczos step in both passes.
+func TwoPassCtx(ctx context.Context, op Operator, opts Options) (*Result, error) {
 	n := op.Dim()
 	if n == 0 {
 		return &Result{Vectors: dense.New(0, 0)}, nil
@@ -58,6 +66,12 @@ func TwoPass(op Operator, opts Options) (*Result, error) {
 	var keptVals []float64
 	iters := 0
 	for j := 0; j < maxIter; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("lanczos: two-pass canceled at iteration %d: %w", j, err)
+		}
+		if inject.Enabled && inject.ShouldFail(inject.LanczosIter, j) {
+			return nil, fmt.Errorf("%w: injected stagnation at two-pass iteration %d (cutoff %g)", ErrNoConvergence, j, opts.Cutoff)
+		}
 		op.Apply(av, cur)
 		res.MatVecs++
 		a := dot(cur, av)
@@ -187,6 +201,9 @@ func TwoPass(op Operator, opts Options) (*Result, error) {
 	havePrev = false
 	betaPrev = 0
 	for step := 0; step < len(alpha); step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("lanczos: two-pass replay canceled at step %d: %w", step, err)
+		}
 		for jc, col := range cols {
 			c := z.At(step, col)
 			if c != 0 {
@@ -261,7 +278,7 @@ func TwoPass(op Operator, opts Options) (*Result, error) {
 	res.Values = outVals
 	res.Vectors = vecs
 	if len(outVals) == 0 && len(keptVals) > 0 {
-		return nil, fmt.Errorf("lanczos: two-pass vector accumulation degenerated")
+		return nil, fmt.Errorf("%w: two-pass vector accumulation degenerated", ErrNoConvergence)
 	}
 	if check.Enabled {
 		check.Orthonormal("two-pass Ritz basis", res.Vectors, check.OrthTol)

@@ -129,6 +129,92 @@ func Ok() error {
 	}
 }
 
+// TestCheckerrFlow covers the flow-sensitive forms: an error overwritten
+// before any read, a named error result silently replaced by an explicit
+// return, and an error stored on a struct field of a value that is never
+// used again — the dropped recovery-ladder shape.
+func TestCheckerrFlow(t *testing.T) {
+	t.Parallel()
+	l := fixtureLoader(t, map[string]string{
+		"internal/chol/chol.go": `package chol
+
+type Factor struct{}
+
+func Factorize() (*Factor, error) { return &Factor{}, nil }
+`,
+		"internal/use/use.go": `package use
+
+import "fixturemod/internal/chol"
+
+type Result struct {
+	F   *chol.Factor
+	Err error
+}
+
+func BadOverwrite() error {
+	_, err := chol.Factorize()
+	_, err = chol.Factorize()
+	return err
+}
+
+func BadNamedReturn() (err error) {
+	_, err = chol.Factorize()
+	return nil
+}
+
+func BadFieldDrop() {
+	r := &Result{}
+	r.F, r.Err = chol.Factorize()
+}
+
+func OkReadBetween() error {
+	_, err := chol.Factorize()
+	if err != nil {
+		return err
+	}
+	_, err = chol.Factorize()
+	return err
+}
+
+func OkNamedReturn() (err error) {
+	_, err = chol.Factorize()
+	return err
+}
+
+func OkBareReturn() (err error) {
+	_, err = chol.Factorize()
+	return
+}
+
+func OkFieldEscapes() *Result {
+	r := &Result{}
+	r.F, r.Err = chol.Factorize()
+	return r
+}
+
+func OkFieldRead() error {
+	r := &Result{}
+	r.F, r.Err = chol.Factorize()
+	return r.Err
+}
+`,
+	})
+	ds := runRule(t, l, "internal/use", "checkerr")
+	// Line 11: err from the first Factorize overwritten by the second.
+	// Line 17: named result err replaced by `return nil`.
+	// Line 23: r.Err set on a value that is never used again.
+	wantLines(t, ds, 11, 17, 23)
+	if !strings.Contains(ds[0].Msg, "overwritten") {
+		t.Fatalf("line 11 should be the overwrite form: %v", ds[0])
+	}
+	if !strings.Contains(ds[1].Msg, "explicit return") {
+		t.Fatalf("line 17 should be the named-return form: %v", ds[1])
+	}
+	if !strings.Contains(ds[2].Msg, "field r.Err") {
+		t.Fatalf("line 23 should be the dead-field form: %v", ds[2])
+	}
+}
+
 func TestCheckerrBlankDiscardOnlyForWatchlist(t *testing.T) {
 	t.Parallel()
 	l := fixtureLoader(t, map[string]string{

@@ -70,11 +70,14 @@ var errWatchSuffixes = []string{"/internal/chol", "/internal/dense", "/internal/
 
 // checkerrRule flags ignored error results from module-internal calls: a
 // call used as a bare statement whose callee returns an error (go vet is
-// silent about these), and blank-assigned errors from the
-// factorization/solve watchlist.
+// silent about these), blank-assigned errors from the factorization/solve
+// watchlist, and — the flow-sensitive forms — errors that are assigned
+// but then dropped: overwritten before any read, silently replaced by an
+// explicit `return` over a named error result, or stored in a struct
+// field of a value that is never used again.
 var checkerrRule = Rule{
 	ID:   "checkerr",
-	Doc:  "ignored error results from module-internal calls (factorization/solve APIs also flag `_ =` discards)",
+	Doc:  "ignored error results from module-internal calls: bare-statement calls, watchlist `_ =` discards, and assigned errors dropped via overwrite, named-return shadowing or dead struct fields",
 	Hint: "handle or return the error; a failed factorization invalidates everything computed from it",
 	Run:  runCheckerr,
 }
@@ -116,6 +119,207 @@ func runCheckerr(p *Package, report func(pos token.Pos, msg, hint string)) {
 		}
 		return true
 	})
+	runCheckerrFlow(p, report)
+}
+
+// runCheckerrFlow is the flow-sensitive half of checkerr: it tracks error
+// values from module-internal calls after they are assigned. The analysis
+// is per basic block and deliberately conservative — any mention of a
+// tracked variable anywhere in a later statement (conditions, nested
+// control flow, closures) counts as a read and clears it — so every
+// report is a definite drop on the straight-line path:
+//
+//   - overwritten before read:  err = fragile(); err = nil
+//   - named-return shadowing:   func f() (err error) { err = fragile(); return nil }
+//   - dead struct field:        r := &Result{}; r.Err = fragile(); <r never used again>
+func runCheckerrFlow(p *Package, report func(pos token.Pos, msg, hint string)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkErrFlowBody(p, namedErrResults(p, fn.Type), fn.Body, report)
+				}
+			case *ast.FuncLit:
+				checkErrFlowBody(p, namedErrResults(p, fn.Type), fn.Body, report)
+			}
+			return true
+		})
+	}
+}
+
+// namedErrResults collects the named error-typed result variables of a
+// function type, resolved to their types.Var objects so body identifiers
+// can be matched by object identity.
+func namedErrResults(p *Package, ft *ast.FuncType) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	if ft.Results == nil {
+		return out
+	}
+	for _, field := range ft.Results.List {
+		for _, name := range field.Names {
+			if v, ok := p.Info.Defs[name].(*types.Var); ok && types.Identical(v.Type(), errType) {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// pendingErr is one tracked unchecked error value: where it was assigned
+// and which callee produced it.
+type pendingErr struct {
+	pos   token.Pos
+	label string
+}
+
+// checkErrFlowBody runs the straight-line drop analysis over every block
+// of one function body. Nested function literals are skipped here — the
+// inspection in runCheckerrFlow visits them as functions of their own, so
+// their named results are resolved against the right signature.
+func checkErrFlowBody(p *Package, named map[*types.Var]bool, body *ast.BlockStmt, report func(pos token.Pos, msg, hint string)) {
+	var blocks []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if b, ok := n.(*ast.BlockStmt); ok {
+			blocks = append(blocks, b)
+		}
+		return true
+	})
+	for _, b := range blocks {
+		checkErrFlowBlock(p, named, b, report)
+	}
+}
+
+type fieldKey struct {
+	base  *types.Var
+	field string
+}
+
+func checkErrFlowBlock(p *Package, named map[*types.Var]bool, b *ast.BlockStmt, report func(pos token.Pos, msg, hint string)) {
+	pending := map[*types.Var]pendingErr{}
+	fields := map[fieldKey]pendingErr{}
+	local := map[*types.Var]bool{} // vars declared by := at this block level
+
+	varOf := func(id *ast.Ident) *types.Var {
+		if v, ok := p.Info.Uses[id].(*types.Var); ok {
+			return v
+		}
+		v, _ := p.Info.Defs[id].(*types.Var)
+		return v
+	}
+	// clearReads treats every identifier occurrence under n as a read of
+	// that variable: tracked errors and tracked struct bases are cleared.
+	clearReads := func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			id, ok := c.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v := varOf(id)
+			if v == nil {
+				return true
+			}
+			delete(pending, v)
+			for k := range fields {
+				if k.base == v {
+					delete(fields, k)
+				}
+			}
+			return true
+		})
+	}
+	reportOverwrite := func(pe pendingErr) {
+		report(pe.pos, fmt.Sprintf("error from %s is overwritten before it is read", pe.label), "")
+	}
+
+	for _, st := range b.List {
+		switch s := st.(type) {
+		case *ast.AssignStmt:
+			if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+				// Compound assignment (+=, ...) reads its left side too.
+				clearReads(s)
+				continue
+			}
+			// A tracked-error-producing call: v = pkg.Fragile() or
+			// x.Field = pkg.Fragile().
+			var fn *types.Func
+			idx := -1
+			if len(s.Rhs) == 1 {
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+					if fn = calleeFunc(p, call); fn != nil && inModule(p, fn) {
+						idx = errorResultIndex(fn)
+					}
+				}
+			}
+			for _, r := range s.Rhs {
+				clearReads(r)
+			}
+			for i, l := range s.Lhs {
+				id, isIdent := ast.Unparen(l).(*ast.Ident)
+				if !isIdent {
+					// x.Field = ... reads x before writing the field; an
+					// error-producing call landing in a field of a
+					// block-local value starts field tracking.
+					if sel, ok := ast.Unparen(l).(*ast.SelectorExpr); ok {
+						base, baseOk := ast.Unparen(sel.X).(*ast.Ident)
+						if baseOk && i == idx {
+							if bv := varOf(base); bv != nil && local[bv] {
+								fields[fieldKey{bv, sel.Sel.Name}] = pendingErr{l.Pos(), funcLabel(fn)}
+								continue
+							}
+						}
+					}
+					clearReads(l)
+					continue
+				}
+				v := varOf(id)
+				if v == nil || id.Name == "_" {
+					continue
+				}
+				if pe, ok := pending[v]; ok {
+					reportOverwrite(pe)
+					delete(pending, v)
+				}
+				if s.Tok == token.DEFINE {
+					local[v] = true
+				}
+				if i == idx && types.Identical(v.Type(), errType) {
+					pending[v] = pendingErr{id.Pos(), funcLabel(fn)}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				clearReads(r)
+			}
+			if len(s.Results) > 0 {
+				// An explicit return overwrites every named result; a
+				// tracked error sitting in one is silently replaced.
+				for v, pe := range pending {
+					if named[v] {
+						report(pe.pos, fmt.Sprintf("error from %s in named result %s is discarded by a later explicit return", pe.label, v.Name()), "")
+						delete(pending, v)
+					}
+				}
+			} else {
+				for v := range pending {
+					if named[v] {
+						delete(pending, v)
+					}
+				}
+			}
+		default:
+			clearReads(st)
+		}
+	}
+	for k, pe := range fields {
+		report(pe.pos, fmt.Sprintf("error from %s stored in field %s.%s is never read", pe.label, k.base.Name(), k.field), "")
+	}
 }
 
 // calleeFunc resolves the static callee of a call, or nil for builtins,

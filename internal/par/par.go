@@ -24,11 +24,14 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/resilience/inject"
 )
 
 // Workers returns the bounded fan-out for n independent iterations:
@@ -103,11 +106,125 @@ func Do(workers, n int, body func(worker, i int)) {
 	}
 }
 
+// DoCtx is Do with cooperative cancellation: workers check a cancel flag
+// between work items (never mid-item), so a canceled context stops the
+// pool at the next item boundary and DoCtx returns ctx.Err(). Items that
+// already ran wrote their results to their caller-owned slots as usual;
+// the determinism contract still holds for every completed run (nil
+// return), because cancellation only changes *whether* iterations run,
+// never what work iteration i performs. A context that can never be
+// canceled (ctx.Done() == nil, e.g. context.Background()) takes the
+// plain Do path and pays no synchronization beyond Do itself.
+func DoCtx(ctx context.Context, workers, n int, body func(worker, i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if ctx.Done() == nil {
+		Do(workers, n, body)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if max := Workers(n); workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		// Serial path: no watcher, the loop asks the context directly (one
+		// uncontended check per item).
+		for i := 0; i < n; i++ {
+			if inject.Enabled {
+				inject.Visit(inject.ParItem, i)
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			body(0, i)
+		}
+		return nil
+	}
+	// One watcher goroutine turns the channel close into an atomic flag
+	// the workers can poll for free; it exits as soon as the pool drains.
+	var stop atomic.Bool
+	poolDone := make(chan struct{})
+	defer close(poolDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop.Store(true)
+		case <-poolDone:
+		}
+	}()
+	var bailed atomic.Bool
+	item := func(w, i int) bool {
+		if stop.Load() {
+			bailed.Store(true)
+			return false
+		}
+		if inject.Enabled {
+			// Per-item checkpoint: a func rule armed at par.item models an
+			// external event (canonically ctx cancellation) arriving between
+			// items; re-checking the context right after makes the effect
+			// land on this very item instead of racing the watcher.
+			inject.Visit(inject.ParItem, i)
+			if ctx.Err() != nil {
+				bailed.Store(true)
+				return false
+			}
+		}
+		body(w, i)
+		return true
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	panics := make([]*capturedPanic, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[w] = &capturedPanic{value: r, stack: debug.Stack()}
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if !item(w, i) {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("par: worker panic: %v\n%s", p.value, p.stack))
+		}
+	}
+	if bailed.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
 // ForWorkers runs body(worker, i) for every i in [0, n) on Workers(n)
 // workers. Use the worker index to address pre-allocated per-worker
 // scratch.
 func ForWorkers(n int, body func(worker, i int)) {
 	Do(Workers(n), n, body)
+}
+
+// ForWorkersCtx is ForWorkers with cooperative cancellation (see DoCtx).
+func ForWorkersCtx(ctx context.Context, n int, body func(worker, i int)) error {
+	return DoCtx(ctx, Workers(n), n, body)
+}
+
+// ForCtx is For with cooperative cancellation (see DoCtx).
+func ForCtx(ctx context.Context, n int, body func(i int)) error {
+	return DoCtx(ctx, Workers(n), n, func(_, i int) { body(i) })
 }
 
 // For runs body(i) for every i in [0, n) on Workers(n) workers. For

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,7 +9,27 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
+
+// waitGoroutines polls until the live goroutine count returns to at most
+// base (background scavengers may retire at any time), failing the test
+// if the pool leaked workers. This is the no-dependency stand-in for a
+// leak detector: every DoCtx test brackets itself with it.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d live, want <= %d", runtime.NumGoroutine(), base)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
 
 func TestForCoversEveryIndexOnce(t *testing.T) {
 	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
@@ -145,6 +166,98 @@ func TestDeterministicSumAcrossGOMAXPROCS(t *testing.T) {
 		if math.Float64bits(serial[i]) != math.Float64bits(parallel[i]) {
 			t.Fatalf("index %d differs across GOMAXPROCS: %g vs %g", i, serial[i], parallel[i])
 		}
+	}
+}
+
+func TestDoCtxCompletesWithoutCancel(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hits := make([]int32, 500)
+	if err := ForWorkersCtx(ctx, 500, func(_, i int) { atomic.AddInt32(&hits[i], 1) }); err != nil {
+		t.Fatalf("DoCtx with live context: %v", err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+func TestDoCtxBackgroundTakesPlainPath(t *testing.T) {
+	// context.Background can never be canceled, so DoCtx must not spawn a
+	// watcher goroutine — same goroutine count before and after, serially.
+	base := runtime.NumGoroutine()
+	if err := DoCtx(context.Background(), 1, 100, func(_, i int) {}); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, base)
+}
+
+func TestDoCtxAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := atomic.Int64{}
+	err := ForWorkersCtx(ctx, 1000, func(_, i int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-canceled context still ran %d items", ran.Load())
+	}
+}
+
+func TestDoCtxCancelMidRunStopsAndCleansUp(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	err := DoCtx(ctx, 4, 100000, func(_, i int) {
+		if ran.Add(1) == 50 {
+			cancel()
+		}
+		time.Sleep(10 * time.Microsecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 100000 {
+		t.Fatalf("cancellation did not stop the pool (ran all %d items)", n)
+	}
+	waitGoroutines(t, base)
+}
+
+func TestDoCtxDeadline(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := ForCtx(ctx, 1<<30, func(i int) { time.Sleep(50 * time.Microsecond) })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	waitGoroutines(t, base)
+}
+
+func TestDoCtxSerialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ran := 0
+	err := DoCtx(ctx, 1, 1000, func(_, i int) {
+		ran++
+		if i == 10 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran >= 1000 {
+		t.Fatal("serial path ignored cancellation")
 	}
 }
 

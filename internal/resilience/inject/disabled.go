@@ -1,0 +1,18 @@
+//go:build !pactcheck
+
+package inject
+
+// Enabled reports whether the injection hooks are compiled in. In the
+// default build it is a false constant, so the guarded call sites
+// (`if inject.Enabled && inject.ShouldFail(...)`) are eliminated as dead
+// code and the pipeline pays nothing for its injection points.
+const Enabled = false
+
+// ShouldFail is a no-op unless built with -tags pactcheck.
+func ShouldFail(p Point, index int) bool { return false }
+
+// Visit is a no-op unless built with -tags pactcheck.
+func Visit(p Point, index int) {}
+
+// PoisonValue passes v through unless built with -tags pactcheck.
+func PoisonValue(p Point, index int, v float64) float64 { return v }

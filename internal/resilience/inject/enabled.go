@@ -1,0 +1,204 @@
+//go:build pactcheck
+
+package inject
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Enabled reports whether the injection hooks are compiled in.
+const Enabled = true
+
+type kind int
+
+const (
+	kindFail kind = iota
+	kindPoison
+	kindFunc
+)
+
+// rule is one armed fault: fire when the site's index matches (index < 0
+// matches any), at most `remaining` times (remaining < 0 = unlimited).
+type rule struct {
+	kind      kind
+	index     int
+	remaining int
+	poison    float64 // value substituted by PoisonValue rules
+	fn        func()  // side effect fired on match (e.g. a context cancel)
+}
+
+// Schedule is a set of armed faults. Schedules are built by tests, then
+// installed with Install; the zero value of NewSchedule is an empty
+// (never-firing) schedule. All methods are safe for concurrent use once
+// installed — injection sites run inside worker pools.
+type Schedule struct {
+	mu    sync.Mutex
+	rules map[Point][]*rule
+	fired map[Point]int
+}
+
+// NewSchedule returns an empty schedule.
+func NewSchedule() *Schedule {
+	return &Schedule{rules: map[Point][]*rule{}, fired: map[Point]int{}}
+}
+
+func (s *Schedule) add(p Point, r *rule) *Schedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules[p] = append(s.rules[p], r)
+	return s
+}
+
+// Arm schedules a single failure at the given index of the point
+// (index < 0 matches the next occurrence regardless of index).
+func (s *Schedule) Arm(p Point, index int) *Schedule { return s.ArmN(p, index, 1) }
+
+// ArmN schedules up to times failures (times < 0 = every occurrence) at
+// the given index of the point (index < 0 matches any index).
+func (s *Schedule) ArmN(p Point, index, times int) *Schedule {
+	return s.add(p, &rule{kind: kindFail, index: index, remaining: times})
+}
+
+// ArmPoison schedules the matching PoisonValue site to substitute v
+// (typically NaN or ±Inf) for its operand, up to times occurrences
+// (times < 0 = every occurrence).
+func (s *Schedule) ArmPoison(p Point, index, times int, v float64) *Schedule {
+	return s.add(p, &rule{kind: kindPoison, index: index, remaining: times, poison: v})
+}
+
+// ArmFunc schedules fn to run when the point fires at the given index
+// (once). The site itself observes no failure — ArmFunc models external
+// events, canonically a context cancellation arriving mid-stage.
+func (s *Schedule) ArmFunc(p Point, index int, fn func()) *Schedule {
+	return s.add(p, &rule{kind: kindFunc, index: index, remaining: 1, fn: fn})
+}
+
+// FromSeed derives a reproducible randomized schedule: for each listed
+// point, one failure is armed at an index drawn uniformly from [0, span).
+// Two calls with the same arguments arm identical schedules, so a seeded
+// fault sweep is replayable from its seed alone.
+func FromSeed(seed int64, span int, points ...Point) *Schedule {
+	if span < 1 {
+		span = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSchedule()
+	for _, p := range points {
+		s.Arm(p, rng.Intn(span))
+	}
+	return s
+}
+
+// match consumes and returns the first live rule at (p, index) whose
+// kind is in want, or nil.
+func (s *Schedule) match(p Point, index int, want ...kind) *rule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.rules[p] {
+		ok := false
+		for _, k := range want {
+			if r.kind == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if r.index >= 0 && r.index != index {
+			continue
+		}
+		if r.remaining == 0 {
+			continue
+		}
+		if r.remaining > 0 {
+			r.remaining--
+		}
+		s.fired[p]++
+		return r
+	}
+	return nil
+}
+
+// Fired reports how many times the point has fired under this schedule,
+// so tests can assert an injection actually reached its site.
+func (s *Schedule) Fired(p Point) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired[p]
+}
+
+var (
+	instMu    sync.Mutex
+	installed *Schedule
+)
+
+// Install makes s the active schedule. Tests must pair it with a
+// deferred Reset; installing nil is equivalent to Reset.
+func Install(s *Schedule) {
+	instMu.Lock()
+	installed = s
+	instMu.Unlock()
+}
+
+// Reset removes the active schedule; every site reverts to pass-through.
+func Reset() { Install(nil) }
+
+func active() *Schedule {
+	instMu.Lock()
+	defer instMu.Unlock()
+	return installed
+}
+
+// ShouldFail reports whether the active schedule arms a failure for the
+// point at this index, consuming one firing. Func rules armed at the
+// same site run their side effect here and report no failure.
+func ShouldFail(p Point, index int) bool {
+	s := active()
+	if s == nil {
+		return false
+	}
+	r := s.match(p, index, kindFail, kindFunc)
+	if r == nil {
+		return false
+	}
+	if r.kind == kindFunc {
+		r.fn()
+		return false
+	}
+	return true
+}
+
+// Visit fires any func rule armed at (p, index) without reporting
+// failure — the hook form for sites that have no natural failure action
+// of their own (e.g. the worker pool's per-item checkpoint).
+func Visit(p Point, index int) {
+	s := active()
+	if s == nil {
+		return
+	}
+	if r := s.match(p, index, kindFunc); r != nil {
+		r.fn()
+	}
+}
+
+// PoisonValue returns the armed poison value for (p, index), consuming
+// one firing, or v unchanged when nothing is armed.
+func PoisonValue(p Point, index int, v float64) float64 {
+	s := active()
+	if s == nil {
+		return v
+	}
+	if r := s.match(p, index, kindPoison); r != nil {
+		return r.poison
+	}
+	return v
+}
+
+// NaN is a convenience poison value.
+func NaN() float64 { return math.NaN() }
+
+// Inf is a convenience poison value.
+func Inf() float64 { return math.Inf(1) }

@@ -1,0 +1,123 @@
+//go:build pactcheck
+
+package inject
+
+import (
+	"math"
+	"testing"
+)
+
+func TestArmFiresOnceAtIndex(t *testing.T) {
+	s := NewSchedule().Arm(CholPivot, 3)
+	Install(s)
+	defer Reset()
+	for k := 0; k < 3; k++ {
+		if ShouldFail(CholPivot, k) {
+			t.Fatalf("fired early at index %d", k)
+		}
+	}
+	if !ShouldFail(CholPivot, 3) {
+		t.Fatal("did not fire at armed index 3")
+	}
+	if ShouldFail(CholPivot, 3) {
+		t.Fatal("single-shot rule fired twice")
+	}
+	if got := s.Fired(CholPivot); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestArmAnyIndexAndUnlimited(t *testing.T) {
+	Install(NewSchedule().ArmN(NewtonIter, -1, -1))
+	defer Reset()
+	for k := 0; k < 5; k++ {
+		if !ShouldFail(NewtonIter, k) {
+			t.Fatalf("unlimited any-index rule did not fire at %d", k)
+		}
+	}
+}
+
+func TestPoison(t *testing.T) {
+	Install(NewSchedule().ArmPoison(CholPoison, 2, 1, NaN()))
+	defer Reset()
+	if v := PoisonValue(CholPoison, 0, 7.5); v != 7.5 {
+		t.Fatalf("unarmed index poisoned: %g", v)
+	}
+	if v := PoisonValue(CholPoison, 2, 7.5); !math.IsNaN(v) {
+		t.Fatalf("armed index not poisoned: %g", v)
+	}
+	if v := PoisonValue(CholPoison, 2, 7.5); !(v == 7.5) {
+		t.Fatalf("consumed poison rule fired again: %g", v)
+	}
+}
+
+func TestArmFuncViaVisitAndShouldFail(t *testing.T) {
+	calls := 0
+	Install(NewSchedule().
+		ArmFunc(ParItem, 4, func() { calls++ }).
+		ArmFunc(LanczosIter, -1, func() { calls += 10 }))
+	defer Reset()
+	Visit(ParItem, 3)
+	if calls != 0 {
+		t.Fatal("func fired at wrong index")
+	}
+	Visit(ParItem, 4)
+	if calls != 1 {
+		t.Fatalf("func did not fire exactly once: %d", calls)
+	}
+	// A func rule reached through ShouldFail runs but reports no failure.
+	if ShouldFail(LanczosIter, 0) {
+		t.Fatal("func rule must not report failure")
+	}
+	if calls != 11 {
+		t.Fatalf("ShouldFail did not run the func rule: %d", calls)
+	}
+}
+
+func TestVisitDoesNotConsumeFailRules(t *testing.T) {
+	Install(NewSchedule().Arm(LanczosIter, 5))
+	defer Reset()
+	Visit(LanczosIter, 5) // must not eat the fail rule
+	if !ShouldFail(LanczosIter, 5) {
+		t.Fatal("Visit consumed a fail rule")
+	}
+}
+
+func TestFromSeedReproducible(t *testing.T) {
+	a := FromSeed(42, 100, CholPivot, LanczosIter)
+	b := FromSeed(42, 100, CholPivot, LanczosIter)
+	for _, p := range []Point{CholPivot, LanczosIter} {
+		// The schedules must arm identical indices: walk indices until one
+		// fires and compare.
+		Install(a)
+		ia := -1
+		for k := 0; k < 100; k++ {
+			if ShouldFail(p, k) {
+				ia = k
+				break
+			}
+		}
+		Install(b)
+		ib := -1
+		for k := 0; k < 100; k++ {
+			if ShouldFail(p, k) {
+				ib = k
+				break
+			}
+		}
+		Reset()
+		if ia != ib || ia < 0 {
+			t.Fatalf("point %s: seeded schedules diverge (%d vs %d)", p, ia, ib)
+		}
+	}
+}
+
+func TestNoScheduleIsPassThrough(t *testing.T) {
+	Reset()
+	if ShouldFail(CholPivot, 0) {
+		t.Fatal("no schedule must mean no failures")
+	}
+	if v := PoisonValue(CholPoison, 0, 1.25); v != 1.25 {
+		t.Fatalf("no schedule must pass values through, got %g", v)
+	}
+}

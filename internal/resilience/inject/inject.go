@@ -1,0 +1,51 @@
+// Package inject is the deterministic fault-injection harness of the
+// resilience layer. Each fragile stage of the pipeline hosts one or more
+// named injection points; a test installs a Schedule that arms specific
+// points at specific occurrences, runs the pipeline, and asserts the
+// recovery ladder's outcome — a degraded-but-bounded result, or a typed
+// terminal error naming the stage and the attempts.
+//
+// Like internal/check, the harness is compiled out of release builds: in
+// the default build every hook is a no-op stub and Enabled is a false
+// constant, so the guarded call sites
+//
+//	if inject.Enabled && inject.ShouldFail(inject.CholPivot, k) { ... }
+//
+// are eliminated as dead code. Building with -tags pactcheck swaps in
+// the real implementation.
+//
+// Schedules are deterministic by construction: a rule fires on an exact
+// (point, index) match with a bounded fire count, and FromSeed derives a
+// randomized-but-reproducible schedule from a seed, so every rung of
+// every ladder can be exercised reproducibly in CI.
+package inject
+
+// Point names one injection site in the pipeline. The catalog below is
+// documented in DESIGN.md §9; every point has at least one test forcing
+// a fault through it.
+type Point string
+
+// The injection-point catalog.
+const (
+	// CholPivot forces a pivot failure on the k-th elimination of the
+	// real Cholesky factorization (chol.Factorize): the site returns
+	// ErrNotPositiveDefinite as if pivot k had collapsed.
+	CholPivot Point = "chol.pivot"
+	// CholPoison poisons the scattered diagonal entry of elimination k
+	// with the armed value (NaN or ±Inf) before the pivot test.
+	CholPoison Point = "chol.poison"
+	// CholComplexPivot forces a zero-pivot failure at step k of the
+	// complex LDLᵀ factorization (chol.FactorizeComplex).
+	CholComplexPivot Point = "chol.complexpivot"
+	// LanczosIter fails the Lanczos iteration at step j
+	// (lanczos.FindAbove / lanczos.TwoPass), modeling stagnation or
+	// breakdown on a clustered spectrum.
+	LanczosIter Point = "lanczos.iter"
+	// NewtonIter forces Newton non-convergence at iteration k of one
+	// sim.Circuit Newton solve.
+	NewtonIter Point = "newton.iter"
+	// ParItem is visited by the worker pool before work item i of a
+	// context-aware parallel region; arm it with a func (ArmFunc) that
+	// cancels the region's context to test mid-stage cancellation.
+	ParItem Point = "par.item"
+)

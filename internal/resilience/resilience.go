@@ -1,0 +1,175 @@
+// Package resilience is the failure taxonomy of the PACT pipeline. The
+// reduction's guarantees (passivity, absolute stability, bounded error)
+// hold only while every numerical stage succeeds, and the paper assumes
+// the failure modes away: an internal node with no DC path to a port
+// makes D singular, Lanczos can stagnate on clustered spectra, and the
+// simulator's Newton loop can walk off a cliff on a stiff nonlinearity.
+// Real extracted netlists hit all three.
+//
+// This package gives every fragile stage a shared vocabulary:
+//
+//   - StageError is the terminal, typed failure of one pipeline stage. It
+//     names the stage, the offending node/pivot/eigenpair, and every
+//     recovery rung that was attempted before surrender. It wraps the
+//     stage's underlying sentinel error, so existing errors.Is callers
+//     (chol.ErrNotPositiveDefinite, context.Canceled, ...) keep working.
+//
+//   - Recovery records a degradation that kept a stage alive — a diagonal
+//     regularization of D, a Lanczos restart, a dense-eigenpath fallback,
+//     a gmin/source-stepping continuation — together with its quantified
+//     cost (the applied perturbation and its worst-case admittance error
+//     bound), so a caller can decide whether a degraded result is usable.
+//
+// The package depends only on the standard library; the numerical
+// packages it describes import it, never the reverse.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Stage identifies one fragile stage of the pipeline.
+type Stage string
+
+// The stages with recovery ladders.
+const (
+	// StageCholesky is the sparse Cholesky factorization of the internal
+	// conductance block D (Transform 1). Its ladder retries with
+	// escalating diagonal regularization D + γI.
+	StageCholesky Stage = "cholesky(D)"
+	// StagePoleAnalysis is the Lanczos pole analysis of E′ (Transform 2).
+	// Its ladder restarts with a fresh seed vector and full
+	// reorthogonalization, then falls back to the dense eigenpath.
+	StagePoleAnalysis Stage = "pole-analysis(E')"
+	// StageNewton is the simulator's Newton–Raphson operating-point solve.
+	// Its ladder falls through gmin stepping then source stepping.
+	StageNewton Stage = "newton(DC)"
+	// StageYEval is the exact admittance evaluation (complex LDLᵀ of
+	// D + sE); it has no ladder — a singular D + sE is terminal — but its
+	// failures carry the same typed shape.
+	StageYEval Stage = "admittance(D+sE)"
+	// StageTransient is the simulator's transient integration loop.
+	StageTransient Stage = "transient"
+	// StageAC is the simulator's small-signal frequency sweep.
+	StageAC Stage = "ac-sweep"
+)
+
+// Attempt records one rung of a recovery ladder: what was tried and how
+// it failed (Err is nil for the rung that succeeded, in which case the
+// ladder reports a Recovery instead of a StageError).
+type Attempt struct {
+	// Action describes the rung, e.g. "regularize D+γI, γ=1.2e-9".
+	Action string
+	// Err is the failure of this rung.
+	Err error
+}
+
+// StageError is the terminal failure of a pipeline stage after its
+// recovery ladder (if any) is exhausted.
+type StageError struct {
+	// Stage names the failing stage.
+	Stage Stage
+	// Detail pins the failure to the offending object: a pivot index, an
+	// internal node, an eigenpair, a time point.
+	Detail string
+	// Attempts lists every recovery rung tried, in order.
+	Attempts []Attempt
+	// Err is the underlying error of the final (or only) attempt; Unwrap
+	// exposes it so errors.Is/As reach the stage's sentinel errors and
+	// context cancellation causes.
+	Err error
+}
+
+// Error formats the stage, detail, attempts and cause on one line.
+func (e *StageError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "resilience: stage %s failed", e.Stage)
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	if len(e.Attempts) > 0 {
+		fmt.Fprintf(&b, " after %d recovery attempt(s): ", len(e.Attempts))
+		for i, a := range e.Attempts {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(a.Action)
+			if a.Err != nil {
+				fmt.Fprintf(&b, " -> %v", a.Err)
+			}
+		}
+	}
+	if e.Err != nil {
+		fmt.Fprintf(&b, ": %v", e.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// NewStageError builds a StageError; attempts may be nil for stages
+// without a ladder.
+func NewStageError(stage Stage, detail string, attempts []Attempt, cause error) *StageError {
+	return &StageError{Stage: stage, Detail: detail, Attempts: attempts, Err: cause}
+}
+
+// Canceled wraps a context cancellation observed inside a stage. The
+// returned error satisfies errors.Is for the context's cause
+// (context.Canceled or context.DeadlineExceeded), so callers distinguish
+// a user abort from a numerical failure with the standard predicates.
+func Canceled(stage Stage, ctx context.Context) *StageError {
+	return &StageError{Stage: stage, Detail: "canceled", Err: ctx.Err()}
+}
+
+// IsCancellation reports whether err was (ultimately) caused by context
+// cancellation or deadline expiry — the one failure class recovery
+// ladders must NOT retry through: the user asked for the work to stop.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Recovery records a degradation that kept a stage alive.
+type Recovery struct {
+	// Stage is the stage that degraded.
+	Stage Stage
+	// Action names the rung that succeeded, e.g. "regularize D+γI" or
+	// "dense eigenpath fallback".
+	Action string
+	// Attempts is the total number of rungs tried, including the one that
+	// succeeded.
+	Attempts int
+	// Gamma is the applied diagonal perturbation (StageCholesky only).
+	Gamma float64
+	// ErrBound is the worst-case admittance error introduced by the
+	// degradation, in the same units as the admittance entries
+	// (StageCholesky: the first-order DC bound γ·‖D_γ⁻¹Q‖²_F; zero when
+	// the degradation is exact, e.g. the dense eigenpath fallback).
+	ErrBound float64
+	// Reason is the failure that forced the degradation, as text (kept as
+	// a string so Recovery values are plain data, comparable and
+	// serializable).
+	Reason string
+}
+
+// String formats the recovery for logs and CLI reports.
+func (r Recovery) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s", r.Stage, r.Action)
+	if r.Attempts > 1 {
+		fmt.Fprintf(&b, " (attempt %d)", r.Attempts)
+	}
+	if r.Gamma != 0 {
+		fmt.Fprintf(&b, ", γ=%.3g", r.Gamma)
+	}
+	if r.ErrBound != 0 {
+		fmt.Fprintf(&b, ", worst-case admittance error %.3g", r.ErrBound)
+	}
+	if r.Reason != "" {
+		fmt.Fprintf(&b, " [cause: %s]", r.Reason)
+	}
+	return b.String()
+}

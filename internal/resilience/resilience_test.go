@@ -1,0 +1,75 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+var errSentinel = errors.New("pivot 3 is not positive definite")
+
+func TestStageErrorWrapsSentinel(t *testing.T) {
+	t.Parallel()
+	e := NewStageError(StageCholesky, "pivot 3", []Attempt{
+		{Action: "regularize γ=1e-12", Err: errSentinel},
+		{Action: "regularize γ=1e-9", Err: errSentinel},
+	}, errSentinel)
+	if !errors.Is(e, errSentinel) {
+		t.Fatal("StageError must unwrap to the stage's sentinel error")
+	}
+	var se *StageError
+	if !errors.As(e, &se) || se.Stage != StageCholesky {
+		t.Fatalf("errors.As failed or wrong stage: %v", se)
+	}
+	msg := e.Error()
+	for _, want := range []string{"cholesky(D)", "pivot 3", "2 recovery attempt", "γ=1e-12"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestCanceled(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := Canceled(StagePoleAnalysis, ctx)
+	if !errors.Is(e, context.Canceled) {
+		t.Fatal("Canceled must satisfy errors.Is(err, context.Canceled)")
+	}
+	if !IsCancellation(e) {
+		t.Fatal("IsCancellation must detect a wrapped context cancellation")
+	}
+	if IsCancellation(errSentinel) {
+		t.Fatal("IsCancellation must not fire on numerical failures")
+	}
+}
+
+func TestDeadlineIsCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	<-ctx.Done()
+	if !IsCancellation(Canceled(StageNewton, ctx)) {
+		t.Fatal("deadline expiry must count as cancellation")
+	}
+}
+
+func TestRecoveryString(t *testing.T) {
+	t.Parallel()
+	r := Recovery{
+		Stage:    StageCholesky,
+		Action:   "regularize D+γI",
+		Attempts: 2,
+		Gamma:    1.5e-9,
+		ErrBound: 3e-7,
+		Reason:   "pivot 4 collapsed",
+	}
+	s := r.String()
+	for _, want := range []string{"cholesky(D)", "regularize", "attempt 2", "1.5e-09", "3e-07", "pivot 4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Recovery string %q missing %q", s, want)
+		}
+	}
+}

@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"repro/internal/resilience"
 )
 
 // TransientAdaptive integrates from the DC operating point to tstop with
@@ -18,6 +21,13 @@ import (
 // circuits with widely separated time constants — e.g. substrate meshes
 // whose noise bursts are brief but whose quiet stretches are long.
 func (c *Circuit) TransientAdaptive(tstop, hInit, tolV float64) (*TranResult, error) {
+	return c.TransientAdaptiveCtx(context.Background(), tstop, hInit, tolV)
+}
+
+// TransientAdaptiveCtx is TransientAdaptive with cooperative cancellation
+// between steps. Cancellation is distinguished from Newton trouble so the
+// controller never shrinks the step in response to a deadline.
+func (c *Circuit) TransientAdaptiveCtx(ctx context.Context, tstop, hInit, tolV float64) (*TranResult, error) {
 	if hInit <= 0 || tstop <= 0 {
 		return nil, fmt.Errorf("sim: adaptive transient needs positive initial step and stop time")
 	}
@@ -28,8 +38,11 @@ func (c *Circuit) TransientAdaptive(tstop, hInit, tolV float64) (*TranResult, er
 	if hInit > hMax {
 		hInit = hMax
 	}
-	op, err := c.DC()
+	op, err := c.DCCtx(ctx)
 	if err != nil {
+		if resilience.IsCancellation(err) {
+			return nil, resilience.Canceled(resilience.StageTransient, ctx)
+		}
 		return nil, fmt.Errorf("sim: adaptive transient operating point: %w", err)
 	}
 	x := op.X
@@ -53,13 +66,16 @@ func (c *Circuit) TransientAdaptive(tstop, hInit, tolV float64) (*TranResult, er
 		v0, i0 := c.capState()
 		// One full step.
 		xFull := append([]float64(nil), x...)
-		errFull := c.singleStep(xFull, t, h, useBE)
+		errFull := c.singleStep(ctx, xFull, t, h, useBE)
 		// Two half steps from the same starting state.
 		c.restoreCapState(v0, i0)
 		xHalf := append([]float64(nil), x...)
-		errHalf := c.singleStep(xHalf, t, h/2, useBE)
+		errHalf := c.singleStep(ctx, xHalf, t, h/2, useBE)
 		if errHalf == nil {
-			errHalf = c.singleStep(xHalf, t+h/2, h/2, false)
+			errHalf = c.singleStep(ctx, xHalf, t+h/2, h/2, false)
+		}
+		if resilience.IsCancellation(errFull) || resilience.IsCancellation(errHalf) {
+			return nil, resilience.Canceled(resilience.StageTransient, ctx)
 		}
 		if errFull != nil || errHalf != nil {
 			// Newton trouble: restore and halve.

@@ -1,13 +1,23 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
 
 	"repro/internal/check"
+	"repro/internal/resilience"
+	"repro/internal/resilience/inject"
 	"repro/internal/sparse"
 )
+
+// ErrNoConvergence is the sentinel wrapped by every Newton convergence
+// failure, so callers can distinguish a stalled iteration (retryable by
+// the DC recovery ladder) from structural problems like a singular MNA
+// matrix.
+var ErrNoConvergence = errors.New("sim: Newton did not converge")
 
 // checkMNASymmetry asserts (under -tags pactcheck) that the assembled MNA
 // matrix is numerically symmetric. Every stamp except the MOSFET's —
@@ -119,6 +129,13 @@ func (c *Circuit) loadStatic(vals, rhs, x []float64, srcScale, gmin, t float64) 
 // newton iterates the Newton–Raphson loop on top of an arbitrary loader.
 // load must fill vals/rhs given the candidate x.
 func (c *Circuit) newton(x []float64, load func(vals, rhs, x []float64), maxIter int) (int, error) {
+	return c.newtonCtx(context.Background(), x, load, maxIter)
+}
+
+// newtonCtx is newton with a cooperative cancellation check between
+// iterations; a canceled loop reports the context error so ladders do
+// not retry through a deadline.
+func (c *Circuit) newtonCtx(ctx context.Context, x []float64, load func(vals, rhs, x []float64), maxIter int) (int, error) {
 	n := c.nUnknown
 	vals := make([]float64, len(c.rowIdx))
 	rhs := make([]float64, n)
@@ -128,6 +145,12 @@ func (c *Circuit) newton(x []float64, load func(vals, rhs, x []float64), maxIter
 		maxStep = 1.0 // volts per Newton step (damping)
 	)
 	for iter := 1; iter <= maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return iter - 1, fmt.Errorf("sim: Newton canceled at iteration %d: %w", iter, err)
+		}
+		if inject.Enabled && inject.ShouldFail(inject.NewtonIter, iter-1) {
+			return iter, fmt.Errorf("%w: injected stall at iteration %d of %d", ErrNoConvergence, iter, maxIter)
+		}
 		load(vals, rhs, x)
 		c.checkMNASymmetry("sim Newton MNA matrix", vals)
 		lu, err := LUFactor(n, c.colPtr, c.rowIdx, vals, c.q, math.Abs, 0.1)
@@ -160,7 +183,7 @@ func (c *Circuit) newton(x []float64, load func(vals, rhs, x []float64), maxIter
 			return iter, nil
 		}
 	}
-	return maxIter, fmt.Errorf("sim: Newton did not converge in %d iterations", maxIter)
+	return maxIter, fmt.Errorf("%w in %d iterations", ErrNoConvergence, maxIter)
 }
 
 func maxAbsVec(x []float64) float64 {
@@ -176,51 +199,96 @@ func maxAbsVec(x []float64) float64 {
 // DC computes the DC operating point with gmin stepping and, failing
 // that, source stepping.
 func (c *Circuit) DC() (*DCResult, error) {
+	return c.DCCtx(context.Background())
+}
+
+// DCCtx is DC with cooperative cancellation and a recorded recovery
+// ladder. A direct Newton failure escalates to gmin stepping, then to
+// source stepping; the rung that rescues the solve is reported in
+// c.Stats.Recoveries, and if every rung fails the terminal error is a
+// resilience.StageError carrying the full attempt history. Cancellation
+// is never retried through — a canceled rung surrenders immediately.
+func (c *Circuit) DCCtx(ctx context.Context) (*DCResult, error) {
 	x := make([]float64, c.nUnknown)
 	loader := func(gmin, scale float64) func(vals, rhs, x []float64) {
 		return func(vals, rhs, xx []float64) {
 			c.loadStatic(vals, rhs, xx, scale, gmin, -1)
 		}
 	}
-	if it, err := c.newton(x, loader(c.Gmin, 1), 100); err == nil {
+	it, derr := c.newtonCtx(ctx, x, loader(c.Gmin, 1), 100)
+	if derr == nil {
 		return &DCResult{X: x, Iters: it}, nil
 	}
-	// Gmin stepping.
+	if resilience.IsCancellation(derr) {
+		return nil, resilience.Canceled(resilience.StageNewton, ctx)
+	}
+	attempts := []resilience.Attempt{{Action: "newton(direct)", Err: derr}}
+	// Gmin stepping: continuation in the diagonal damping, each solve warm
+	// starting the next, then a final solve at the nominal gmin.
 	for i := range x {
 		x[i] = 0
 	}
 	total := 0
-	ok := true
+	var gerr error
 	for _, g := range []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10} {
-		it, err := c.newton(x, loader(g, 1), 120)
+		it, err := c.newtonCtx(ctx, x, loader(g, 1), 120)
 		total += it
 		if err != nil {
-			ok = false
+			gerr = fmt.Errorf("at gmin %g: %w", g, err)
 			break
 		}
 	}
-	if ok {
-		if it, err := c.newton(x, loader(c.Gmin, 1), 150); err == nil {
+	if gerr == nil {
+		it, err := c.newtonCtx(ctx, x, loader(c.Gmin, 1), 150)
+		if err == nil {
+			c.Stats.Recoveries = append(c.Stats.Recoveries, resilience.Recovery{
+				Stage:    resilience.StageNewton,
+				Action:   "gmin stepping",
+				Attempts: len(attempts) + 1,
+				Reason:   derr.Error(),
+			})
 			return &DCResult{X: x, Iters: total + it}, nil
 		}
+		gerr = err
 	}
-	// Source stepping.
+	if resilience.IsCancellation(gerr) {
+		return nil, resilience.Canceled(resilience.StageNewton, ctx)
+	}
+	attempts = append(attempts, resilience.Attempt{Action: "gmin stepping", Err: gerr})
+	// Source stepping: continuation in the excitation, ramping every
+	// source from 10% to full strength under a tiny fixed gmin.
 	for i := range x {
 		x[i] = 0
 	}
 	total = 0
+	var serr error
 	for _, sc := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
-		it, err := c.newton(x, loader(1e-9, sc), 150)
+		it, err := c.newtonCtx(ctx, x, loader(1e-9, sc), 150)
 		total += it
 		if err != nil {
-			return nil, fmt.Errorf("sim: DC failed during source stepping at scale %g: %w", sc, err)
+			serr = fmt.Errorf("at source scale %g: %w", sc, err)
+			break
 		}
 	}
-	if it, err := c.newton(x, loader(c.Gmin, 1), 150); err == nil {
-		return &DCResult{X: x, Iters: total + it}, nil
-	} else {
-		return nil, fmt.Errorf("sim: DC failed: %w", err)
+	if serr == nil {
+		it, err := c.newtonCtx(ctx, x, loader(c.Gmin, 1), 150)
+		if err == nil {
+			c.Stats.Recoveries = append(c.Stats.Recoveries, resilience.Recovery{
+				Stage:    resilience.StageNewton,
+				Action:   "source stepping",
+				Attempts: len(attempts) + 1,
+				Reason:   derr.Error(),
+			})
+			return &DCResult{X: x, Iters: total + it}, nil
+		}
+		serr = err
 	}
+	if resilience.IsCancellation(serr) {
+		return nil, resilience.Canceled(resilience.StageNewton, ctx)
+	}
+	attempts = append(attempts, resilience.Attempt{Action: "source stepping", Err: serr})
+	return nil, resilience.NewStageError(resilience.StageNewton,
+		"gmin and source stepping exhausted", attempts, derr)
 }
 
 // TranResult is a transient waveform set.
@@ -281,11 +349,22 @@ func value(x []float64, idx int) float64 {
 // backward-Euler first step. If Newton fails at a step the step is
 // recursively halved (up to 10 levels).
 func (c *Circuit) Transient(tstop, h float64) (*TranResult, error) {
+	return c.TransientCtx(context.Background(), tstop, h)
+}
+
+// TransientCtx is Transient with cooperative cancellation between time
+// steps (and between Newton iterations within a step): a canceled run
+// returns a resilience.StageError for the transient stage instead of a
+// truncated waveform.
+func (c *Circuit) TransientCtx(ctx context.Context, tstop, h float64) (*TranResult, error) {
 	if h <= 0 || tstop <= 0 {
 		return nil, fmt.Errorf("sim: transient needs positive step and stop time")
 	}
-	op, err := c.DC()
+	op, err := c.DCCtx(ctx)
 	if err != nil {
+		if resilience.IsCancellation(err) {
+			return nil, resilience.Canceled(resilience.StageTransient, ctx)
+		}
 		return nil, fmt.Errorf("sim: transient operating point: %w", err)
 	}
 	x := op.X
@@ -305,7 +384,10 @@ func (c *Circuit) Transient(tstop, h float64) (*TranResult, error) {
 		if t+step > tstop {
 			step = tstop - t
 		}
-		if err := c.advance(x, t, step, firstStep, 0); err != nil {
+		if err := c.advance(ctx, x, t, step, firstStep, 0); err != nil {
+			if resilience.IsCancellation(err) {
+				return nil, resilience.Canceled(resilience.StageTransient, ctx)
+			}
 			return nil, fmt.Errorf("sim: transient at t=%g: %w", t, err)
 		}
 		firstStep = false
@@ -320,7 +402,7 @@ func (c *Circuit) Transient(tstop, h float64) (*TranResult, error) {
 // singleStep performs exactly one integration step of size h starting at
 // time t, updating x and the capacitor states on success. It does not
 // retry; callers handle step control.
-func (c *Circuit) singleStep(x []float64, t, h float64, useBE bool) error {
+func (c *Circuit) singleStep(ctx context.Context, x []float64, t, h float64, useBE bool) error {
 	xTry := append([]float64(nil), x...)
 	tNext := t + h
 	// Inductor history from the incoming solution: branch current is the
@@ -371,7 +453,7 @@ func (c *Circuit) singleStep(x []float64, t, h float64, useBE bool) error {
 			rhs[l.br] += veq
 		}
 	}
-	if _, err := c.newton(xTry, load, 60); err != nil {
+	if _, err := c.newtonCtx(ctx, xTry, load, 60); err != nil {
 		return err
 	}
 	// Accept: update capacitor states.
@@ -412,17 +494,20 @@ func (c *Circuit) restoreCapState(v, i []float64) {
 // advance integrates one step of size h starting at time t, updating x
 // and the capacitor states. depth guards the recursive step halving on
 // Newton failure.
-func (c *Circuit) advance(x []float64, t, h float64, useBE bool, depth int) error {
+func (c *Circuit) advance(ctx context.Context, x []float64, t, h float64, useBE bool, depth int) error {
 	if depth > 10 {
 		return fmt.Errorf("step size underflow after %d halvings", depth)
 	}
-	if err := c.singleStep(x, t, h, useBE); err != nil {
+	if err := c.singleStep(ctx, x, t, h, useBE); err != nil {
+		if resilience.IsCancellation(err) {
+			return err
+		}
 		// Halve the step: integrate two half steps (backward Euler on the
 		// halves for stability).
-		if err2 := c.advance(x, t, h/2, true, depth+1); err2 != nil {
+		if err2 := c.advance(ctx, x, t, h/2, true, depth+1); err2 != nil {
 			return err2
 		}
-		return c.advance(x, t+h/2, h/2, true, depth+1)
+		return c.advance(ctx, x, t+h/2, h/2, true, depth+1)
 	}
 	return nil
 }
@@ -453,7 +538,17 @@ func (r *ACResult) Mag(name string) ([]float64, error) {
 // operating point is computed first; MOSFETs contribute their
 // linearized conductances, capacitors jωC, and sources their ACMag.
 func (c *Circuit) AC(freqs []float64) (*ACResult, error) {
-	if _, err := c.DC(); err != nil {
+	return c.ACCtx(context.Background(), freqs)
+}
+
+// ACCtx is AC with cooperative cancellation between frequency points: a
+// canceled sweep returns a resilience.StageError for the AC stage
+// instead of partial results.
+func (c *Circuit) ACCtx(ctx context.Context, freqs []float64) (*ACResult, error) {
+	if _, err := c.DCCtx(ctx); err != nil {
+		if resilience.IsCancellation(err) {
+			return nil, resilience.Canceled(resilience.StageAC, ctx)
+		}
 		return nil, fmt.Errorf("sim: AC operating point: %w", err)
 	}
 	n := c.nUnknown
@@ -461,6 +556,9 @@ func (c *Circuit) AC(freqs []float64) (*ACResult, error) {
 	rhs := make([]complex128, n)
 	res := &ACResult{c: c}
 	for _, f := range freqs {
+		if ctx.Err() != nil {
+			return nil, resilience.Canceled(resilience.StageAC, ctx)
+		}
 		omega := 2 * math.Pi * f
 		for i := range vals {
 			vals[i] = 0

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/netlist"
+	"repro/internal/resilience"
 )
 
 // Circuit is a compiled deck ready for simulation. Unknowns are the node
@@ -48,6 +49,11 @@ type Stats struct {
 	Steps          int
 	LUNNZ          int // entry count of the last LU factorization
 	PeakBytes      int64
+
+	// Recoveries records every degraded-mode rung that rescued an
+	// analysis (e.g. a DC solve saved by gmin or source stepping), in the
+	// order the recoveries happened.
+	Recoveries []resilience.Recovery
 }
 
 type resInst struct {

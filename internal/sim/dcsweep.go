@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"repro/internal/resilience"
 )
 
 // DCSweepResult holds a swept DC transfer analysis.
@@ -35,6 +38,13 @@ func (r *DCSweepResult) Waveform(name string) ([]float64, error) {
 // the .dc transfer-curve analysis. The source's original DC value is
 // restored afterwards.
 func (c *Circuit) DCSweep(srcName string, start, stop, step float64) (*DCSweepResult, error) {
+	return c.DCSweepCtx(context.Background(), srcName, start, stop, step)
+}
+
+// DCSweepCtx is DCSweep with cooperative cancellation between sweep
+// points: a canceled sweep returns a resilience.StageError for the
+// Newton stage instead of partial results.
+func (c *Circuit) DCSweepCtx(ctx context.Context, srcName string, start, stop, step float64) (*DCSweepResult, error) {
 	if step == 0 || (stop-start)*step < 0 {
 		return nil, fmt.Errorf("sim: inconsistent sweep %g:%g:%g", start, stop, step)
 	}
@@ -60,6 +70,9 @@ func (c *Circuit) DCSweep(srcName string, start, stop, step float64) (*DCSweepRe
 	x := make([]float64, c.nUnknown)
 	n := int(math.Floor((stop-start)/step + 1e-9))
 	for k := 0; k <= n; k++ {
+		if ctx.Err() != nil {
+			return nil, resilience.Canceled(resilience.StageNewton, ctx)
+		}
 		v := start + float64(k)*step
 		src.src.DC = v
 		// Warm-started Newton; fall back to a fresh full DC solve if the
@@ -67,8 +80,11 @@ func (c *Circuit) DCSweep(srcName string, start, stop, step float64) (*DCSweepRe
 		load := func(vals, rhs, xx []float64) {
 			c.loadStatic(vals, rhs, xx, 1, c.Gmin, -1)
 		}
-		if _, err := c.newton(x, load, 80); err != nil {
-			full, err2 := c.DC()
+		if _, err := c.newtonCtx(ctx, x, load, 80); err != nil {
+			if resilience.IsCancellation(err) {
+				return nil, resilience.Canceled(resilience.StageNewton, ctx)
+			}
+			full, err2 := c.DCCtx(ctx)
 			if err2 != nil {
 				return nil, fmt.Errorf("sim: sweep point %s=%g: %w", srcName, v, err2)
 			}

@@ -1,0 +1,123 @@
+//go:build pactcheck
+
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/resilience"
+	"repro/internal/resilience/inject"
+)
+
+// TestInjectedNewtonStallRecoversByGminStepping drives newton.iter: one
+// forced stall on the direct solve must be absorbed by the gmin-stepping
+// rung, leaving a recorded recovery and the same operating point the
+// clean solve finds.
+func TestInjectedNewtonStallRecoversByGminStepping(t *testing.T) {
+	clean := mustBuild(t, rcDeck)
+	ref, err := clean.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mustBuild(t, rcDeck)
+	s := inject.NewSchedule().Arm(inject.NewtonIter, 0)
+	inject.Install(s)
+	defer inject.Reset()
+	res, err := c.DCCtx(context.Background())
+	if err != nil {
+		t.Fatalf("gmin stepping did not absorb an injected stall: %v", err)
+	}
+	if s.Fired(inject.NewtonIter) != 1 {
+		t.Fatal("injection point did not fire")
+	}
+	if len(c.Stats.Recoveries) != 1 {
+		t.Fatalf("Recoveries = %+v, want one entry", c.Stats.Recoveries)
+	}
+	rec := c.Stats.Recoveries[0]
+	if rec.Stage != resilience.StageNewton || rec.Action != "gmin stepping" || rec.Attempts != 2 {
+		t.Fatalf("recovery = %+v, want gmin stepping at attempt 2", rec)
+	}
+	for i := range ref.X {
+		if math.Abs(res.X[i]-ref.X[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %v, clean solve %v", i, res.X[i], ref.X[i])
+		}
+	}
+}
+
+// TestInjectedNewtonStallFallsToSourceStepping arms two stalls: the
+// direct solve and the first gmin rung both fail, so the ladder must
+// reach source stepping and record it as the third attempt.
+func TestInjectedNewtonStallFallsToSourceStepping(t *testing.T) {
+	c := mustBuild(t, rcDeck)
+	s := inject.NewSchedule().ArmN(inject.NewtonIter, 0, 2)
+	inject.Install(s)
+	defer inject.Reset()
+	res, err := c.DCCtx(context.Background())
+	if err != nil {
+		t.Fatalf("source stepping did not absorb the injected stalls: %v", err)
+	}
+	if got := s.Fired(inject.NewtonIter); got != 2 {
+		t.Fatalf("newton.iter fired %d times, want 2 (direct + gmin rung)", got)
+	}
+	rec := c.Stats.Recoveries[len(c.Stats.Recoveries)-1]
+	if rec.Action != "source stepping" || rec.Attempts != 3 {
+		t.Fatalf("recovery = %+v, want source stepping at attempt 3", rec)
+	}
+	v, err := c.Voltage(res.X, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-6 {
+		t.Fatalf("v(out) = %v, want 1 (no load current)", v)
+	}
+}
+
+// TestInjectedNewtonStallExhaustsLadder arms every occurrence: direct
+// solve, gmin stepping and source stepping all stall, and the terminal
+// error must be a StageError carrying all three attempts while still
+// matching the convergence sentinel through errors.Is.
+func TestInjectedNewtonStallExhaustsLadder(t *testing.T) {
+	c := mustBuild(t, rcDeck)
+	inject.Install(inject.NewSchedule().ArmN(inject.NewtonIter, -1, -1))
+	defer inject.Reset()
+	_, err := c.DCCtx(context.Background())
+	var se *resilience.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want a StageError", err)
+	}
+	if se.Stage != resilience.StageNewton {
+		t.Fatalf("stage = %s, want %s", se.Stage, resilience.StageNewton)
+	}
+	if len(se.Attempts) != 3 {
+		t.Fatalf("attempt history has %d entries, want 3 (direct, gmin, source)", len(se.Attempts))
+	}
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("StageError no longer matches ErrNoConvergence: %v", err)
+	}
+	if len(c.Stats.Recoveries) != 0 {
+		t.Fatalf("exhausted ladder must not record a recovery: %+v", c.Stats.Recoveries)
+	}
+}
+
+// TestInjectedCancelMidNewton drives the func-rule form: a cancellation
+// arriving during a Newton iteration must surface as a cancellation (not
+// as non-convergence) and must not be retried through by the ladder.
+func TestInjectedCancelMidNewton(t *testing.T) {
+	c := mustBuild(t, rcDeck)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := inject.NewSchedule().ArmFunc(inject.NewtonIter, 0, cancel)
+	inject.Install(s)
+	defer inject.Reset()
+	_, err := c.DCCtx(ctx)
+	wantCanceledAt(t, err, resilience.StageNewton)
+	if s.Fired(inject.NewtonIter) != 1 {
+		t.Fatal("injection point did not fire")
+	}
+	if len(c.Stats.Recoveries) != 0 {
+		t.Fatalf("cancellation must not look like a recovery: %+v", c.Stats.Recoveries)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -181,6 +182,13 @@ func parsePrintVar(s string) (PrintVar, bool) {
 // deck, writing .print tables to w. When a deck has .print cards whose
 // nodes are unknown, an error is returned before any analysis runs.
 func RunDeck(deck *netlist.Deck, w io.Writer) error {
+	return RunDeckCtx(context.Background(), deck, w)
+}
+
+// RunDeckCtx is RunDeck with cooperative cancellation threaded through
+// every analysis, so a deadline or interrupt stops mid-sweep instead of
+// running the deck to completion.
+func RunDeckCtx(ctx context.Context, deck *netlist.Deck, w io.Writer) error {
 	analyses, prints, _, err := ParseControls(deck)
 	if err != nil {
 		return err
@@ -212,7 +220,7 @@ func RunDeck(deck *netlist.Deck, w io.Writer) error {
 	for _, a := range analyses {
 		switch a.Kind {
 		case OP:
-			res, err := c.DC()
+			res, err := c.DCCtx(ctx)
 			if err != nil {
 				return err
 			}
@@ -230,7 +238,7 @@ func RunDeck(deck *netlist.Deck, w io.Writer) error {
 				}
 			}
 		case Tran:
-			res, err := c.Transient(a.TStop, a.TStep)
+			res, err := c.TransientCtx(ctx, a.TStop, a.TStep)
 			if err != nil {
 				return err
 			}
@@ -252,7 +260,7 @@ func RunDeck(deck *netlist.Deck, w io.Writer) error {
 				fmt.Fprintln(w)
 			}
 		case DCTransfer:
-			res, err := c.DCSweep(a.SrcName, a.Start, a.Stop, a.Step)
+			res, err := c.DCSweepCtx(ctx, a.SrcName, a.Start, a.Stop, a.Step)
 			if err != nil {
 				return err
 			}
@@ -275,7 +283,7 @@ func RunDeck(deck *netlist.Deck, w io.Writer) error {
 				fmt.Fprintln(w)
 			}
 		case AC:
-			res, err := c.AC(a.Frequencies())
+			res, err := c.ACCtx(ctx, a.Frequencies())
 			if err != nil {
 				return err
 			}

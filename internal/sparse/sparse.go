@@ -295,6 +295,18 @@ func Add(alpha float64, a *CSR, beta float64, b *CSR) *CSR {
 	return out
 }
 
+// AddDiagonal returns A + γI for a square matrix, materializing diagonal
+// entries the pattern lacks. It is the regularization primitive of the
+// Cholesky recovery ladder: a singular conductance block D (floating
+// internal subnetwork) becomes factorizable as D + γI at the cost of a
+// bounded, reported admittance perturbation.
+func AddDiagonal(a *CSR, gamma float64) *CSR {
+	if a.Rows != a.Cols {
+		panic("sparse: AddDiagonal needs a square matrix")
+	}
+	return Add(1, a, gamma, Identity(a.Rows))
+}
+
 // PermuteSym returns B with B[i][j] = A[perm[i]][perm[j]]; perm maps new
 // index to old index and must be a permutation of 0..n-1. A must be
 // square.

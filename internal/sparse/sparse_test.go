@@ -173,6 +173,32 @@ func TestAddMatrices(t *testing.T) {
 	}
 }
 
+func TestAddDiagonal(t *testing.T) {
+	// A matrix with a structurally missing diagonal entry: AddDiagonal
+	// must materialize it, not just scale existing storage.
+	b := NewBuilder(3, 3)
+	b.Add(0, 0, 2)
+	b.AddSym(0, 2, -1)
+	// (1,1) intentionally absent.
+	a := b.Build()
+	g := AddDiagonal(a, 0.5)
+	da, dg := a.Dense(), g.Dense()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := da[i][j]
+			if i == j {
+				want += 0.5
+			}
+			if math.Abs(dg[i][j]-want) > 1e-15 {
+				t.Fatalf("AddDiagonal(%d,%d) = %v, want %v", i, j, dg[i][j], want)
+			}
+		}
+	}
+	if g.At(1, 1) != 0.5 {
+		t.Fatalf("missing diagonal entry not materialized: %v", g.At(1, 1))
+	}
+}
+
 func TestPermuteSym(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	a := randomSymCSR(rng, 9, 20)

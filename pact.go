@@ -15,6 +15,7 @@
 package pact
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/lanczos"
 	"repro/internal/netlist"
 	"repro/internal/order"
+	"repro/internal/resilience"
 	"repro/internal/stamp"
 )
 
@@ -149,12 +151,20 @@ type Reduction struct {
 // ExtraPorts), reduce it with PACT, realize the reduced network as R/C
 // cards, and reassemble the deck.
 func ReduceDeck(deck *Deck, opts Options) (*Reduction, error) {
+	return ReduceDeckContext(context.Background(), deck, opts)
+}
+
+// ReduceDeckContext is ReduceDeck with cooperative cancellation: the
+// reduction observes ctx between work items, so a deadline or Ctrl-C
+// interrupts even a large Transform1/Transform2 within one item's
+// latency instead of running to completion.
+func ReduceDeckContext(ctx context.Context, deck *Deck, opts Options) (*Reduction, error) {
 	start := time.Now()
 	ex, err := stamp.Extract(deck, opts.ExtraPorts...)
 	if err != nil {
 		return nil, fmt.Errorf("pact: extract: %w", err)
 	}
-	model, stats, err := core.Reduce(ex.Sys, opts.coreOptions())
+	model, stats, err := core.ReduceContext(ctx, ex.Sys, opts.coreOptions())
 	if err != nil {
 		return nil, fmt.Errorf("pact: reduce: %w", err)
 	}
@@ -232,6 +242,21 @@ func ReduceString(spice string, opts Options) (string, *Reduction, error) {
 func ReduceSystem(sys *System, opts Options) (*Model, *ReduceStats, error) {
 	return core.Reduce(sys, opts.coreOptions())
 }
+
+// ReduceSystemContext is ReduceSystem with cooperative cancellation.
+func ReduceSystemContext(ctx context.Context, sys *System, opts Options) (*Model, *ReduceStats, error) {
+	return core.ReduceContext(ctx, sys, opts.coreOptions())
+}
+
+// Recovery describes one degraded-mode rung that rescued a stage of the
+// pipeline; the reduction statistics carry every recovery that happened
+// (see ReduceStats.Recoveries).
+type Recovery = resilience.Recovery
+
+// IsCancellation reports whether err (anywhere in its chain) is a
+// context cancellation or deadline, so callers can distinguish an
+// interrupted run from a failed one.
+func IsCancellation(err error) bool { return resilience.IsCancellation(err) }
 
 // CutoffFrequency returns the pole-selection cutoff f_c for a maximum
 // frequency and tolerance (f_c = 3.04·f_max at 5%).

@@ -22,9 +22,16 @@ go test -race ./...
 echo "== parallel-core race leg (pactcheck + -race on the pool-driven packages)"
 go test -race -tags pactcheck ./internal/par/ ./internal/core/ ./internal/dense/
 
+echo "== fault-injection race leg (-race -tags pactcheck over the inject-hooked packages)"
+# The injection harness and the recovery ladders it drives live in these
+# packages; -race covers the cancellation paths (timeouts mid-pool,
+# mid-Newton) and the schedule's mutex-guarded fire counting.
+go test -race -tags pactcheck \
+    ./internal/sim/ ./internal/resilience/... ./cmd/rcfit/ ./cmd/spicesim/
+
 echo "== invariant-checked tests (-tags pactcheck)"
 go test -tags pactcheck ./internal/check/ ./internal/core/ ./internal/prima/ \
-    ./internal/lanczos/ ./internal/stamp/ ./internal/sim/
+    ./internal/lanczos/ ./internal/stamp/ ./internal/sim/ ./internal/resilience/...
 
 echo "== pactbench -json smoke"
 go run ./cmd/pactbench -json /tmp/pactbench-smoke.json -benchset kernels -benchtime 10ms
