@@ -9,10 +9,12 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/chol"
 	"repro/internal/core"
 	"repro/internal/dense"
 	"repro/internal/experiments"
 	"repro/internal/netgen"
+	"repro/internal/order"
 	"repro/internal/par"
 	"repro/internal/stamp"
 )
@@ -33,7 +35,11 @@ type BenchReport struct {
 	Results     []BenchResult `json:"results"`
 }
 
-// BenchResult is one kernel's measurement.
+// BenchResult is one kernel's measurement. The factorization kernels
+// additionally report their known FLOP count as a parallel-leg GFLOP/s
+// rate plus the supernode count and amalgamation fill of the factor
+// they exercise, so a report shows how the blocked kernel's arithmetic
+// density changes alongside its wall-clock time.
 type BenchResult struct {
 	Name            string  `json:"name"`
 	SerialNsPerOp   float64 `json:"serial_ns_per_op"`
@@ -43,13 +49,20 @@ type BenchResult struct {
 	ParallelIters   int     `json:"parallel_iters"`
 	AllocsPerOp     float64 `json:"allocs_per_op"`
 	BytesPerOp      float64 `json:"bytes_per_op"`
+	GFLOPS          float64 `json:"gflops,omitempty"`
+	Supernodes      int     `json:"supernodes,omitempty"`
+	FillNNZ         int     `json:"fill_nnz,omitempty"`
 }
 
 // benchCase is a named operation prepared once and timed under both
-// GOMAXPROCS settings.
+// GOMAXPROCS settings. flops, supernodes and fill are optional metadata
+// copied into the result when nonzero.
 type benchCase struct {
-	name string
-	op   func() error
+	name       string
+	op         func() error
+	flops      float64 // FLOPs per op, when the kernel's count is known
+	supernodes int     // supernode count of the factor being exercised
+	fill       int     // amalgamation fill (explicit zeros) of that factor
 }
 
 // measure times op until benchtime has elapsed (at least one iteration)
@@ -81,9 +94,38 @@ func measure(op func() error, benchtime time.Duration) (nsPerOp, allocsPerOp, by
 }
 
 // benchCases builds the benchmark set. "kernels" covers the parallelized
-// primitives (fast enough for a CI smoke run); "all" adds end-to-end
-// experiment regenerations.
+// primitives (fast enough for a CI smoke run), "factor" the supernodal-
+// versus-up-looking comparison on a mesh at the paper's full-chip scale
+// (seconds per iteration), and "all" is both plus end-to-end experiment
+// regenerations.
 func benchCases(set string) ([]benchCase, error) {
+	var cases []benchCase
+	if set == "kernels" || set == "all" {
+		kc, err := kernelCases()
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, kc...)
+	}
+	if set == "factor" || set == "all" {
+		fc, err := factorCases()
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, fc...)
+	}
+	if set == "all" {
+		for _, name := range []string{"eq20", "sparsify"} {
+			name := name
+			cases = append(cases, benchCase{name: "experiments/" + name, op: func() error {
+				return experiments.Run(name, io.Discard, false)
+			}})
+		}
+	}
+	return cases, nil
+}
+
+func kernelCases() ([]benchCase, error) {
 	mat := dense.New(512, 512)
 	mat2 := dense.New(512, 512)
 	fillMat(mat, 1)
@@ -114,41 +156,135 @@ func benchCases(set string) ([]benchCase, error) {
 		sweep[i] = 1e7 * math.Pow(10, 3*float64(i)/15)
 	}
 
-	cases := []benchCase{
-		{"dense.Mul/512x512", func() error {
+	// Factorization/solve kernels on the permuted internal conductance
+	// block of the same mesh: supernodal and up-looking factor the
+	// identical reordered matrix, and the solve pair runs the same 25
+	// right-hand sides blocked versus one column at a time.
+	sym := order.Analyze(sys.D, order.MinimumDegree)
+	dperm := sys.D.PermuteSym(sym.Perm)
+	ss, err := chol.AnalyzeSuper(dperm, sym, order.SupernodeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	factUp, err := chol.FactorizeStrategy(dperm, sym, chol.StrategyUpLooking)
+	if err != nil {
+		return nil, err
+	}
+	factSuper, err := ss.Factorize(dperm)
+	if err != nil {
+		return nil, err
+	}
+	nrhs := sys.M
+	rhs := make([]float64, nrhs*sys.N)
+	for i := range rhs {
+		rhs[i] = float64(i%17)*0.25 + 1
+	}
+	work := make([]float64, len(rhs))
+	solveFlops := 4 * float64(factSuper.NNZ()) * float64(nrhs)
+
+	return []benchCase{
+		{name: "dense.Mul/512x512", op: func() error {
 			dense.Mul(mat, mat2)
 			return nil
 		}},
-		{"dense.MulVec/1024x1024", func() error {
+		{name: "dense.MulVec/1024x1024", op: func() error {
 			vecMat.MulVec(vec)
 			return nil
 		}},
-		{"core.Transform1/mesh25", func() error {
+		{name: "chol.Factorize/mesh25/supernodal", op: func() error {
+			_, err := ss.Factorize(dperm)
+			return err
+		}, flops: ss.FlopEstimate(), supernodes: ss.NSuper(), fill: ss.Fill()},
+		{name: "chol.Factorize/mesh25/uplooking", op: func() error {
+			_, err := chol.FactorizeStrategy(dperm, sym, chol.StrategyUpLooking)
+			return err
+		}, flops: factUp.FlopEstimate()},
+		{name: "chol.SolveMulti/mesh25x25", op: func() error {
+			copy(work, rhs)
+			factSuper.SolveMulti(work, nrhs)
+			return nil
+		}, flops: solveFlops},
+		{name: "chol.Solve/mesh25x25/sequential", op: func() error {
+			copy(work, rhs)
+			for j := 0; j < nrhs; j++ {
+				factSuper.Solve(work[j*sys.N : (j+1)*sys.N])
+			}
+			return nil
+		}, flops: solveFlops},
+		{name: "core.Transform1/mesh25", op: func() error {
 			_, _, err := core.Transform1(sys, opts)
 			return err
 		}},
-		{"core.RPrimeBlock/mesh25", func() error {
+		{name: "core.RPrimeBlock/mesh25", op: func() error {
 			tr.RPrimeBlock()
 			return nil
 		}},
-		{"core.YSweep/mesh25x16", func() error {
+		{name: "core.YSweep/mesh25x16", op: func() error {
 			_, err := sys.YSweep(sweep, par.Workers(len(sweep)))
 			return err
 		}},
-		{"core.Reduce/mesh25", func() error {
+		{name: "core.Reduce/mesh25", op: func() error {
 			_, _, err := core.Reduce(sys, opts)
 			return err
 		}},
+	}, nil
+}
+
+// factorCases pits the supernodal kernel against the up-looking baseline
+// on a mesh large enough that blocking matters: ~20k internal nodes and
+// 64 ports, above the default dispatch threshold. Iterations take
+// seconds, so these run in the "factor"/"all" sets rather than the CI
+// "kernels" smoke set.
+func factorCases() ([]benchCase, error) {
+	deck, ports, err := netgen.Mesh3D(netgen.LargeMeshOpts(64))
+	if err != nil {
+		return nil, err
 	}
-	if set == "all" {
-		for _, name := range []string{"eq20", "sparsify"} {
-			name := name
-			cases = append(cases, benchCase{"experiments/" + name, func() error {
-				return experiments.Run(name, io.Discard, false)
-			}})
+	ex, err := stamp.Extract(deck, ports...)
+	if err != nil {
+		return nil, err
+	}
+	sys := ex.Sys
+	opts := core.Options{FMax: 3e9, Tol: 0.05}
+	sym := order.Analyze(sys.D, order.MinimumDegree)
+	dperm := sys.D.PermuteSym(sym.Perm)
+	ss, err := chol.AnalyzeSuper(dperm, sym, order.SupernodeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	factUp, err := chol.FactorizeStrategy(dperm, sym, chol.StrategyUpLooking)
+	if err != nil {
+		return nil, err
+	}
+	// The Transform1 comparison toggles the dispatch threshold so the
+	// whole first congruence (factorization plus all port solves) runs on
+	// one kernel or the other.
+	upLooking := func(op func() error) func() error {
+		return func() error {
+			old := chol.SupernodalMinOrder
+			chol.SupernodalMinOrder = int(^uint(0) >> 1)
+			defer func() { chol.SupernodalMinOrder = old }()
+			return op()
 		}
 	}
-	return cases, nil
+	return []benchCase{
+		{name: "chol.Factorize/meshL/supernodal", op: func() error {
+			_, err := ss.Factorize(dperm)
+			return err
+		}, flops: ss.FlopEstimate(), supernodes: ss.NSuper(), fill: ss.Fill()},
+		{name: "chol.Factorize/meshL/uplooking", op: func() error {
+			_, err := chol.FactorizeStrategy(dperm, sym, chol.StrategyUpLooking)
+			return err
+		}, flops: factUp.FlopEstimate()},
+		{name: "core.Transform1/meshL/supernodal", op: func() error {
+			_, _, err := core.Transform1(sys, opts)
+			return err
+		}, supernodes: ss.NSuper(), fill: ss.Fill()},
+		{name: "core.Transform1/meshL/uplooking", op: upLooking(func() error {
+			_, _, err := core.Transform1(sys, opts)
+			return err
+		})},
+	}, nil
 }
 
 func fillMat(m *dense.Mat, seed uint64) {
@@ -163,8 +299,8 @@ func fillMat(m *dense.Mat, seed uint64) {
 // the ambient GOMAXPROCS and writes the report as JSON to path ("-" for
 // stdout).
 func runBenchJSON(path, set string, benchtime time.Duration, stdout io.Writer) error {
-	if set != "kernels" && set != "all" {
-		return fmt.Errorf("unknown -benchset %q (want kernels or all)", set)
+	if set != "kernels" && set != "factor" && set != "all" {
+		return fmt.Errorf("unknown -benchset %q (want kernels, factor or all)", set)
 	}
 	if benchtime <= 0 {
 		return fmt.Errorf("-benchtime must be positive, got %v", benchtime)
@@ -193,7 +329,7 @@ func runBenchJSON(path, set string, benchtime time.Duration, stdout io.Writer) e
 		if err != nil {
 			return fmt.Errorf("%s (parallel): %w", bc.name, err)
 		}
-		report.Results = append(report.Results, BenchResult{
+		res := BenchResult{
 			Name:            bc.name,
 			SerialNsPerOp:   serialNs,
 			ParallelNsPerOp: parNs,
@@ -202,7 +338,13 @@ func runBenchJSON(path, set string, benchtime time.Duration, stdout io.Writer) e
 			ParallelIters:   parIters,
 			AllocsPerOp:     allocs,
 			BytesPerOp:      bytes,
-		})
+			Supernodes:      bc.supernodes,
+			FillNNZ:         bc.fill,
+		}
+		if bc.flops > 0 && parNs > 0 {
+			res.GFLOPS = bc.flops / parNs // flop/ns = 1e9 flop/s
+		}
+		report.Results = append(report.Results, res)
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

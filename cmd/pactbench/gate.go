@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// runBenchGate compares a freshly produced benchmark report against a
+// committed baseline and fails when any kernel present in both slowed
+// down by more than threshold×. The ratio uses the parallel-leg ns/op of
+// each report. The default threshold is deliberately generous: the
+// baseline was produced on whatever machine committed BENCH.json, and
+// both reports carry go_version/num_cpu/gomaxprocs so a reader can judge
+// whether a flagged ratio is a code regression or a hardware gap.
+// Kernels present in only one report are listed but never fail the gate,
+// so adding or retiring benchmarks does not require a lockstep baseline
+// update.
+func runBenchGate(baselinePath, freshPath string, threshold float64, stdout io.Writer) error {
+	if threshold <= 1 {
+		return fmt.Errorf("-threshold must exceed 1, got %g", threshold)
+	}
+	base, err := readReport(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	fresh, err := readReport(freshPath)
+	if err != nil {
+		return fmt.Errorf("fresh report: %w", err)
+	}
+	fmt.Fprintf(stdout, "benchgate: baseline %s (%s %s/%s, %d CPUs) vs fresh %s (%s %s/%s, %d CPUs), threshold %.2fx\n",
+		baselinePath, base.GoVersion, base.GOOS, base.GOARCH, base.NumCPU,
+		freshPath, fresh.GoVersion, fresh.GOOS, fresh.GOARCH, fresh.NumCPU, threshold)
+	baseBy := make(map[string]BenchResult, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	var regressed []string
+	for _, r := range fresh.Results {
+		b, ok := baseBy[r.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "benchgate: %-40s new kernel, no baseline\n", r.Name)
+			continue
+		}
+		delete(baseBy, r.Name)
+		if b.ParallelNsPerOp <= 0 {
+			fmt.Fprintf(stdout, "benchgate: %-40s baseline has no timing\n", r.Name)
+			continue
+		}
+		ratio := r.ParallelNsPerOp / b.ParallelNsPerOp
+		status := "ok"
+		if ratio > threshold {
+			status = "REGRESSED"
+			regressed = append(regressed, r.Name)
+		}
+		fmt.Fprintf(stdout, "benchgate: %-40s %10.3fms -> %10.3fms  %5.2fx  %s\n",
+			r.Name, b.ParallelNsPerOp/1e6, r.ParallelNsPerOp/1e6, ratio, status)
+	}
+	stale := make([]string, 0, len(baseBy))
+	for name := range baseBy {
+		stale = append(stale, name)
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		fmt.Fprintf(stdout, "benchgate: %-40s only in baseline (not run)\n", name)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d kernel(s) beyond the %.2fx threshold: %v", len(regressed), threshold, regressed)
+	}
+	fmt.Fprintln(stdout, "benchgate: no regressions beyond threshold")
+	return nil
+}
+
+func readReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -42,13 +42,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 	list := fs.Bool("list", false, "list experiments and exit")
 	outDir := fs.String("o", "", "write each experiment's report to <dir>/<name>.txt instead of stdout")
 	jsonOut := fs.String("json", "", "benchmark the parallel kernels and write a JSON report to this file ('-' for stdout)")
-	benchset := fs.String("benchset", "kernels", "benchmark set for -json: kernels (fast) or all (adds experiment regenerations)")
+	benchset := fs.String("benchset", "kernels", "benchmark set for -json: kernels (fast), factor (large-mesh supernodal vs up-looking) or all")
 	benchtime := fs.Duration("benchtime", 200*time.Millisecond, "minimum measuring time per benchmark leg for -json")
+	gate := fs.String("gate", "", "after -json, compare the fresh report against this baseline report and fail on slowdowns beyond -threshold")
+	threshold := fs.Float64("threshold", 3.0, "allowed fresh/baseline ns-per-op ratio for -gate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *jsonOut != "" {
-		return runBenchJSON(*jsonOut, *benchset, *benchtime, stdout)
+		if err := runBenchJSON(*jsonOut, *benchset, *benchtime, stdout); err != nil {
+			return err
+		}
+		if *gate != "" {
+			if *jsonOut == "-" {
+				return fmt.Errorf("-gate needs the fresh report in a file, not '-'")
+			}
+			return runBenchGate(*gate, *jsonOut, *threshold, stdout)
+		}
+		return nil
+	}
+	if *gate != "" {
+		return fmt.Errorf("-gate requires -json")
 	}
 	if *list {
 		for _, e := range experiments.Registry {

@@ -46,6 +46,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	verify := fs.Bool("verify", false, "sample exact vs reduced admittance and report errors on stderr")
 	asSubckt := fs.Bool("subckt", false, "emit the reduced network as a .subckt + instance")
 	quiet := fs.Bool("q", false, "suppress the statistics report on stderr")
+	verbose := fs.Bool("v", false, "add a factorization-kernel statistics line to the stderr report")
 	timeout := fs.Duration("timeout", 0, "abort the reduction after this long (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,6 +111,16 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		fmt.Fprintf(stderr, "rcfit: nodes %d -> %d, R %d -> %d, C %d -> %d in %v\n",
 			red.OriginalNodes, red.ReducedNodes, red.OriginalR, red.ReducedR,
 			red.OriginalC, red.ReducedC, red.Elapsed)
+		if *verbose {
+			kernel := "up-looking"
+			if red.Stats.Supernodes > 0 {
+				kernel = fmt.Sprintf("supernodal (%d panels, %d amalgamation zeros)",
+					red.Stats.Supernodes, red.Stats.SuperFill)
+			}
+			fmt.Fprintf(stderr, "rcfit: cholesky %s: %.4g GFLOP, %d solves, %d matvecs, factor %d B\n",
+				kernel, red.Stats.FactorFlops/1e9, red.Stats.Solves, red.Stats.MatVecs,
+				red.Stats.CholeskyBytes)
+		}
 		for _, rec := range red.Stats.Recoveries {
 			fmt.Fprintf(stderr, "rcfit: degraded: %s\n", rec.String())
 		}

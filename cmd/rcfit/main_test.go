@@ -28,6 +28,24 @@ func TestRunLadder(t *testing.T) {
 	}
 }
 
+// TestRunVerboseKernelStats checks the -v factorization line: a
+// 100-node ladder is below the supernodal dispatch threshold, so the
+// report must name the up-looking kernel and carry the solve counters.
+func TestRunVerboseKernelStats(t *testing.T) {
+	in := strings.NewReader(netgen.Ladder(100, 250, 1.35e-12).String())
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), []string{"-fmax", "5e9", "-v"}, in, &out, &errw); err != nil {
+		t.Fatalf("%v\nstderr:\n%s", err, errw.String())
+	}
+	stats := errw.String()
+	if !strings.Contains(stats, "cholesky up-looking") {
+		t.Fatalf("kernel line missing or wrong kernel:\n%s", stats)
+	}
+	if !strings.Contains(stats, "solves") || !strings.Contains(stats, "GFLOP") {
+		t.Fatalf("kernel counters missing:\n%s", stats)
+	}
+}
+
 func TestRunRequiresFmax(t *testing.T) {
 	var out, errw bytes.Buffer
 	if err := run(context.Background(), nil, strings.NewReader("t\n.end\n"), &out, &errw); err == nil {

@@ -29,10 +29,20 @@ import (
 // diagnose.
 var ErrNotPositiveDefinite = errors.New("chol: matrix is not positive definite (internal node without DC path to a port?)")
 
-// Factor is a sparse lower-triangular Cholesky factor with the diagonal
-// entry stored first in every column.
+// Factor is a sparse lower-triangular Cholesky factor. It is backed by
+// one of two representations: the up-looking kernel's per-column CSC
+// storage (diagonal first in every column), or the supernodal kernel's
+// packed dense panels. All methods dispatch transparently.
 type Factor struct {
-	L *sparse.CSC
+	L     *sparse.CSC  // simplicial storage; nil for a supernodal factor
+	super *superFactor // supernodal storage; nil for a simplicial factor
+}
+
+func (f *Factor) order() int {
+	if f.super != nil {
+		return f.super.ss.sym.N
+	}
+	return f.L.Cols
 }
 
 // Factorize computes the Cholesky factorization A = LLᵀ of the symmetric
@@ -40,8 +50,27 @@ type Factor struct {
 // final order) using the symbolic analysis sym, which must have been
 // computed for the same (permuted) pattern — i.e. Analyze(...).Perm was
 // already applied by the caller, or the pattern was analyzed with
-// order.Natural.
+// order.Natural. Orders at or above SupernodalMinOrder take the blocked
+// supernodal kernel; smaller ones the scalar up-looking kernel.
 func Factorize(a *sparse.CSR, sym *order.Symbolic) (*Factor, error) {
+	return FactorizeStrategy(a, sym, StrategyAuto)
+}
+
+// FactorizeStrategy is Factorize with an explicit kernel choice, for
+// benchmarks and the cross-check tests that pit the two kernels against
+// each other.
+func FactorizeStrategy(a *sparse.CSR, sym *order.Symbolic, strat Strategy) (*Factor, error) {
+	if strat == StrategySupernodal || (strat == StrategyAuto && a.Rows >= SupernodalMinOrder) {
+		ss, err := AnalyzeSuper(a, sym, order.SupernodeOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return ss.Factorize(a)
+	}
+	return factorizeUpLooking(a, sym)
+}
+
+func factorizeUpLooking(a *sparse.CSR, sym *order.Symbolic) (*Factor, error) {
 	n := a.Rows
 	if a.Cols != n || sym.N != n {
 		return nil, fmt.Errorf("chol: dimension mismatch (matrix %dx%d, symbolic %d)", a.Rows, a.Cols, sym.N)
@@ -114,10 +143,22 @@ func Factorize(a *sparse.CSR, sym *order.Symbolic) (*Factor, error) {
 }
 
 // LSolve solves L y = b in place (b becomes y).
-func (f *Factor) LSolve(b []float64) { sparse.LowerSolveCSC(f.L, b) }
+func (f *Factor) LSolve(b []float64) {
+	if f.super != nil {
+		f.super.lsolve(b)
+		return
+	}
+	sparse.LowerSolveCSC(f.L, b)
+}
 
 // LTSolve solves Lᵀ y = b in place.
-func (f *Factor) LTSolve(b []float64) { sparse.LowerTransposeSolveCSC(f.L, b) }
+func (f *Factor) LTSolve(b []float64) {
+	if f.super != nil {
+		f.super.ltsolve(b)
+		return
+	}
+	sparse.LowerTransposeSolveCSC(f.L, b)
+}
 
 // Solve solves A x = b in place using A = LLᵀ.
 func (f *Factor) Solve(b []float64) {
@@ -125,12 +166,62 @@ func (f *Factor) Solve(b []float64) {
 	f.LTSolve(b)
 }
 
-// NNZ returns the number of stored entries of L.
-func (f *Factor) NNZ() int { return f.L.NNZ() }
+// NNZ returns the number of stored factor entries the solves touch: the
+// structural nonzeros of L for the up-looking kernel, the trapezoid
+// entries (structural plus amalgamation zeros) for the supernodal one.
+func (f *Factor) NNZ() int {
+	if f.super != nil {
+		return f.super.ss.trapNNZ
+	}
+	return f.L.NNZ()
+}
+
+// Supernodes returns the number of supernodal panels, or 0 for a
+// simplicial (up-looking) factor.
+func (f *Factor) Supernodes() int {
+	if f.super != nil {
+		return f.super.ss.NSuper()
+	}
+	return 0
+}
+
+// AmalgamatedFill returns the count of explicitly stored zeros the
+// relaxed supernode amalgamation introduced (0 for a simplicial factor).
+func (f *Factor) AmalgamatedFill() int {
+	if f.super != nil {
+		return f.super.ss.Fill()
+	}
+	return 0
+}
+
+// FlopEstimate returns the approximate floating-point operation count
+// of the numeric factorization, 2·Σⱼ cⱼ² over the stored column counts.
+func (f *Factor) FlopEstimate() float64 {
+	if f.super != nil {
+		return f.super.ss.flops
+	}
+	flops := 0.0
+	for j := 0; j < f.L.Cols; j++ {
+		c := float64(f.L.ColPtr[j+1] - f.L.ColPtr[j])
+		flops += 2 * c * c
+	}
+	return flops
+}
 
 // Bytes returns the approximate memory footprint of the factor in bytes
-// (index + value storage), used by the Table 4 memory accounting.
+// (index + value storage), used by the Table 4 memory accounting. For a
+// supernodal factor this counts the packed panel values plus the shared
+// row lists and panel offsets of its symbolic structure.
 func (f *Factor) Bytes() int64 {
+	if f.super != nil {
+		ss := f.super.ss
+		b := int64(len(f.super.val)) * 8 // panel values
+		for _, r := range ss.rows {
+			b += int64(len(r)) * 8 // row lists (shared with other factors)
+		}
+		b += int64(len(ss.off)+2*len(ss.sn.Super)) * 8
+		return b
+	}
 	return int64(f.L.NNZ())*(8+8) + int64(len(f.L.ColPtr))*8
 }
 
@@ -139,9 +230,17 @@ func (f *Factor) Bytes() int64 {
 // D. It shares the symbolic structure of the real Cholesky of the pattern
 // union of its real and imaginary parts.
 type ComplexFactor struct {
-	L    *sparse.CSC // row indices only; values in LVal
-	LVal []complex128
-	D    []complex128
+	L     *sparse.CSC // row indices only; values in LVal
+	LVal  []complex128
+	D     []complex128
+	super *superComplexFactor // supernodal storage; nil for simplicial
+}
+
+func (f *ComplexFactor) order() int {
+	if f.super != nil {
+		return f.super.ss.sym.N
+	}
+	return f.L.Cols
 }
 
 // FactorizeComplex computes the LDLᵀ factorization of the complex
@@ -228,9 +327,13 @@ func FactorizeComplex(pattern *sparse.CSR, val func(p int) complex128, sym *orde
 // the wrong length is reported as an error (every sibling solve path
 // returns typed errors; this one used to panic).
 func (f *ComplexFactor) Solve(b []complex128) error {
-	n := f.L.Cols
+	n := f.order()
 	if len(b) != n {
 		return fmt.Errorf("chol: complex solve dimension mismatch: rhs length %d, factor order %d", len(b), n)
+	}
+	if f.super != nil {
+		f.super.solve(b)
+		return nil
 	}
 	// Forward: L z = b (unit diagonal).
 	for j := 0; j < n; j++ {

@@ -1,0 +1,792 @@
+// Supernodal blocked Cholesky: the BLAS-3 variant of the factorization
+// kernels. The columns of L are partitioned into supernodes (contiguous
+// panels whose structures nest, found by order.FindSupernodes with
+// relaxed amalgamation); each panel is stored as one dense column-major
+// trapezoid and factored by a dense right-looking kernel, and the
+// sparse update of a panel by its descendants becomes a dense rank-k
+// product gathered through an integer relative map. The arithmetic per
+// entry is a fixed-order sum exactly as in the up-looking kernel's
+// spirit — updaters ascending, columns ascending within a panel — so
+// the result is deterministic: bit-identical across runs and at every
+// GOMAXPROCS, with parallelism only across the independent panels of
+// one elimination-tree level and across right-hand sides in the blocked
+// solves.
+package chol
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"repro/internal/order"
+	"repro/internal/par"
+	"repro/internal/resilience/inject"
+	"repro/internal/sparse"
+)
+
+// SupernodalMinOrder is the matrix order at and above which Factorize
+// selects the supernodal blocked kernel; below it the scalar up-looking
+// kernel wins (panel bookkeeping costs more than it saves) and keeps
+// the historical bit-exact outputs for the small golden tests. Tests
+// lower it to force the blocked path onto small matrices.
+var SupernodalMinOrder = 512
+
+// Strategy selects a factorization kernel explicitly, mainly for
+// benchmarks and cross-check tests; production callers use Factorize,
+// which picks by size.
+type Strategy int
+
+const (
+	// StrategyAuto picks the supernodal kernel for orders at or above
+	// SupernodalMinOrder and the up-looking kernel below it.
+	StrategyAuto Strategy = iota
+	// StrategyUpLooking forces the scalar up-looking kernel.
+	StrategyUpLooking
+	// StrategySupernodal forces the supernodal blocked kernel.
+	StrategySupernodal
+)
+
+// SuperSymbolic is the supernodal extension of a symbolic analysis: the
+// supernode partition plus, per supernode, its full row list, the
+// ascending list of descendant supernodes that update it, and a level
+// schedule of the supernodal elimination tree. It depends only on the
+// pattern, so one SuperSymbolic is shared by every numeric
+// factorization of that pattern — the real Cholesky, each refactorize
+// of a recovery ladder, and every frequency point of a complex LDLᵀ
+// sweep.
+type SuperSymbolic struct {
+	sym *order.Symbolic
+	sn  *order.Supernodes
+	// rows[s] lists the global row indices of supernode s's trapezoid in
+	// ascending order; the first Width(s) entries are the panel's own
+	// columns, the rest the below-diagonal structure of its last column.
+	rows [][]int
+	// off[s] is the offset of panel s in the packed value storage; panel
+	// s occupies off[s+1]-off[s] = len(rows[s])*Width(s) entries,
+	// column-major (local column j starts at off[s]+j*len(rows[s])).
+	off []int
+	// updaters[s] lists, ascending, the supernodes d < s whose below
+	// rows intersect s's column range: exactly the panels whose dense
+	// rank-k products must be subtracted from panel s.
+	updaters [][]int
+	// levels groups supernodes by height in the supernodal elimination
+	// tree. Every updater of s sits at a strictly lower level, so the
+	// panels within one level are independent and run in parallel.
+	levels [][]int
+	// trapNNZ counts the trapezoid entries (the "logical" factor
+	// nonzeros, structural plus amalgamation zeros); maxRows/maxWidth
+	// bound the per-worker dense scratch.
+	trapNNZ           int
+	maxRows, maxWidth int
+	flops             float64
+}
+
+// AnalyzeSuper builds the supernodal symbolic structure for the given
+// full symmetric pattern and its symbolic analysis. Pass a zero
+// SupernodeOptions for the default panel width and relaxed-amalgamation
+// budget.
+func AnalyzeSuper(a *sparse.CSR, sym *order.Symbolic, opt order.SupernodeOptions) (*SuperSymbolic, error) {
+	n := a.Rows
+	if a.Cols != n || sym.N != n {
+		return nil, fmt.Errorf("chol: supernodal dimension mismatch (matrix %dx%d, symbolic %d)", a.Rows, a.Cols, sym.N)
+	}
+	sn := sym.FindSupernodes(opt)
+	ns := sn.NSuper()
+	ss := &SuperSymbolic{sym: sym, sn: sn}
+
+	// Below-diagonal rows per supernode: k belongs to below(s) exactly
+	// when the last column of s appears in the elimination reach of row
+	// k, i.e. L[k, last(s)] is structurally nonzero. One EReach sweep
+	// over all rows (ascending k, so each list comes out sorted) gives
+	// every list.
+	isLast := make([]bool, n)
+	for s := 1; s <= ns; s++ {
+		isLast[sn.Super[s]-1] = true
+	}
+	upper := a.UpperCSC()
+	below := make([][]int, ns)
+	stack := make([]int, n)
+	work := make([]int, n)
+	for i := range work {
+		work[i] = -1
+	}
+	for k := 0; k < n; k++ {
+		top := order.EReach(upper, k, sym.Parent, stack, work)
+		for t := top; t < n; t++ {
+			if j := stack[t]; isLast[j] {
+				d := sn.ColToSuper[j]
+				below[d] = append(below[d], k)
+			}
+		}
+	}
+
+	ss.rows = make([][]int, ns)
+	ss.off = make([]int, ns+1)
+	for s := 0; s < ns; s++ {
+		c0, w := sn.Super[s], sn.Width(s)
+		rows := make([]int, w+len(below[s]))
+		for j := 0; j < w; j++ {
+			rows[j] = c0 + j
+		}
+		copy(rows[w:], below[s])
+		ss.rows[s] = rows
+		h := len(rows)
+		ss.off[s+1] = ss.off[s] + h*w
+		ss.trapNNZ += h*w - w*(w-1)/2
+		if h > ss.maxRows {
+			ss.maxRows = h
+		}
+		if w > ss.maxWidth {
+			ss.maxWidth = w
+		}
+		for j := 0; j < w; j++ {
+			hj := float64(h - j)
+			ss.flops += 2 * hj * hj
+		}
+	}
+
+	// updaters[s]: descendants whose below rows land in s's columns.
+	// Below lists are ascending, so consecutive rows of one target
+	// supernode dedupe with a single "previous" check, and scanning d
+	// ascending keeps each updater list ascending.
+	ss.updaters = make([][]int, ns)
+	for d := 0; d < ns; d++ {
+		w := sn.Width(d)
+		prev := -1
+		for _, r := range ss.rows[d][w:] {
+			if t := sn.ColToSuper[r]; t != prev {
+				ss.updaters[t] = append(ss.updaters[t], d)
+				prev = t
+			}
+		}
+	}
+
+	// Level schedule by height in the supernodal etree. Children always
+	// have smaller indices than their parent (the parent column of a
+	// supernode's last column lies beyond it), so one ascending pass
+	// computes heights.
+	level := make([]int, ns)
+	maxLevel := -1
+	for s := 0; s < ns; s++ {
+		last := sn.Super[s+1] - 1
+		if p := sym.Parent[last]; p >= 0 {
+			ps := sn.ColToSuper[p]
+			if level[ps] < level[s]+1 {
+				level[ps] = level[s] + 1
+			}
+		}
+		if level[s] > maxLevel {
+			maxLevel = level[s]
+		}
+	}
+	ss.levels = make([][]int, maxLevel+1)
+	for s := 0; s < ns; s++ {
+		ss.levels[level[s]] = append(ss.levels[level[s]], s)
+	}
+	return ss, nil
+}
+
+// NSuper returns the number of supernodes.
+func (ss *SuperSymbolic) NSuper() int { return ss.sn.NSuper() }
+
+// Fill returns the count of explicitly stored zeros introduced by
+// relaxed amalgamation.
+func (ss *SuperSymbolic) Fill() int { return ss.sn.Fill }
+
+// FlopEstimate returns the approximate floating-point operation count
+// of one numeric factorization (2·Σⱼ hⱼ² over the stored column heights
+// hⱼ, counting multiplies and adds separately).
+func (ss *SuperSymbolic) FlopEstimate() float64 { return ss.flops }
+
+// superFactor is the numeric supernodal factor: the packed column-major
+// panels, interpreted through the shared symbolic structure. For the
+// real Cholesky the panels hold L with its diagonal; for the complex
+// LDLᵀ they hold unit-diagonal L with the diagonal in a separate slice.
+type superFactor struct {
+	ss  *SuperSymbolic
+	val []float64
+}
+
+func (sf *superFactor) panel(s int) []float64 {
+	return sf.val[sf.ss.off[s]:sf.ss.off[s+1]]
+}
+
+// superScratch is the worker-owned scratch of the numeric
+// factorization: the relative map from global rows to panel-local
+// indices, the dense update block, and the original diagonals for the
+// pivot check.
+type superScratch struct {
+	relmap []int
+	upd    []float64
+	cupd   []complex128
+	adiag  []float64
+}
+
+func (ss *SuperSymbolic) newScratch(complexUpd bool) *superScratch {
+	sc := &superScratch{
+		relmap: make([]int, ss.sym.N),
+		adiag:  make([]float64, ss.maxWidth),
+	}
+	for i := range sc.relmap {
+		sc.relmap[i] = -1
+	}
+	if complexUpd {
+		sc.cupd = make([]complex128, ss.maxRows*ss.maxWidth)
+	} else {
+		sc.upd = make([]float64, ss.maxRows*ss.maxWidth)
+	}
+	return sc
+}
+
+// Factorize runs the numeric supernodal Cholesky A = LLᵀ against this
+// symbolic structure. Panels within one elimination-tree level factor
+// in parallel; all arithmetic per panel is serial in fixed order, so
+// the factor is bit-identical at every GOMAXPROCS.
+func (ss *SuperSymbolic) Factorize(a *sparse.CSR) (*Factor, error) {
+	n := ss.sym.N
+	if a.Rows != n || a.Cols != n {
+		return nil, fmt.Errorf("chol: supernodal factorize dimension mismatch (matrix %dx%d, symbolic %d)", a.Rows, a.Cols, n)
+	}
+	sf := &superFactor{ss: ss, val: make([]float64, ss.off[ss.sn.NSuper()])}
+	errs := make([]error, ss.sn.NSuper())
+	workers := ss.maxLevelWorkers()
+	scratch := make([]*superScratch, workers)
+	for _, lvl := range ss.levels {
+		par.Do(workers, len(lvl), func(w, i int) {
+			if scratch[w] == nil {
+				scratch[w] = ss.newScratch(false)
+			}
+			s := lvl[i]
+			errs[s] = sf.factorPanel(a, s, scratch[w])
+		})
+		for _, s := range lvl {
+			if errs[s] != nil {
+				return nil, errs[s]
+			}
+		}
+	}
+	return &Factor{super: sf}, nil
+}
+
+func (ss *SuperSymbolic) maxLevelWorkers() int {
+	widest := 1
+	for _, lvl := range ss.levels {
+		if len(lvl) > widest {
+			widest = len(lvl)
+		}
+	}
+	return par.Workers(widest)
+}
+
+// factorPanel assembles and factors one supernode: scatter A's lower
+// triangle, subtract the dense rank-k products of the updating
+// descendants (ascending), then run the dense right-looking trapezoid
+// factorization. The pivot checks and fault-injection sites match the
+// up-looking kernel exactly, per global column.
+func (sf *superFactor) factorPanel(a *sparse.CSR, s int, sc *superScratch) error {
+	ss := sf.ss
+	c0, w := ss.sn.Super[s], ss.sn.Width(s)
+	rows := ss.rows[s]
+	h := len(rows)
+	P := sf.panel(s)
+	for i, r := range rows {
+		sc.relmap[r] = i
+	}
+	defer func() {
+		for _, r := range rows {
+			sc.relmap[r] = -1
+		}
+	}()
+
+	// Scatter the lower triangle of A: for symmetric CSR, column c's
+	// rows >= c are read from row c's entries at columns >= c.
+	for j := 0; j < w; j++ {
+		c := c0 + j
+		col := P[j*h : (j+1)*h]
+		for p := a.RowPtr[c]; p < a.RowPtr[c+1]; p++ {
+			cc := a.Col[p]
+			if cc < c {
+				continue
+			}
+			col[sc.relmap[cc]] = a.Val[p]
+			if cc == c {
+				sc.adiag[j] = a.Val[p]
+			}
+		}
+	}
+
+	// Left-looking update: for each descendant panel d, form the dense
+	// product C = Ld[lo:, :]·Ld[lo:mid, :]ᵀ (lower part only) in scratch
+	// and scatter-subtract it through the relative map.
+	for _, d := range ss.updaters[s] {
+		rd := ss.rows[d]
+		hd := len(rd)
+		wd := ss.sn.Width(d)
+		Pd := sf.panel(d)
+		lo := sort.SearchInts(rd, c0)
+		mid := sort.SearchInts(rd, c0+w)
+		hC := hd - lo
+		wC := mid - lo
+		C := sc.upd[:hC*wC]
+		for i := range C {
+			C[i] = 0
+		}
+		// Rank-wd update, unrolled two columns of d at a time: each pass
+		// reads C once for two multiplier columns, halving the traffic on
+		// the accumulator. The pairing is fixed by k, so the summation
+		// order — and therefore the result bits — never depends on the
+		// worker count.
+		k := 0
+		for ; k+1 < wd; k += 2 {
+			colA := Pd[k*hd : (k+1)*hd]
+			colB := Pd[(k+1)*hd : (k+2)*hd]
+			for j := 0; j < wC; j++ {
+				fa, fb := colA[lo+j], colB[lo+j]
+				if fa == 0 && fb == 0 {
+					continue
+				}
+				dst := C[j*hC:]
+				for i := j; i < hC; i++ {
+					dst[i] += fa*colA[lo+i] + fb*colB[lo+i]
+				}
+			}
+		}
+		for ; k < wd; k++ {
+			colD := Pd[k*hd : (k+1)*hd]
+			for j := 0; j < wC; j++ {
+				f := colD[lo+j]
+				if f == 0 {
+					continue
+				}
+				dst := C[j*hC:]
+				for i := j; i < hC; i++ {
+					dst[i] += f * colD[lo+i]
+				}
+			}
+		}
+		for j := 0; j < wC; j++ {
+			dst := P[(rd[lo+j]-c0)*h:]
+			cj := C[j*hC:]
+			for i := j; i < hC; i++ {
+				dst[sc.relmap[rd[lo+i]]] -= cj[i]
+			}
+		}
+	}
+
+	// Dense right-looking factorization of the trapezoid.
+	for j := 0; j < w; j++ {
+		col := P[j*h : (j+1)*h]
+		d := col[j]
+		adiag := sc.adiag[j]
+		k := c0 + j
+		if inject.Enabled {
+			d = inject.PoisonValue(inject.CholPoison, k, d)
+			if inject.ShouldFail(inject.CholPivot, k) {
+				return fmt.Errorf("%w: injected pivot failure at elimination %d", ErrNotPositiveDefinite, k)
+			}
+		}
+		if d <= 0 || d <= 1e-13*adiag || math.IsNaN(d) {
+			return fmt.Errorf("%w: pivot %d = %g (diagonal was %g)", ErrNotPositiveDefinite, k, d, adiag)
+		}
+		ljj := math.Sqrt(d)
+		col[j] = ljj
+		for i := j + 1; i < h; i++ {
+			col[i] /= ljj
+		}
+		for c := j + 1; c < w; c++ {
+			f := col[c]
+			if f == 0 {
+				continue
+			}
+			dst := P[c*h : (c+1)*h]
+			for i := c; i < h; i++ {
+				dst[i] -= f * col[i]
+			}
+		}
+	}
+	return nil
+}
+
+// lsolve solves L x = b in place against the supernodal factor, one
+// panel at a time: a dense forward substitution on the diagonal block
+// fused with the below-block update.
+func (sf *superFactor) lsolve(x []float64) {
+	ss := sf.ss
+	for s := 0; s < ss.sn.NSuper(); s++ {
+		c0, w := ss.sn.Super[s], ss.sn.Width(s)
+		rows := ss.rows[s]
+		h := len(rows)
+		P := sf.panel(s)
+		for j := 0; j < w; j++ {
+			col := P[j*h : (j+1)*h]
+			xj := x[c0+j] / col[j]
+			x[c0+j] = xj
+			if xj == 0 {
+				continue
+			}
+			for i := j + 1; i < h; i++ {
+				x[rows[i]] -= col[i] * xj
+			}
+		}
+	}
+}
+
+// ltsolve solves Lᵀ x = b in place: per column, a dense dot product
+// against the panel suffix, panels in descending order.
+func (sf *superFactor) ltsolve(x []float64) {
+	ss := sf.ss
+	for s := ss.sn.NSuper() - 1; s >= 0; s-- {
+		c0, w := ss.sn.Super[s], ss.sn.Width(s)
+		rows := ss.rows[s]
+		h := len(rows)
+		P := sf.panel(s)
+		for j := w - 1; j >= 0; j-- {
+			col := P[j*h : (j+1)*h]
+			sum := x[c0+j]
+			for i := j + 1; i < h; i++ {
+				sum -= col[i] * x[rows[i]]
+			}
+			x[c0+j] = sum / col[j]
+		}
+	}
+}
+
+// solveMultiChunk is the hand-out granularity of the blocked multi-RHS
+// solves: one atomic claim per batch of right-hand-side columns, and
+// each factor panel streams through the cache once per batch instead of
+// once per column — the BLAS-3 effect of the blocked solve.
+const solveMultiChunk = 8
+
+// SolveMulti solves A X = B in place for nrhs right-hand sides stored
+// column-major in rhs (column c occupies rhs[c*n:(c+1)*n]). Each column
+// runs exactly the arithmetic of Solve on that column — parallelism is
+// only across columns — so the result is bit-identical to nrhs
+// sequential Solve calls at every GOMAXPROCS.
+func (f *Factor) SolveMulti(rhs []float64, nrhs int) {
+	n := f.order()
+	checkMulti(len(rhs), n, nrhs)
+	par.ForChunks(nrhs, solveMultiChunk, func(_, lo, hi int) {
+		if f.super != nil {
+			f.super.lsolveRange(rhs, n, lo, hi)
+			f.super.ltsolveRange(rhs, n, lo, hi)
+			return
+		}
+		for c := lo; c < hi; c++ {
+			f.Solve(rhs[c*n : (c+1)*n])
+		}
+	})
+}
+
+// LSolveMulti solves L Y = B in place for nrhs column-major right-hand
+// sides (see SolveMulti for the layout and determinism contract).
+func (f *Factor) LSolveMulti(rhs []float64, nrhs int) {
+	n := f.order()
+	checkMulti(len(rhs), n, nrhs)
+	par.ForChunks(nrhs, solveMultiChunk, func(_, lo, hi int) {
+		if f.super != nil {
+			f.super.lsolveRange(rhs, n, lo, hi)
+			return
+		}
+		for c := lo; c < hi; c++ {
+			f.LSolve(rhs[c*n : (c+1)*n])
+		}
+	})
+}
+
+// LTSolveMulti solves Lᵀ Y = B in place for nrhs column-major
+// right-hand sides (see SolveMulti).
+func (f *Factor) LTSolveMulti(rhs []float64, nrhs int) {
+	n := f.order()
+	checkMulti(len(rhs), n, nrhs)
+	par.ForChunks(nrhs, solveMultiChunk, func(_, lo, hi int) {
+		if f.super != nil {
+			f.super.ltsolveRange(rhs, n, lo, hi)
+			return
+		}
+		for c := lo; c < hi; c++ {
+			f.LTSolve(rhs[c*n : (c+1)*n])
+		}
+	})
+}
+
+func checkMulti(have, n, nrhs int) {
+	if nrhs < 0 || have != n*nrhs {
+		panic(fmt.Sprintf("chol: multi-RHS block length %d, want %d columns of %d", have, nrhs, n))
+	}
+}
+
+// lsolveRange runs the forward solve for RHS columns [lo, hi), panel by
+// panel on the outside so each panel is loaded once per batch.
+func (sf *superFactor) lsolveRange(rhs []float64, n, lo, hi int) {
+	ss := sf.ss
+	for s := 0; s < ss.sn.NSuper(); s++ {
+		c0, w := ss.sn.Super[s], ss.sn.Width(s)
+		rows := ss.rows[s]
+		h := len(rows)
+		P := sf.panel(s)
+		for c := lo; c < hi; c++ {
+			x := rhs[c*n : (c+1)*n]
+			for j := 0; j < w; j++ {
+				col := P[j*h : (j+1)*h]
+				xj := x[c0+j] / col[j]
+				x[c0+j] = xj
+				if xj == 0 {
+					continue
+				}
+				for i := j + 1; i < h; i++ {
+					x[rows[i]] -= col[i] * xj
+				}
+			}
+		}
+	}
+}
+
+// ltsolveRange runs the backward solve for RHS columns [lo, hi).
+func (sf *superFactor) ltsolveRange(rhs []float64, n, lo, hi int) {
+	ss := sf.ss
+	for s := ss.sn.NSuper() - 1; s >= 0; s-- {
+		c0, w := ss.sn.Super[s], ss.sn.Width(s)
+		rows := ss.rows[s]
+		h := len(rows)
+		P := sf.panel(s)
+		for c := lo; c < hi; c++ {
+			x := rhs[c*n : (c+1)*n]
+			for j := w - 1; j >= 0; j-- {
+				col := P[j*h : (j+1)*h]
+				sum := x[c0+j]
+				for i := j + 1; i < h; i++ {
+					sum -= col[i] * x[rows[i]]
+				}
+				x[c0+j] = sum / col[j]
+			}
+		}
+	}
+}
+
+// superComplexFactor is the supernodal complex LDLᵀ: unit-lower panels
+// (diagonal slots hold 1) plus the diagonal D, sharing the real
+// structure's SuperSymbolic across all frequency points of a sweep.
+type superComplexFactor struct {
+	ss  *SuperSymbolic
+	val []complex128
+	d   []complex128
+}
+
+func (sf *superComplexFactor) panel(s int) []complex128 {
+	return sf.val[sf.ss.off[s]:sf.ss.off[s+1]]
+}
+
+// FactorizeComplex runs the supernodal LDLᵀ of the complex symmetric
+// matrix with the given pattern (the one this SuperSymbolic was
+// analyzed for) and entry values supplied per stored pattern position,
+// as in the package-level FactorizeComplex.
+func (ss *SuperSymbolic) FactorizeComplex(pattern *sparse.CSR, val func(p int) complex128) (*ComplexFactor, error) {
+	n := ss.sym.N
+	if pattern.Rows != n || pattern.Cols != n {
+		return nil, fmt.Errorf("chol: supernodal complex dimension mismatch")
+	}
+	sf := &superComplexFactor{
+		ss:  ss,
+		val: make([]complex128, ss.off[ss.sn.NSuper()]),
+		d:   make([]complex128, n),
+	}
+	errs := make([]error, ss.sn.NSuper())
+	workers := ss.maxLevelWorkers()
+	scratch := make([]*superScratch, workers)
+	for _, lvl := range ss.levels {
+		par.Do(workers, len(lvl), func(w, i int) {
+			if scratch[w] == nil {
+				scratch[w] = ss.newScratch(true)
+			}
+			s := lvl[i]
+			errs[s] = sf.factorPanel(pattern, val, s, scratch[w])
+		})
+		for _, s := range lvl {
+			if errs[s] != nil {
+				return nil, errs[s]
+			}
+		}
+	}
+	return &ComplexFactor{super: sf}, nil
+}
+
+func (sf *superComplexFactor) factorPanel(pattern *sparse.CSR, val func(p int) complex128, s int, sc *superScratch) error {
+	ss := sf.ss
+	c0, w := ss.sn.Super[s], ss.sn.Width(s)
+	rows := ss.rows[s]
+	h := len(rows)
+	P := sf.panel(s)
+	for i, r := range rows {
+		sc.relmap[r] = i
+	}
+	defer func() {
+		for _, r := range rows {
+			sc.relmap[r] = -1
+		}
+	}()
+
+	for j := 0; j < w; j++ {
+		c := c0 + j
+		col := P[j*h : (j+1)*h]
+		for p := pattern.RowPtr[c]; p < pattern.RowPtr[c+1]; p++ {
+			cc := pattern.Col[p]
+			if cc < c {
+				continue
+			}
+			col[sc.relmap[cc]] = val(p)
+		}
+	}
+
+	// Update with descendants: C = Ld[lo:, :]·Dd·Ld[lo:mid, :]ᵀ (lower
+	// part), subtracted through the relative map.
+	for _, dsn := range ss.updaters[s] {
+		rd := ss.rows[dsn]
+		hd := len(rd)
+		wd := ss.sn.Width(dsn)
+		Pd := sf.panel(dsn)
+		d0 := ss.sn.Super[dsn]
+		lo := sort.SearchInts(rd, c0)
+		mid := sort.SearchInts(rd, c0+w)
+		hC := hd - lo
+		wC := mid - lo
+		C := sc.cupd[:hC*wC]
+		for i := range C {
+			C[i] = 0
+		}
+		// Same two-column unroll as the real kernel: fixed pairing by k
+		// keeps the summation order (and result bits) worker-independent.
+		k := 0
+		for ; k+1 < wd; k += 2 {
+			colA := Pd[k*hd : (k+1)*hd]
+			colB := Pd[(k+1)*hd : (k+2)*hd]
+			da, db := sf.d[d0+k], sf.d[d0+k+1]
+			for j := 0; j < wC; j++ {
+				fa := colA[lo+j] * da
+				fb := colB[lo+j] * db
+				if fa == 0 && fb == 0 {
+					continue
+				}
+				dst := C[j*hC:]
+				for i := j; i < hC; i++ {
+					dst[i] += fa*colA[lo+i] + fb*colB[lo+i]
+				}
+			}
+		}
+		for ; k < wd; k++ {
+			colD := Pd[k*hd : (k+1)*hd]
+			dk := sf.d[d0+k]
+			for j := 0; j < wC; j++ {
+				f := colD[lo+j] * dk
+				if f == 0 {
+					continue
+				}
+				dst := C[j*hC:]
+				for i := j; i < hC; i++ {
+					dst[i] += f * colD[lo+i]
+				}
+			}
+		}
+		for j := 0; j < wC; j++ {
+			dst := P[(rd[lo+j]-c0)*h:]
+			cj := C[j*hC:]
+			for i := j; i < hC; i++ {
+				dst[sc.relmap[rd[lo+i]]] -= cj[i]
+			}
+		}
+	}
+
+	// Dense right-looking LDLᵀ of the trapezoid: pivot, normalize the
+	// column (unit diagonal), rank-1 update of the remaining columns.
+	for j := 0; j < w; j++ {
+		col := P[j*h : (j+1)*h]
+		d := col[j]
+		k := c0 + j
+		if inject.Enabled && inject.ShouldFail(inject.CholComplexPivot, k) {
+			return fmt.Errorf("chol: injected zero pivot %d in complex LDLᵀ", k)
+		}
+		if cmplx.Abs(d) == 0 || cmplx.IsNaN(d) {
+			return fmt.Errorf("chol: zero pivot %d in complex LDLᵀ", k)
+		}
+		sf.d[k] = d
+		col[j] = 1
+		for i := j + 1; i < h; i++ {
+			col[i] /= d
+		}
+		for c := j + 1; c < w; c++ {
+			f := col[c] * d
+			if f == 0 {
+				continue
+			}
+			dst := P[c*h : (c+1)*h]
+			for i := c; i < h; i++ {
+				dst[i] -= f * col[i]
+			}
+		}
+	}
+	return nil
+}
+
+// solve runs the supernodal L D Lᵀ solve in place, mirroring the
+// simplicial phase order: full forward substitution, then the diagonal,
+// then full backward substitution.
+func (sf *superComplexFactor) solve(x []complex128) {
+	ss := sf.ss
+	ns := ss.sn.NSuper()
+	for s := 0; s < ns; s++ {
+		c0, w := ss.sn.Super[s], ss.sn.Width(s)
+		rows := ss.rows[s]
+		h := len(rows)
+		P := sf.panel(s)
+		for j := 0; j < w; j++ {
+			zj := x[c0+j]
+			if zj == 0 {
+				continue
+			}
+			col := P[j*h : (j+1)*h]
+			for i := j + 1; i < h; i++ {
+				x[rows[i]] -= col[i] * zj
+			}
+		}
+	}
+	for j := range x {
+		x[j] /= sf.d[j]
+	}
+	for s := ns - 1; s >= 0; s-- {
+		c0, w := ss.sn.Super[s], ss.sn.Width(s)
+		rows := ss.rows[s]
+		h := len(rows)
+		P := sf.panel(s)
+		for j := w - 1; j >= 0; j-- {
+			col := P[j*h : (j+1)*h]
+			sum := x[c0+j]
+			for i := j + 1; i < h; i++ {
+				sum -= col[i] * x[rows[i]]
+			}
+			x[c0+j] = sum
+		}
+	}
+}
+
+// SolveMulti solves A X = B in place for nrhs column-major right-hand
+// sides. Per column the arithmetic is exactly Solve's, so the block
+// solve is bit-identical to nrhs sequential Solve calls; columns run in
+// parallel chunks and each panel streams once per chunk.
+func (f *ComplexFactor) SolveMulti(rhs []complex128, nrhs int) error {
+	n := f.order()
+	if nrhs < 0 || len(rhs) != n*nrhs {
+		return fmt.Errorf("chol: complex multi-RHS block length %d, want %d columns of %d", len(rhs), nrhs, n)
+	}
+	errs := make([]error, nrhs)
+	par.ForChunks(nrhs, solveMultiChunk, func(_, lo, hi int) {
+		for c := lo; c < hi; c++ {
+			errs[c] = f.Solve(rhs[c*n : (c+1)*n])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/chol"
 	"repro/internal/order"
 	"repro/internal/sparse"
 )
@@ -50,6 +51,11 @@ type System struct {
 	yRP   *sparse.CSR
 	yDPos []int // position of each yPat entry in yDP (-1 if absent)
 	yEPos []int
+	// ySS is the supernodal symbolic structure of the union pattern (nil
+	// for small systems): analyzed once, then shared by the complex LDLᵀ
+	// of every frequency point of a sweep, so per-point work is purely
+	// numeric.
+	ySS *chol.SuperSymbolic
 }
 
 // ErrBadShape reports inconsistent block dimensions.

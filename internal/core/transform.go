@@ -114,6 +114,9 @@ type Stats struct {
 	PeakVectors   int // length-n vectors simultaneously live in Lanczos
 	CholeskyNNZ   int
 	CholeskyBytes int64
+	Supernodes    int     // supernodal panels of the D factor (0: up-looking kernel)
+	SuperFill     int     // explicit zeros stored by relaxed amalgamation
+	FactorFlops   float64 // estimated flop count of the numeric factorization
 	DenseEig      bool // eigenproblem solved densely (small n)
 	XCached       bool
 	// Recoveries lists every recovery ladder that fired during the
@@ -314,6 +317,9 @@ func Transform1Context(ctx context.Context, sys *System, opts Options) (*Transfo
 	rp := sys.R.PermuteRows(sym.Perm)
 	stats.CholeskyNNZ = fact.NNZ()
 	stats.CholeskyBytes = fact.Bytes()
+	stats.Supernodes = fact.Supernodes()
+	stats.SuperFill = fact.AmalgamatedFill()
+	stats.FactorFlops = fact.FlopEstimate()
 	qpT := qp.Transpose() // m×n, row j = column j of Q (in permuted internal order)
 	rpT := rp.Transpose()
 
@@ -367,6 +373,39 @@ func Transform1Context(ctx context.Context, sys *System, opts Options) (*Transfo
 	if gamma > 0 {
 		xNorm2 = make([]float64, m)
 	}
+	// Blocked path: when the X cache is enabled, the 2m port solves
+	// (X = D⁻¹Q, then Z = D⁻¹EX) run as two multi-RHS blocks against the
+	// one factor, streaming each factor panel once per solve chunk
+	// instead of once per port. Each block column runs exactly the
+	// arithmetic of its single solve, so the results — and the golden
+	// outputs downstream — are unchanged bit for bit.
+	var zBlock []float64
+	if t.cacheX {
+		xBlock := make([]float64, m*n)
+		for j := 0; j < m; j++ {
+			col := xBlock[j*n : (j+1)*n]
+			cols, vals := qpT.Row(j)
+			for p, i := range cols {
+				col[i] = vals[p]
+			}
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, resilience.Canceled(resilience.StageCholesky, ctx)
+		}
+		fact.SolveMulti(xBlock, m)
+		for j := 0; j < m; j++ {
+			t.xCache[j] = xBlock[j*n : (j+1)*n]
+		}
+		zBlock = make([]float64, m*n)
+		if merr := par.ForWorkersCtx(ctx, m, func(_, j int) {
+			ep.MulVec(zBlock[j*n:(j+1)*n], t.xCache[j])
+		}); merr != nil {
+			return nil, nil, resilience.Canceled(resilience.StageCholesky, ctx)
+		}
+		fact.SolveMulti(zBlock, m)
+		stats.Solves += 2 * m
+		stats.MatVecs += m
+	}
 	perr := par.ForWorkersCtx(ctx, m, func(w, j int) {
 		scr := &scratch[w]
 		wc := &wcs[w]
@@ -376,11 +415,16 @@ func Transform1Context(ctx context.Context, sys *System, opts Options) (*Transfo
 		}
 		qpT.MulVec(scr.qtx, x)
 		rpT.MulVec(scr.rtx, x)
-		ep.MulVec(scr.w, x)
-		wc.matVecs++
-		fact.Solve(scr.w) // scr.w := z_j = D⁻¹ E x_j
-		wc.solves++
-		qpT.MulVec(scr.qtz, scr.w)
+		z := scr.w
+		if zBlock != nil {
+			z = zBlock[j*n : (j+1)*n]
+		} else {
+			ep.MulVec(scr.w, x)
+			wc.matVecs++
+			fact.Solve(scr.w) // scr.w := z_j = D⁻¹ E x_j
+			wc.solves++
+		}
+		qpT.MulVec(scr.qtz, z)
 		for i := 0; i < m; i++ {
 			sMat.Set(i, j, scr.rtx[i])
 		}
@@ -479,12 +523,15 @@ func (t *Transformed) rPrimeColumn(j int, dst, xbuf []float64, wc *workCounters)
 	wc.solves++
 }
 
-// RPrimeBlock computes all M columns of R′ = L⁻¹(R − EX) as a parallel
-// multi-RHS triangular solve: each worker owns one scratch X buffer and
-// the columns land in index order, bit-identical to M serial
-// RPrimeColumn calls.
+// RPrimeBlock computes all M columns of R′ = L⁻¹(R − EX) as a blocked
+// multi-RHS triangular solve: the right-hand sides R − EX assemble in
+// parallel into one column-major block, then a single LSolveMulti
+// streams each factor panel once per solve chunk. Per column the
+// arithmetic equals rPrimeColumn's exactly, so the block is
+// bit-identical to M serial RPrimeColumn calls at every GOMAXPROCS.
 func (t *Transformed) RPrimeBlock() [][]float64 {
 	m, n := t.M, t.N
+	back := make([]float64, m*n)
 	out := make([][]float64, m)
 	workers := par.Workers(m)
 	wcs := make([]workCounters, workers)
@@ -493,11 +540,22 @@ func (t *Transformed) RPrimeBlock() [][]float64 {
 		xbufs[w] = make([]float64, n)
 	}
 	par.ForWorkers(m, func(w, j int) {
-		col := make([]float64, n)
-		t.rPrimeColumn(j, col, xbufs[w], &wcs[w])
+		col := back[j*n : (j+1)*n]
 		out[j] = col
+		x := t.columnX(j, xbufs[w], &wcs[w])
+		t.ep.MulVec(col, x)
+		wcs[w].matVecs++
+		for i := range col {
+			col[i] = -col[i]
+		}
+		cols, vals := t.rpT.Row(j)
+		for p, i := range cols {
+			col[i] += vals[p]
+		}
 	})
 	t.stats.merge(wcs)
+	t.fact.LSolveMulti(back, m)
+	t.stats.Solves += m
 	return out
 }
 
@@ -642,17 +700,26 @@ func (t *Transformed) Transform2Context(ctx context.Context, opts Options) (*Red
 	if k > 0 {
 		zk := make([][]float64, k)
 		ez := make([][]float64, k)
-		zwcs := make([]workCounters, par.Workers(k))
-		zerr := par.ForWorkersCtx(ctx, k, func(w, c int) {
-			z := make([]float64, n)
+		zback := make([]float64, k*n)
+		for c := 0; c < k; c++ {
+			z := zback[c*n : (c+1)*n]
 			for i := 0; i < n; i++ {
 				z[i] = uk.At(i, c)
 			}
-			t.fact.LTSolve(z)
-			zwcs[w].solves++
 			zk[c] = z
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, resilience.Canceled(resilience.StagePoleAnalysis, ctx)
+		}
+		// Z_k = L⁻ᵀ U_k as one blocked transpose solve — bit-identical to
+		// k single LTSolve calls, but each factor panel streams once per
+		// solve chunk.
+		t.fact.LTSolveMulti(zback, k)
+		stats.Solves += k
+		zwcs := make([]workCounters, par.Workers(k))
+		zerr := par.ForWorkersCtx(ctx, k, func(w, c int) {
 			e := make([]float64, n)
-			t.ep.MulVec(e, z)
+			t.ep.MulVec(e, zk[c])
 			zwcs[w].matVecs++
 			ez[c] = e
 		})

@@ -64,6 +64,13 @@ func (s *System) buildYEval() error {
 	s.yRP = s.R.PermuteRows(sym.Perm).Transpose()
 	s.yDPos = dPos
 	s.yEPos = ePos
+	if s.N >= chol.SupernodalMinOrder {
+		ss, err := chol.AnalyzeSuper(pat, sym, order.SupernodeOptions{})
+		if err != nil {
+			return err
+		}
+		s.ySS = ss
+	}
 	return nil
 }
 
@@ -79,7 +86,7 @@ func (s *System) Y(sv complex128) (*dense.CMat, error) {
 	if err := s.initYEval(); err != nil {
 		return nil, err
 	}
-	f, err := chol.FactorizeComplex(s.yPat, func(p int) complex128 {
+	val := func(p int) complex128 {
 		var v complex128
 		if q := s.yDPos[p]; q >= 0 {
 			v += complex(s.yDP.Val[q], 0)
@@ -88,7 +95,16 @@ func (s *System) Y(sv complex128) (*dense.CMat, error) {
 			v += sv * complex(s.yEP.Val[q], 0)
 		}
 		return v
-	}, s.ySym)
+	}
+	var f *chol.ComplexFactor
+	var err error
+	if s.ySS != nil {
+		// Large system: reuse the supernodal structure analyzed once in
+		// buildYEval; each frequency point pays only the numeric panels.
+		f, err = s.ySS.FactorizeComplex(s.yPat, val)
+	} else {
+		f, err = chol.FactorizeComplex(s.yPat, val, s.ySym)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: factorization of D+sE at s=%v: %w", sv, err)
 	}
@@ -105,34 +121,52 @@ func (s *System) Y(sv complex128) (*dense.CMat, error) {
 			y.Add(i, j, sv*complex(vals[p], 0))
 		}
 	}
-	// Schur complement, one column at a time.
-	x := make([]complex128, s.N)
-	for j := 0; j < m; j++ {
+	// Schur complement: the port columns are independent solves against
+	// the one factor, batched into fixed-size blocks so each factor panel
+	// streams through the cache once per block rather than once per port
+	// (the multi-RHS solve runs each column's arithmetic exactly as a
+	// single solve would, so the batching changes no bits). The block
+	// size bounds the extra memory at yPortChunk·n complex entries.
+	const yPortChunk = 8
+	block := make([]complex128, yPortChunk*s.N)
+	for j0 := 0; j0 < m; j0 += yPortChunk {
+		j1 := j0 + yPortChunk
+		if j1 > m {
+			j1 = m
+		}
+		nb := j1 - j0
+		x := block[:nb*s.N]
 		for i := range x {
 			x[i] = 0
 		}
-		cols, vals := s.yQP.Row(j) // column j of permuted Q
-		for p, i := range cols {
-			x[i] += complex(vals[p], 0)
-		}
-		cols, vals = s.yRP.Row(j)
-		for p, i := range cols {
-			x[i] += sv * complex(vals[p], 0)
-		}
-		if err := f.Solve(x); err != nil {
-			return nil, fmt.Errorf("core: admittance solve for port %d at s=%v: %w", j, sv, err)
-		}
-		for i := 0; i < m; i++ {
-			var acc complex128
-			cols, vals = s.yQP.Row(i)
-			for p, k := range cols {
-				acc += complex(vals[p], 0) * x[k]
+		for j := j0; j < j1; j++ {
+			col := x[(j-j0)*s.N : (j-j0+1)*s.N]
+			cols, vals := s.yQP.Row(j) // column j of permuted Q
+			for p, i := range cols {
+				col[i] += complex(vals[p], 0)
 			}
-			cols, vals = s.yRP.Row(i)
-			for p, k := range cols {
-				acc += sv * complex(vals[p], 0) * x[k]
+			cols, vals = s.yRP.Row(j)
+			for p, i := range cols {
+				col[i] += sv * complex(vals[p], 0)
 			}
-			y.Add(i, j, -acc)
+		}
+		if err := f.SolveMulti(x, nb); err != nil {
+			return nil, fmt.Errorf("core: admittance solves for ports %d..%d at s=%v: %w", j0, j1-1, sv, err)
+		}
+		for j := j0; j < j1; j++ {
+			col := x[(j-j0)*s.N : (j-j0+1)*s.N]
+			for i := 0; i < m; i++ {
+				var acc complex128
+				cols, vals := s.yQP.Row(i)
+				for p, k := range cols {
+					acc += complex(vals[p], 0) * col[k]
+				}
+				cols, vals = s.yRP.Row(i)
+				for p, k := range cols {
+					acc += sv * complex(vals[p], 0) * col[k]
+				}
+				y.Add(i, j, -acc)
+			}
 		}
 	}
 	return y, nil

@@ -107,6 +107,11 @@ const (
 	mulBlockK      = 64
 	mulBlockJ      = 256
 	mulSerialFlops = 1 << 18
+	// mulRowChunk is the row-panel granularity handed to the pool: one
+	// atomic hand-out per panel of rows instead of per row, with
+	// boundaries that depend only on the matrix shape (never the worker
+	// count), so load balancing improves without touching determinism.
+	mulRowChunk = 32
 )
 
 // Mul returns a*b using a cache-tiled kernel with row-panel parallelism
@@ -123,17 +128,8 @@ func Mul(a, b *Mat) *Mat {
 		mulRows(out, a, b, 0, a.R)
 		return out
 	}
-	workers := par.Workers(a.R)
-	panel := (a.R + workers - 1) / workers
-	par.For(workers, func(p int) {
-		i0 := p * panel
-		i1 := i0 + panel
-		if i1 > a.R {
-			i1 = a.R
-		}
-		if i0 < i1 {
-			mulRows(out, a, b, i0, i1)
-		}
+	par.ForChunks(a.R, mulRowChunk, func(_, i0, i1 int) {
+		mulRows(out, a, b, i0, i1)
 	})
 	return out
 }
@@ -187,17 +183,8 @@ func (m *Mat) MulVec(x []float64) []float64 {
 		m.mulVecRows(out, x, 0, m.R)
 		return out
 	}
-	workers := par.Workers(m.R)
-	panel := (m.R + workers - 1) / workers
-	par.For(workers, func(p int) {
-		i0 := p * panel
-		i1 := i0 + panel
-		if i1 > m.R {
-			i1 = m.R
-		}
-		if i0 < i1 {
-			m.mulVecRows(out, x, i0, i1)
-		}
+	par.ForChunks(m.R, mulRowChunk, func(_, i0, i1 int) {
+		m.mulVecRows(out, x, i0, i1)
 	})
 	return out
 }

@@ -374,6 +374,28 @@ func Ok(n int) {
 	wantLines(t, runRule(t, l, "internal/par", "defersmell"), 7, 8)
 }
 
+// TestDefersmellCholPrimaAreHot pins the factorization kernels and the
+// PRIMA recursion into the hot-package set: the supernodal panel loops
+// and the Krylov iteration run once per elimination step or basis
+// vector, so a per-iteration clone there scales with problem size.
+func TestDefersmellCholPrimaAreHot(t *testing.T) {
+	t.Parallel()
+	loopClone := `
+
+func Bad(n int, scratch []float64) {
+	for i := 0; i < n; i++ {
+		_ = append([]float64(nil), scratch...)
+	}
+}
+`
+	l := fixtureLoader(t, map[string]string{
+		"internal/chol/chol.go":   "package chol" + loopClone,
+		"internal/prima/prima.go": "package prima" + loopClone,
+	})
+	wantLines(t, runRule(t, l, "internal/chol", "defersmell"), 5)
+	wantLines(t, runRule(t, l, "internal/prima", "defersmell"), 5)
+}
+
 func TestExitpolicy(t *testing.T) {
 	t.Parallel()
 	l := fixtureLoader(t, map[string]string{

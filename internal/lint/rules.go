@@ -457,12 +457,19 @@ func panicMessageOK(p *Package, arg ast.Expr, prefix string) bool {
 // -------------------------------------------------------------- defersmell
 
 // hotAllocSuffixes are the packages whose loops dominate the reduction
-// runtime (admittance evaluation, the congruence transforms, and the
-// Lanczos recursions). Per-iteration dense-matrix or full-length-vector
+// runtime (admittance evaluation, the congruence transforms, the
+// Cholesky/LDLᵀ factorization kernels, and the Lanczos/PRIMA
+// recursions). Per-iteration dense-matrix or full-length-vector
 // allocation there is a performance bug unless deliberately part of the
 // algorithm's memory model — in which case it carries a //lint:ignore
 // with the reason.
-var hotAllocSuffixes = []string{"/internal/core", "/internal/lanczos", "/internal/par"}
+var hotAllocSuffixes = []string{
+	"/internal/chol",
+	"/internal/core",
+	"/internal/lanczos",
+	"/internal/par",
+	"/internal/prima",
+}
 
 // defersmellRule flags defer statements inside loops (they pile up until
 // function exit — a classic leak with per-iteration resources), and

@@ -210,6 +210,52 @@ func DoCtx(ctx context.Context, workers, n int, body func(worker, i int)) error 
 	return nil
 }
 
+// Chunks returns the number of contiguous chunks of the given size
+// needed to cover n items (the hand-out granularity of DoChunks).
+func Chunks(n, chunk int) int {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return (n + chunk - 1) / chunk
+}
+
+// DoChunks runs body(worker, lo, hi) over the half-open ranges
+// [0,chunk), [chunk,2·chunk), … covering [0, n), using at most the given
+// number of workers. It is the sized-chunking variant of Do: the atomic
+// hand-out advances one *chunk* at a time instead of one item, so loops
+// whose per-item cost is small (dense row panels, multi-RHS solve
+// columns) pay the scheduling overhead once per batch rather than once
+// per iteration, while uneven chunk cost still load-balances.
+//
+// The chunk boundaries depend only on n and chunk — never on the worker
+// count — so a body that keeps per-range arithmetic independent inherits
+// the pool's determinism contract unchanged. With one worker (or a
+// single chunk) the ranges run inline on the calling goroutine in
+// ascending order.
+func DoChunks(workers, n, chunk int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	nchunks := Chunks(n, chunk)
+	Do(workers, nchunks, func(w, c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		body(w, lo, hi)
+	})
+}
+
+// ForChunks runs body over sized chunks of [0, n) on Workers(nchunks)
+// workers (see DoChunks).
+func ForChunks(n, chunk int, body func(worker, lo, hi int)) {
+	DoChunks(Workers(Chunks(n, chunk)), n, chunk, body)
+}
+
 // ForWorkers runs body(worker, i) for every i in [0, n) on Workers(n)
 // workers. Use the worker index to address pre-allocated per-worker
 // scratch.

@@ -7,6 +7,7 @@ import (
 	"math"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -265,5 +266,70 @@ func BenchmarkForOverheadSmall(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		For(1, func(int) {})
+	}
+}
+
+func TestDoChunksCoversEveryIndexOnce(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct{ n, chunk, workers int }{
+		{0, 4, 3}, {1, 4, 3}, {7, 3, 2}, {100, 7, 5}, {64, 64, 4}, {64, 1, 4}, {10, 100, 4},
+	} {
+		var mu sync.Mutex
+		seen := make([]int, tc.n)
+		DoChunks(tc.workers, tc.n, tc.chunk, func(_, lo, hi int) {
+			if lo < 0 || hi > tc.n || lo >= hi {
+				t.Errorf("n=%d chunk=%d: bad range [%d,%d)", tc.n, tc.chunk, lo, hi)
+			}
+			if lo%tc.chunk != 0 {
+				t.Errorf("n=%d chunk=%d: range start %d not on a chunk boundary", tc.n, tc.chunk, lo)
+			}
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+			mu.Unlock()
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d chunk=%d: index %d ran %d times", tc.n, tc.chunk, i, c)
+			}
+		}
+	}
+}
+
+func TestDoChunksBoundariesIndependentOfWorkers(t *testing.T) {
+	t.Parallel()
+	collect := func(workers int) map[int]int {
+		var mu sync.Mutex
+		ranges := make(map[int]int)
+		DoChunks(workers, 103, 8, func(_, lo, hi int) {
+			mu.Lock()
+			ranges[lo] = hi
+			mu.Unlock()
+		})
+		return ranges
+	}
+	one := collect(1)
+	for _, w := range []int{2, 4, 16} {
+		got := collect(w)
+		if len(got) != len(one) {
+			t.Fatalf("workers=%d: %d chunks, want %d", w, len(got), len(one))
+		}
+		for lo, hi := range one {
+			if got[lo] != hi {
+				t.Fatalf("workers=%d: chunk [%d,%d), want [%d,%d)", w, lo, got[lo], lo, hi)
+			}
+		}
+	}
+}
+
+func TestChunksCount(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct{ n, chunk, want int }{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {8, 0, 8}, {8, -1, 8},
+	} {
+		if got := Chunks(tc.n, tc.chunk); got != tc.want {
+			t.Errorf("Chunks(%d, %d) = %d, want %d", tc.n, tc.chunk, got, tc.want)
+		}
 	}
 }

@@ -107,6 +107,7 @@ func Reduce(sys *core.System, q int, s0 float64, ordering order.Method) (*Model,
 		}
 	}
 	for _, bc := range bCols {
+		//lint:ignore defersmell each candidate is kept as a basis vector, so the clone is the algorithm's storage, not loop scratch
 		v := append([]float64(nil), bc...)
 		fact.Solve(v)
 		stats.MatVecs++
@@ -125,6 +126,7 @@ func Reduce(sys *core.System, q int, s0 float64, ordering order.Method) (*Model,
 		var next [][]float64
 		for _, v := range block {
 			cp.MulVec(tmp, v)
+			//lint:ignore defersmell the clone survives the loop as a candidate basis vector; tmp is the reused scratch
 			w := append([]float64(nil), tmp...)
 			fact.Solve(w)
 			stats.MatVecs++

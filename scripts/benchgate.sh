@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Advisory performance gate: run the kernel benchmark set and compare it
+# against the committed BENCH.json baseline. The threshold is generous
+# (default 3x) because CI machines differ from whatever produced the
+# baseline — the reports carry num_cpu/gomaxprocs metadata so a flagged
+# ratio can be judged. CI runs this step non-blocking
+# (continue-on-error); locally a nonzero exit just means "look at the
+# table above".
+#
+# Usage: scripts/benchgate.sh [report-out.json]
+# Env:   BENCHGATE_SET (kernels|factor|all), BENCHGATE_TIME (per-leg
+#        measuring time), BENCHGATE_THRESHOLD (allowed slowdown ratio).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-bench-report.json}"
+exec go run ./cmd/pactbench \
+	-json "$out" \
+	-benchset "${BENCHGATE_SET:-kernels}" \
+	-benchtime "${BENCHGATE_TIME:-100ms}" \
+	-gate BENCH.json \
+	-threshold "${BENCHGATE_THRESHOLD:-3.0}"
