@@ -16,6 +16,7 @@ import (
 	"repro/internal/netgen"
 	"repro/internal/order"
 	"repro/internal/par"
+	"repro/internal/sparse"
 	"repro/internal/stamp"
 )
 
@@ -256,6 +257,82 @@ func factorCases() ([]benchCase, error) {
 	if err != nil {
 		return nil, err
 	}
+	factSuper, err := ss.Factorize(dperm)
+	if err != nil {
+		return nil, err
+	}
+	const nrhs = 64
+	rhs := make([]float64, nrhs*sys.N)
+	for i := range rhs {
+		rhs[i] = float64(i%17)*0.25 + 1
+	}
+	rwork := make([]float64, len(rhs))
+
+	// Complex LDLᵀ on the same mesh at one AC point: the D + sE union
+	// pattern is analyzed once (as a frequency sweep would) and every
+	// iteration pays only the numeric panels through the precomputed
+	// supernodal routing.
+	union := sparse.PatternUnion(sys.D, sys.E)
+	symU := order.Analyze(union, order.MinimumDegree)
+	dp := sys.D.PermuteSym(symU.Perm)
+	ep := sys.E.PermuteSym(symU.Perm)
+	pat := sparse.PatternUnion(dp, ep)
+	dPos, ePos := alignPositions(pat, dp, ep)
+	sv := complex(0, 2*math.Pi*1e9)
+	val := func(p int) complex128 {
+		var v complex128
+		if q := dPos[p]; q >= 0 {
+			v += complex(dp.Val[q], 0)
+		}
+		if q := ePos[p]; q >= 0 {
+			v += sv * complex(ep.Val[q], 0)
+		}
+		return v
+	}
+	ssU, err := chol.AnalyzeSuper(pat, symU, order.SupernodeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	factC, err := ssU.FactorizeComplex(pat, val)
+	if err != nil {
+		return nil, err
+	}
+	crhs := make([]complex128, nrhs*sys.N)
+	for i := range crhs {
+		crhs[i] = complex(float64(i%17)*0.25+1, float64(i%11)*0.5-2)
+	}
+	cwork := make([]complex128, len(crhs))
+
+	// Dense micro-kernel rows: the tiled primitives the supernodal panels
+	// are built on, at a representative panel shape, with exact FLOP
+	// counts so the report shows the per-kernel arithmetic rate the
+	// factorization composes.
+	const (
+		mkH, mkW, mkK = 192, 48, 64 // update target 192×48, rank-64 descendant
+		tsH, tsW      = 384, 48     // triangular solve: 48 pivots, 336 below rows
+	)
+	mkEntries := float64(mkH*mkW - mkW*(mkW-1)/2) // trapezoid entries
+	mkC := make([]float64, mkH*mkW)
+	mkA := make([]float64, mkK*mkH)
+	mkCC := make([]complex128, mkH*mkW)
+	mkCA := make([]complex128, mkK*mkH)
+	mkD := make([]complex128, mkK)
+	for i := range mkA {
+		mkA[i] = float64(i%19)*0.125 - 1
+		mkCA[i] = complex(float64(i%19)*0.125-1, float64(i%7)*0.25)
+	}
+	for i := range mkD {
+		mkD[i] = complex(2+float64(i%5), 0.5)
+	}
+	tsP := make([]float64, tsH*tsW)
+	for c := 0; c < tsW; c++ {
+		for i := c; i < tsH; i++ {
+			tsP[c*tsH+i] = float64((i+c)%13)*0.0625 + 0.01
+		}
+		tsP[c*tsH+c] = 3 + float64(c%4) // well-conditioned pivots
+	}
+	tsWork := make([]float64, tsH*tsW)
+
 	// The Transform1 comparison toggles the dispatch threshold so the
 	// whole first congruence (factorization plus all port solves) runs on
 	// one kernel or the other.
@@ -280,11 +357,69 @@ func factorCases() ([]benchCase, error) {
 			_, _, err := core.Transform1(sys, opts)
 			return err
 		}, supernodes: ss.NSuper(), fill: ss.Fill()},
+		{name: "chol.FactorizeComplex/meshL/supernodal", op: func() error {
+			_, err := ssU.FactorizeComplex(pat, val)
+			return err
+		}, flops: 4 * ssU.FlopEstimate(), supernodes: ssU.NSuper(), fill: ssU.Fill()},
+		{name: "chol.SolveMulti/meshLx64", op: func() error {
+			copy(rwork, rhs)
+			factSuper.SolveMulti(rwork, nrhs)
+			return nil
+		}, flops: 4 * float64(factSuper.NNZ()) * nrhs},
+		{name: "chol.ComplexSolveMulti/meshLx64", op: func() error {
+			copy(cwork, crhs)
+			return factC.SolveMulti(cwork, nrhs)
+		}, flops: 16 * float64(ssU.TrapNNZ()) * nrhs},
+		{name: "dense.RankKTrapAccum/192x48k64", op: func() error {
+			dense.RankKTrapAccum(mkC, mkH, mkW, mkA, mkH, 0, mkK)
+			return nil
+		}, flops: 2 * float64(mkK) * mkEntries},
+		{name: "dense.CRankKTrapAccum/192x48k64", op: func() error {
+			dense.CRankKTrapAccum(mkCC, mkH, mkW, mkCA, mkH, 0, mkK, mkD)
+			return nil
+		}, flops: 8 * float64(mkK) * mkEntries},
+		{name: "dense.TrsmLLBelow/384x48", op: func() error {
+			copy(tsWork, tsP)
+			dense.TrsmLLBelow(tsWork, tsH, tsW)
+			return nil
+		}, flops: float64(tsH-tsW) * float64(tsW) * float64(tsW)},
 		{name: "core.Transform1/meshL/uplooking", op: upLooking(func() error {
 			_, _, err := core.Transform1(sys, opts)
 			return err
 		})},
 	}, nil
+}
+
+// alignPositions maps each stored position of the union pattern to the
+// matching position in a and b (-1 when absent), so a complex value
+// closure can assemble D + sE without per-entry searches.
+func alignPositions(pat, a, b *sparse.CSR) (aPos, bPos []int) {
+	aPos = make([]int, pat.NNZ())
+	bPos = make([]int, pat.NNZ())
+	for p := range aPos {
+		aPos[p] = -1
+		bPos[p] = -1
+	}
+	for i := 0; i < pat.Rows; i++ {
+		pa := a.RowPtr[i]
+		pb := b.RowPtr[i]
+		for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+			j := pat.Col[p]
+			for pa < a.RowPtr[i+1] && a.Col[pa] < j {
+				pa++
+			}
+			if pa < a.RowPtr[i+1] && a.Col[pa] == j {
+				aPos[p] = pa
+			}
+			for pb < b.RowPtr[i+1] && b.Col[pb] < j {
+				pb++
+			}
+			if pb < b.RowPtr[i+1] && b.Col[pb] == j {
+				bPos[p] = pb
+			}
+		}
+	}
+	return aPos, bPos
 }
 
 func fillMat(m *dense.Mat, seed uint64) {

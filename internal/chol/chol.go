@@ -211,7 +211,9 @@ func (f *Factor) FlopEstimate() float64 {
 // Bytes returns the approximate memory footprint of the factor in bytes
 // (index + value storage), used by the Table 4 memory accounting. For a
 // supernodal factor this counts the packed panel values plus the shared
-// row lists and panel offsets of its symbolic structure.
+// symbolic structure: row lists, panel offsets, and the precomputed
+// update-edge and scatter routing (int32 rel/scat lists plus the fixed
+// per-edge records).
 func (f *Factor) Bytes() int64 {
 	if f.super != nil {
 		ss := f.super.ss
@@ -220,6 +222,10 @@ func (f *Factor) Bytes() int64 {
 			b += int64(len(r)) * 8 // row lists (shared with other factors)
 		}
 		b += int64(len(ss.off)+2*len(ss.sn.Super)) * 8
+		b += int64(ss.edgeInts) * 4 // rel + scat int32 storage
+		for _, es := range ss.updaters {
+			b += int64(len(es)) * 40 // per-edge record incl. slice header
+		}
 		return b
 	}
 	return int64(f.L.NNZ())*(8+8) + int64(len(f.L.ColPtr))*8

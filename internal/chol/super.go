@@ -4,13 +4,27 @@
 // relaxed amalgamation); each panel is stored as one dense column-major
 // trapezoid and factored by a dense right-looking kernel, and the
 // sparse update of a panel by its descendants becomes a dense rank-k
-// product gathered through an integer relative map. The arithmetic per
-// entry is a fixed-order sum exactly as in the up-looking kernel's
-// spirit — updaters ascending, columns ascending within a panel — so
-// the result is deterministic: bit-identical across runs and at every
-// GOMAXPROCS, with parallelism only across the independent panels of
-// one elimination-tree level and across right-hand sides in the blocked
-// solves.
+// product routed through precomputed relative row maps. The dense inner
+// loops — the rank-k trapezoid update, the below-block triangular
+// solve, and the panel halves of the forward/backward substitutions —
+// live in internal/dense as explicit unrolled micro-kernels; this file
+// owns the sparse bookkeeping around them.
+//
+// Everything that depends only on the pattern is computed once in
+// AnalyzeSuper and shared by every numeric factorization: the row
+// lists, the update edges (which rows of a descendant land where in
+// each ancestor, with the common contiguous case stored as a single
+// base offset instead of an index list), and the scatter positions of
+// the matrix entries into the panels. A complex LDLᵀ frequency sweep
+// re-factorizing the same pattern per point therefore pays no symbolic
+// work per point — no binary searches, no relative-map rebuilds.
+//
+// The arithmetic per entry is a fixed-order sum — updaters ascending,
+// columns ascending within a panel, the micro-kernels' quad-then-tail
+// k order — so the result is deterministic: bit-identical across runs
+// and at every GOMAXPROCS, with parallelism only across the
+// independent panels of one elimination-tree level and across
+// right-hand sides in the blocked solves.
 package chol
 
 import (
@@ -19,6 +33,7 @@ import (
 	"math/cmplx"
 	"sort"
 
+	"repro/internal/dense"
 	"repro/internal/order"
 	"repro/internal/par"
 	"repro/internal/resilience/inject"
@@ -47,9 +62,23 @@ const (
 	StrategySupernodal
 )
 
+// updEdge is one precomputed descendant→ancestor update route: rows
+// [lo, mid) of descendant d's row list fall inside the ancestor's
+// column range (these drive the update's wC columns), rows [lo, hd)
+// feed its hC rows, and the target panel-local row of descendant row
+// lo+i is rel[i] — or base+i when the mapping is contiguous, the
+// common case in mesh factors, stored without any index list at all.
+type updEdge struct {
+	d       int32
+	lo, mid int32
+	base    int32
+	rel     []int32
+}
+
 // SuperSymbolic is the supernodal extension of a symbolic analysis: the
 // supernode partition plus, per supernode, its full row list, the
-// ascending list of descendant supernodes that update it, and a level
+// precomputed update edges from its descendants, the scatter positions
+// of the analyzed pattern's entries into its panel, and a level
 // schedule of the supernodal elimination tree. It depends only on the
 // pattern, so one SuperSymbolic is shared by every numeric
 // factorization of that pattern — the real Cholesky, each refactorize
@@ -66,26 +95,35 @@ type SuperSymbolic struct {
 	// s occupies off[s+1]-off[s] = len(rows[s])*Width(s) entries,
 	// column-major (local column j starts at off[s]+j*len(rows[s])).
 	off []int
-	// updaters[s] lists, ascending, the supernodes d < s whose below
-	// rows intersect s's column range: exactly the panels whose dense
-	// rank-k products must be subtracted from panel s.
-	updaters [][]int
+	// updaters[s] lists, ascending by descendant, the precomputed update
+	// edges of the supernodes d < s whose below rows intersect s's
+	// column range: exactly the dense rank-k products subtracted from
+	// panel s, with their row routing resolved at analysis time.
+	updaters [][]updEdge
+	// scat[s] holds (position, slot) pairs routing the analyzed
+	// pattern's lower-triangle entries of s's columns into the panel:
+	// panel[slot] = val(position). Flattened as pos0, slot0, pos1, ….
+	scat [][]int32
 	// levels groups supernodes by height in the supernodal elimination
 	// tree. Every updater of s sits at a strictly lower level, so the
 	// panels within one level are independent and run in parallel.
 	levels [][]int
 	// trapNNZ counts the trapezoid entries (the "logical" factor
 	// nonzeros, structural plus amalgamation zeros); maxRows/maxWidth
-	// bound the per-worker dense scratch.
+	// bound the per-worker dense scratch; edgeInts counts the int32
+	// storage of the rel and scat lists for the memory accounting.
 	trapNNZ           int
 	maxRows, maxWidth int
+	edgeInts          int
 	flops             float64
 }
 
 // AnalyzeSuper builds the supernodal symbolic structure for the given
 // full symmetric pattern and its symbolic analysis. Pass a zero
 // SupernodeOptions for the default panel width and relaxed-amalgamation
-// budget.
+// budget. Numeric factorizations against the returned structure must
+// present a matrix with exactly this pattern (the scatter routes are
+// resolved here, once, not per factorization).
 func AnalyzeSuper(a *sparse.CSR, sym *order.Symbolic, opt order.SupernodeOptions) (*SuperSymbolic, error) {
 	n := a.Rows
 	if a.Cols != n || sym.N != n {
@@ -146,19 +184,73 @@ func AnalyzeSuper(a *sparse.CSR, sym *order.Symbolic, opt order.SupernodeOptions
 		}
 	}
 
-	// updaters[s]: descendants whose below rows land in s's columns.
+	// updlist[s]: descendants whose below rows land in s's columns.
 	// Below lists are ascending, so consecutive rows of one target
 	// supernode dedupe with a single "previous" check, and scanning d
 	// ascending keeps each updater list ascending.
-	ss.updaters = make([][]int, ns)
+	updlist := make([][]int32, ns)
 	for d := 0; d < ns; d++ {
 		w := sn.Width(d)
 		prev := -1
 		for _, r := range ss.rows[d][w:] {
 			if t := sn.ColToSuper[r]; t != prev {
-				ss.updaters[t] = append(ss.updaters[t], d)
+				updlist[t] = append(updlist[t], int32(d))
 				prev = t
 			}
+		}
+	}
+
+	// Resolve the update routing and matrix scatter once. relmap maps
+	// global rows to panel-local indices of the current target; edges
+	// whose target rows come out consecutive (the bulk, in mesh
+	// factors) collapse to a base offset with no index list.
+	relmap := make([]int32, n)
+	for i := range relmap {
+		relmap[i] = -1
+	}
+	ss.updaters = make([][]updEdge, ns)
+	ss.scat = make([][]int32, ns)
+	for s := 0; s < ns; s++ {
+		c0, w := sn.Super[s], sn.Width(s)
+		rows := ss.rows[s]
+		h := len(rows)
+		for i, r := range rows {
+			relmap[r] = int32(i)
+		}
+		edges := make([]updEdge, len(updlist[s]))
+		for ei, d32 := range updlist[s] {
+			rd := ss.rows[d32]
+			lo := sort.SearchInts(rd, c0)
+			mid := sort.SearchInts(rd, c0+w)
+			nr := len(rd) - lo
+			e := updEdge{d: d32, lo: int32(lo), mid: int32(mid), base: relmap[rd[lo]]}
+			for i := 1; i < nr; i++ {
+				if relmap[rd[lo+i]] != e.base+int32(i) {
+					rel := make([]int32, nr)
+					for q := 0; q < nr; q++ {
+						rel[q] = relmap[rd[lo+q]]
+					}
+					e.rel = rel
+					ss.edgeInts += nr
+					break
+				}
+			}
+			edges[ei] = e
+		}
+		ss.updaters[s] = edges
+		var sc []int32
+		for j := 0; j < w; j++ {
+			c := c0 + j
+			for p := a.RowPtr[c]; p < a.RowPtr[c+1]; p++ {
+				if cc := a.Col[p]; cc >= c {
+					sc = append(sc, int32(p), int32(j*h)+relmap[cc])
+				}
+			}
+		}
+		ss.scat[s] = sc
+		ss.edgeInts += len(sc)
+		for _, r := range rows {
+			relmap[r] = -1
 		}
 	}
 
@@ -199,6 +291,11 @@ func (ss *SuperSymbolic) Fill() int { return ss.sn.Fill }
 // hⱼ, counting multiplies and adds separately).
 func (ss *SuperSymbolic) FlopEstimate() float64 { return ss.flops }
 
+// TrapNNZ returns the packed trapezoid storage of the factor in entries,
+// including the explicit zeros of relaxed amalgamation — the entry count
+// one triangular solve streams through.
+func (ss *SuperSymbolic) TrapNNZ() int { return ss.trapNNZ }
+
 // superFactor is the numeric supernodal factor: the packed column-major
 // panels, interpreted through the shared symbolic structure. For the
 // real Cholesky the panels hold L with its diagonal; for the complex
@@ -213,24 +310,17 @@ func (sf *superFactor) panel(s int) []float64 {
 }
 
 // superScratch is the worker-owned scratch of the numeric
-// factorization: the relative map from global rows to panel-local
-// indices, the dense update block, and the original diagonals for the
-// pivot check.
+// factorization: the dense update block and the original diagonals for
+// the pivot check. (The row routing that used to need a length-n
+// relative map per worker is precomputed in the SuperSymbolic now.)
 type superScratch struct {
-	relmap []int
-	upd    []float64
-	cupd   []complex128
-	adiag  []float64
+	upd   []float64
+	cupd  []complex128
+	adiag []float64
 }
 
 func (ss *SuperSymbolic) newScratch(complexUpd bool) *superScratch {
-	sc := &superScratch{
-		relmap: make([]int, ss.sym.N),
-		adiag:  make([]float64, ss.maxWidth),
-	}
-	for i := range sc.relmap {
-		sc.relmap[i] = -1
-	}
+	sc := &superScratch{adiag: make([]float64, ss.maxWidth)}
 	if complexUpd {
 		sc.cupd = make([]complex128, ss.maxRows*ss.maxWidth)
 	} else {
@@ -240,9 +330,10 @@ func (ss *SuperSymbolic) newScratch(complexUpd bool) *superScratch {
 }
 
 // Factorize runs the numeric supernodal Cholesky A = LLᵀ against this
-// symbolic structure. Panels within one elimination-tree level factor
-// in parallel; all arithmetic per panel is serial in fixed order, so
-// the factor is bit-identical at every GOMAXPROCS.
+// symbolic structure; a must carry exactly the analyzed pattern. Panels
+// within one elimination-tree level factor in parallel; all arithmetic
+// per panel is serial in fixed order, so the factor is bit-identical at
+// every GOMAXPROCS.
 func (ss *SuperSymbolic) Factorize(a *sparse.CSR) (*Factor, error) {
 	n := ss.sym.N
 	if a.Rows != n || a.Cols != n {
@@ -279,104 +370,96 @@ func (ss *SuperSymbolic) maxLevelWorkers() int {
 	return par.Workers(widest)
 }
 
+// scatterSub subtracts the lower trapezoid of the update block C
+// (hC×wC column-major) from panel P (leading dimension h) through the
+// routing of edge e: C's column j lands in panel column base+j (or
+// rel[j]), C's row i in panel row base+i (or rel[i]).
+func scatterSub(P []float64, h int, C []float64, hC, wC int, e *updEdge) {
+	if e.rel == nil {
+		base := int(e.base)
+		for j := 0; j < wC; j++ {
+			dst := P[(base+j)*h+base:]
+			cj := C[j*hC:]
+			for i := j; i < hC; i++ {
+				dst[i] -= cj[i]
+			}
+		}
+		return
+	}
+	rel := e.rel
+	for j := 0; j < wC; j++ {
+		dst := P[int(rel[j])*h:]
+		cj := C[j*hC:]
+		for i := j; i < hC; i++ {
+			dst[rel[i]] -= cj[i]
+		}
+	}
+}
+
+// cscatterSub is scatterSub for the complex panels.
+func cscatterSub(P []complex128, h int, C []complex128, hC, wC int, e *updEdge) {
+	if e.rel == nil {
+		base := int(e.base)
+		for j := 0; j < wC; j++ {
+			dst := P[(base+j)*h+base:]
+			cj := C[j*hC:]
+			for i := j; i < hC; i++ {
+				dst[i] -= cj[i]
+			}
+		}
+		return
+	}
+	rel := e.rel
+	for j := 0; j < wC; j++ {
+		dst := P[int(rel[j])*h:]
+		cj := C[j*hC:]
+		for i := j; i < hC; i++ {
+			dst[rel[i]] -= cj[i]
+		}
+	}
+}
+
 // factorPanel assembles and factors one supernode: scatter A's lower
-// triangle, subtract the dense rank-k products of the updating
-// descendants (ascending), then run the dense right-looking trapezoid
-// factorization. The pivot checks and fault-injection sites match the
-// up-looking kernel exactly, per global column.
+// triangle through the precomputed routes, subtract the dense rank-k
+// products of the updating descendants (ascending), then factor the
+// trapezoid — the w×w diagonal block right-looking with the pivot
+// checks and fault-injection sites of the up-looking kernel (same
+// global column order), the below block by the dense trsm micro-kernel.
 func (sf *superFactor) factorPanel(a *sparse.CSR, s int, sc *superScratch) error {
 	ss := sf.ss
 	c0, w := ss.sn.Super[s], ss.sn.Width(s)
-	rows := ss.rows[s]
-	h := len(rows)
+	h := len(ss.rows[s])
 	P := sf.panel(s)
-	for i, r := range rows {
-		sc.relmap[r] = i
-	}
-	defer func() {
-		for _, r := range rows {
-			sc.relmap[r] = -1
-		}
-	}()
 
-	// Scatter the lower triangle of A: for symmetric CSR, column c's
-	// rows >= c are read from row c's entries at columns >= c.
+	scat := ss.scat[s]
+	for q := 0; q < len(scat); q += 2 {
+		P[scat[q+1]] = a.Val[scat[q]]
+	}
 	for j := 0; j < w; j++ {
-		c := c0 + j
-		col := P[j*h : (j+1)*h]
-		for p := a.RowPtr[c]; p < a.RowPtr[c+1]; p++ {
-			cc := a.Col[p]
-			if cc < c {
-				continue
-			}
-			col[sc.relmap[cc]] = a.Val[p]
-			if cc == c {
-				sc.adiag[j] = a.Val[p]
-			}
-		}
+		sc.adiag[j] = P[j*h+j]
 	}
 
-	// Left-looking update: for each descendant panel d, form the dense
-	// product C = Ld[lo:, :]·Ld[lo:mid, :]ᵀ (lower part only) in scratch
-	// and scatter-subtract it through the relative map.
-	for _, d := range ss.updaters[s] {
-		rd := ss.rows[d]
-		hd := len(rd)
-		wd := ss.sn.Width(d)
-		Pd := sf.panel(d)
-		lo := sort.SearchInts(rd, c0)
-		mid := sort.SearchInts(rd, c0+w)
+	// Left-looking update: for each descendant edge, form the dense
+	// product C = Ld[lo:, :]·Ld[lo:mid, :]ᵀ (lower trapezoid only) in
+	// scratch and subtract it through the precomputed routing.
+	for ei := range ss.updaters[s] {
+		e := &ss.updaters[s][ei]
+		hd := len(ss.rows[e.d])
+		wd := ss.sn.Width(int(e.d))
+		lo := int(e.lo)
 		hC := hd - lo
-		wC := mid - lo
+		wC := int(e.mid) - lo
 		C := sc.upd[:hC*wC]
-		for i := range C {
-			C[i] = 0
-		}
-		// Rank-wd update, unrolled two columns of d at a time: each pass
-		// reads C once for two multiplier columns, halving the traffic on
-		// the accumulator. The pairing is fixed by k, so the summation
-		// order — and therefore the result bits — never depends on the
-		// worker count.
-		k := 0
-		for ; k+1 < wd; k += 2 {
-			colA := Pd[k*hd : (k+1)*hd]
-			colB := Pd[(k+1)*hd : (k+2)*hd]
-			for j := 0; j < wC; j++ {
-				fa, fb := colA[lo+j], colB[lo+j]
-				if fa == 0 && fb == 0 {
-					continue
-				}
-				dst := C[j*hC:]
-				for i := j; i < hC; i++ {
-					dst[i] += fa*colA[lo+i] + fb*colB[lo+i]
-				}
-			}
-		}
-		for ; k < wd; k++ {
-			colD := Pd[k*hd : (k+1)*hd]
-			for j := 0; j < wC; j++ {
-				f := colD[lo+j]
-				if f == 0 {
-					continue
-				}
-				dst := C[j*hC:]
-				for i := j; i < hC; i++ {
-					dst[i] += f * colD[lo+i]
-				}
-			}
-		}
-		for j := 0; j < wC; j++ {
-			dst := P[(rd[lo+j]-c0)*h:]
-			cj := C[j*hC:]
-			for i := j; i < hC; i++ {
-				dst[sc.relmap[rd[lo+i]]] -= cj[i]
-			}
-		}
+		clear(C)
+		dense.RankKTrapAccum(C, hC, wC, sf.panel(int(e.d)), hd, lo, wd)
+		scatterSub(P, h, C, hC, wC, e)
 	}
 
-	// Dense right-looking factorization of the trapezoid.
+	// Right-looking factorization of the w×w diagonal block; pivot
+	// checks and injection sites fire in global column order exactly as
+	// in the up-looking kernel.
 	for j := 0; j < w; j++ {
-		col := P[j*h : (j+1)*h]
+		col := P[j*h : j*h+w]
 		d := col[j]
 		adiag := sc.adiag[j]
 		k := c0 + j
@@ -391,7 +474,7 @@ func (sf *superFactor) factorPanel(a *sparse.CSR, s int, sc *superScratch) error
 		}
 		ljj := math.Sqrt(d)
 		col[j] = ljj
-		for i := j + 1; i < h; i++ {
+		for i := j + 1; i < w; i++ {
 			col[i] /= ljj
 		}
 		for c := j + 1; c < w; c++ {
@@ -399,57 +482,80 @@ func (sf *superFactor) factorPanel(a *sparse.CSR, s int, sc *superScratch) error
 			if f == 0 {
 				continue
 			}
-			dst := P[c*h : (c+1)*h]
-			for i := c; i < h; i++ {
+			dst := P[c*h : c*h+w]
+			for i := c; i < w; i++ {
 				dst[i] -= f * col[i]
 			}
 		}
 	}
+	dense.TrsmLLBelow(P, h, w)
 	return nil
 }
 
-// lsolve solves L x = b in place against the supernodal factor, one
-// panel at a time: a dense forward substitution on the diagonal block
-// fused with the below-block update.
-func (sf *superFactor) lsolve(x []float64) {
+// lsolveRange runs the forward solve for RHS columns [lo, hi), panel by
+// panel on the outside so each panel is loaded once per batch. Per
+// panel and column: a dense trsv on the contiguous in-block segment,
+// then the below-block product accumulated densely in buf (len ≥
+// maxRows) and scattered through the row list.
+func (sf *superFactor) lsolveRange(rhs []float64, n, lo, hi int, buf []float64) {
 	ss := sf.ss
 	for s := 0; s < ss.sn.NSuper(); s++ {
 		c0, w := ss.sn.Super[s], ss.sn.Width(s)
 		rows := ss.rows[s]
 		h := len(rows)
 		P := sf.panel(s)
-		for j := 0; j < w; j++ {
-			col := P[j*h : (j+1)*h]
-			xj := x[c0+j] / col[j]
-			x[c0+j] = xj
-			if xj == 0 {
-				continue
-			}
-			for i := j + 1; i < h; i++ {
-				x[rows[i]] -= col[i] * xj
+		hb := h - w
+		for c := lo; c < hi; c++ {
+			x := rhs[c*n : (c+1)*n]
+			xseg := x[c0 : c0+w]
+			dense.TrsvLowerNonUnit(xseg, P, h, w)
+			if hb > 0 {
+				yb := buf[:hb]
+				clear(yb)
+				dense.GemvBelowAccum(yb, P, h, w, xseg)
+				for i, r := range rows[w:] {
+					x[r] -= yb[i]
+				}
 			}
 		}
 	}
 }
 
-// ltsolve solves Lᵀ x = b in place: per column, a dense dot product
-// against the panel suffix, panels in descending order.
-func (sf *superFactor) ltsolve(x []float64) {
+// ltsolveRange runs the backward solve for RHS columns [lo, hi): per
+// panel and column, gather the below entries into buf, subtract the
+// transposed below-block product from the in-block segment, then the
+// dense transposed trsv.
+func (sf *superFactor) ltsolveRange(rhs []float64, n, lo, hi int, buf []float64) {
 	ss := sf.ss
 	for s := ss.sn.NSuper() - 1; s >= 0; s-- {
 		c0, w := ss.sn.Super[s], ss.sn.Width(s)
 		rows := ss.rows[s]
 		h := len(rows)
 		P := sf.panel(s)
-		for j := w - 1; j >= 0; j-- {
-			col := P[j*h : (j+1)*h]
-			sum := x[c0+j]
-			for i := j + 1; i < h; i++ {
-				sum -= col[i] * x[rows[i]]
+		hb := h - w
+		for c := lo; c < hi; c++ {
+			x := rhs[c*n : (c+1)*n]
+			xseg := x[c0 : c0+w]
+			if hb > 0 {
+				yb := buf[:hb]
+				for i, r := range rows[w:] {
+					yb[i] = x[r]
+				}
+				dense.GemvBelowTransSub(xseg, P, h, w, yb)
 			}
-			x[c0+j] = sum / col[j]
+			dense.TrsvLowerTransNonUnit(xseg, P, h, w)
 		}
 	}
+}
+
+// lsolve solves L x = b in place against the supernodal factor.
+func (sf *superFactor) lsolve(x []float64) {
+	sf.lsolveRange(x, len(x), 0, 1, make([]float64, sf.ss.maxRows))
+}
+
+// ltsolve solves Lᵀ x = b in place.
+func (sf *superFactor) ltsolve(x []float64) {
+	sf.ltsolveRange(x, len(x), 0, 1, make([]float64, sf.ss.maxRows))
 }
 
 // solveMultiChunk is the hand-out granularity of the blocked multi-RHS
@@ -458,23 +564,36 @@ func (sf *superFactor) ltsolve(x []float64) {
 // once per column — the BLAS-3 effect of the blocked solve.
 const solveMultiChunk = 8
 
+// solveBufs allocates the slots for the per-worker solve scratch of a
+// chunked multi-RHS run; the buffers themselves are created lazily by
+// the worker that needs them.
+func solveBufs[T float64 | complex128](nrhs int) [][]T {
+	return make([][]T, par.Workers(par.Chunks(nrhs, solveMultiChunk)))
+}
+
 // SolveMulti solves A X = B in place for nrhs right-hand sides stored
 // column-major in rhs (column c occupies rhs[c*n:(c+1)*n]). Each column
 // runs exactly the arithmetic of Solve on that column — parallelism is
-// only across columns — so the result is bit-identical to nrhs
-// sequential Solve calls at every GOMAXPROCS.
+// only across columns, scratch is worker-owned — so the result is
+// bit-identical to nrhs sequential Solve calls at every GOMAXPROCS.
 func (f *Factor) SolveMulti(rhs []float64, nrhs int) {
 	n := f.order()
 	checkMulti(len(rhs), n, nrhs)
-	par.ForChunks(nrhs, solveMultiChunk, func(_, lo, hi int) {
-		if f.super != nil {
-			f.super.lsolveRange(rhs, n, lo, hi)
-			f.super.ltsolveRange(rhs, n, lo, hi)
-			return
+	if f.super == nil {
+		par.ForChunks(nrhs, solveMultiChunk, func(_, lo, hi int) {
+			for c := lo; c < hi; c++ {
+				f.Solve(rhs[c*n : (c+1)*n])
+			}
+		})
+		return
+	}
+	bufs := solveBufs[float64](nrhs)
+	par.ForChunks(nrhs, solveMultiChunk, func(w, lo, hi int) {
+		if bufs[w] == nil {
+			bufs[w] = make([]float64, f.super.ss.maxRows)
 		}
-		for c := lo; c < hi; c++ {
-			f.Solve(rhs[c*n : (c+1)*n])
-		}
+		f.super.lsolveRange(rhs, n, lo, hi, bufs[w])
+		f.super.ltsolveRange(rhs, n, lo, hi, bufs[w])
 	})
 }
 
@@ -483,14 +602,20 @@ func (f *Factor) SolveMulti(rhs []float64, nrhs int) {
 func (f *Factor) LSolveMulti(rhs []float64, nrhs int) {
 	n := f.order()
 	checkMulti(len(rhs), n, nrhs)
-	par.ForChunks(nrhs, solveMultiChunk, func(_, lo, hi int) {
-		if f.super != nil {
-			f.super.lsolveRange(rhs, n, lo, hi)
-			return
+	if f.super == nil {
+		par.ForChunks(nrhs, solveMultiChunk, func(_, lo, hi int) {
+			for c := lo; c < hi; c++ {
+				f.LSolve(rhs[c*n : (c+1)*n])
+			}
+		})
+		return
+	}
+	bufs := solveBufs[float64](nrhs)
+	par.ForChunks(nrhs, solveMultiChunk, func(w, lo, hi int) {
+		if bufs[w] == nil {
+			bufs[w] = make([]float64, f.super.ss.maxRows)
 		}
-		for c := lo; c < hi; c++ {
-			f.LSolve(rhs[c*n : (c+1)*n])
-		}
+		f.super.lsolveRange(rhs, n, lo, hi, bufs[w])
 	})
 }
 
@@ -499,14 +624,20 @@ func (f *Factor) LSolveMulti(rhs []float64, nrhs int) {
 func (f *Factor) LTSolveMulti(rhs []float64, nrhs int) {
 	n := f.order()
 	checkMulti(len(rhs), n, nrhs)
-	par.ForChunks(nrhs, solveMultiChunk, func(_, lo, hi int) {
-		if f.super != nil {
-			f.super.ltsolveRange(rhs, n, lo, hi)
-			return
+	if f.super == nil {
+		par.ForChunks(nrhs, solveMultiChunk, func(_, lo, hi int) {
+			for c := lo; c < hi; c++ {
+				f.LTSolve(rhs[c*n : (c+1)*n])
+			}
+		})
+		return
+	}
+	bufs := solveBufs[float64](nrhs)
+	par.ForChunks(nrhs, solveMultiChunk, func(w, lo, hi int) {
+		if bufs[w] == nil {
+			bufs[w] = make([]float64, f.super.ss.maxRows)
 		}
-		for c := lo; c < hi; c++ {
-			f.LTSolve(rhs[c*n : (c+1)*n])
-		}
+		f.super.ltsolveRange(rhs, n, lo, hi, bufs[w])
 	})
 }
 
@@ -516,57 +647,10 @@ func checkMulti(have, n, nrhs int) {
 	}
 }
 
-// lsolveRange runs the forward solve for RHS columns [lo, hi), panel by
-// panel on the outside so each panel is loaded once per batch.
-func (sf *superFactor) lsolveRange(rhs []float64, n, lo, hi int) {
-	ss := sf.ss
-	for s := 0; s < ss.sn.NSuper(); s++ {
-		c0, w := ss.sn.Super[s], ss.sn.Width(s)
-		rows := ss.rows[s]
-		h := len(rows)
-		P := sf.panel(s)
-		for c := lo; c < hi; c++ {
-			x := rhs[c*n : (c+1)*n]
-			for j := 0; j < w; j++ {
-				col := P[j*h : (j+1)*h]
-				xj := x[c0+j] / col[j]
-				x[c0+j] = xj
-				if xj == 0 {
-					continue
-				}
-				for i := j + 1; i < h; i++ {
-					x[rows[i]] -= col[i] * xj
-				}
-			}
-		}
-	}
-}
-
-// ltsolveRange runs the backward solve for RHS columns [lo, hi).
-func (sf *superFactor) ltsolveRange(rhs []float64, n, lo, hi int) {
-	ss := sf.ss
-	for s := ss.sn.NSuper() - 1; s >= 0; s-- {
-		c0, w := ss.sn.Super[s], ss.sn.Width(s)
-		rows := ss.rows[s]
-		h := len(rows)
-		P := sf.panel(s)
-		for c := lo; c < hi; c++ {
-			x := rhs[c*n : (c+1)*n]
-			for j := w - 1; j >= 0; j-- {
-				col := P[j*h : (j+1)*h]
-				sum := x[c0+j]
-				for i := j + 1; i < h; i++ {
-					sum -= col[i] * x[rows[i]]
-				}
-				x[c0+j] = sum / col[j]
-			}
-		}
-	}
-}
-
 // superComplexFactor is the supernodal complex LDLᵀ: unit-lower panels
 // (diagonal slots hold 1) plus the diagonal D, sharing the real
-// structure's SuperSymbolic across all frequency points of a sweep.
+// structure's SuperSymbolic — row lists, update edges, scatter routes —
+// across all frequency points of a sweep.
 type superComplexFactor struct {
 	ss  *SuperSymbolic
 	val []complex128
@@ -600,7 +684,7 @@ func (ss *SuperSymbolic) FactorizeComplex(pattern *sparse.CSR, val func(p int) c
 				scratch[w] = ss.newScratch(true)
 			}
 			s := lvl[i]
-			errs[s] = sf.factorPanel(pattern, val, s, scratch[w])
+			errs[s] = sf.factorPanel(val, s, scratch[w])
 		})
 		for _, s := range lvl {
 			if errs[s] != nil {
@@ -611,95 +695,39 @@ func (ss *SuperSymbolic) FactorizeComplex(pattern *sparse.CSR, val func(p int) c
 	return &ComplexFactor{super: sf}, nil
 }
 
-func (sf *superComplexFactor) factorPanel(pattern *sparse.CSR, val func(p int) complex128, s int, sc *superScratch) error {
+func (sf *superComplexFactor) factorPanel(val func(p int) complex128, s int, sc *superScratch) error {
 	ss := sf.ss
 	c0, w := ss.sn.Super[s], ss.sn.Width(s)
-	rows := ss.rows[s]
-	h := len(rows)
+	h := len(ss.rows[s])
 	P := sf.panel(s)
-	for i, r := range rows {
-		sc.relmap[r] = i
-	}
-	defer func() {
-		for _, r := range rows {
-			sc.relmap[r] = -1
-		}
-	}()
 
-	for j := 0; j < w; j++ {
-		c := c0 + j
-		col := P[j*h : (j+1)*h]
-		for p := pattern.RowPtr[c]; p < pattern.RowPtr[c+1]; p++ {
-			cc := pattern.Col[p]
-			if cc < c {
-				continue
-			}
-			col[sc.relmap[cc]] = val(p)
-		}
+	scat := ss.scat[s]
+	for q := 0; q < len(scat); q += 2 {
+		P[scat[q+1]] = val(int(scat[q]))
 	}
 
 	// Update with descendants: C = Ld[lo:, :]·Dd·Ld[lo:mid, :]ᵀ (lower
-	// part), subtracted through the relative map.
-	for _, dsn := range ss.updaters[s] {
-		rd := ss.rows[dsn]
-		hd := len(rd)
+	// trapezoid), subtracted through the precomputed routing.
+	for ei := range ss.updaters[s] {
+		e := &ss.updaters[s][ei]
+		dsn := int(e.d)
+		hd := len(ss.rows[dsn])
 		wd := ss.sn.Width(dsn)
-		Pd := sf.panel(dsn)
 		d0 := ss.sn.Super[dsn]
-		lo := sort.SearchInts(rd, c0)
-		mid := sort.SearchInts(rd, c0+w)
+		lo := int(e.lo)
 		hC := hd - lo
-		wC := mid - lo
+		wC := int(e.mid) - lo
 		C := sc.cupd[:hC*wC]
-		for i := range C {
-			C[i] = 0
-		}
-		// Same two-column unroll as the real kernel: fixed pairing by k
-		// keeps the summation order (and result bits) worker-independent.
-		k := 0
-		for ; k+1 < wd; k += 2 {
-			colA := Pd[k*hd : (k+1)*hd]
-			colB := Pd[(k+1)*hd : (k+2)*hd]
-			da, db := sf.d[d0+k], sf.d[d0+k+1]
-			for j := 0; j < wC; j++ {
-				fa := colA[lo+j] * da
-				fb := colB[lo+j] * db
-				if fa == 0 && fb == 0 {
-					continue
-				}
-				dst := C[j*hC:]
-				for i := j; i < hC; i++ {
-					dst[i] += fa*colA[lo+i] + fb*colB[lo+i]
-				}
-			}
-		}
-		for ; k < wd; k++ {
-			colD := Pd[k*hd : (k+1)*hd]
-			dk := sf.d[d0+k]
-			for j := 0; j < wC; j++ {
-				f := colD[lo+j] * dk
-				if f == 0 {
-					continue
-				}
-				dst := C[j*hC:]
-				for i := j; i < hC; i++ {
-					dst[i] += f * colD[lo+i]
-				}
-			}
-		}
-		for j := 0; j < wC; j++ {
-			dst := P[(rd[lo+j]-c0)*h:]
-			cj := C[j*hC:]
-			for i := j; i < hC; i++ {
-				dst[sc.relmap[rd[lo+i]]] -= cj[i]
-			}
-		}
+		clear(C)
+		dense.CRankKTrapAccum(C, hC, wC, sf.panel(dsn), hd, lo, wd, sf.d[d0:d0+wd])
+		cscatterSub(P, h, C, hC, wC, e)
 	}
 
-	// Dense right-looking LDLᵀ of the trapezoid: pivot, normalize the
-	// column (unit diagonal), rank-1 update of the remaining columns.
+	// Right-looking LDLᵀ of the w×w diagonal block: pivot, normalize
+	// the column (unit diagonal), rank-1 update of the remaining block
+	// columns; then the below block via the dense trsm micro-kernel.
 	for j := 0; j < w; j++ {
-		col := P[j*h : (j+1)*h]
+		col := P[j*h : j*h+w]
 		d := col[j]
 		k := c0 + j
 		if inject.Enabled && inject.ShouldFail(inject.CholComplexPivot, k) {
@@ -710,7 +738,7 @@ func (sf *superComplexFactor) factorPanel(pattern *sparse.CSR, val func(p int) c
 		}
 		sf.d[k] = d
 		col[j] = 1
-		for i := j + 1; i < h; i++ {
+		for i := j + 1; i < w; i++ {
 			col[i] /= d
 		}
 		for c := j + 1; c < w; c++ {
@@ -718,19 +746,22 @@ func (sf *superComplexFactor) factorPanel(pattern *sparse.CSR, val func(p int) c
 			if f == 0 {
 				continue
 			}
-			dst := P[c*h : (c+1)*h]
-			for i := c; i < h; i++ {
+			dst := P[c*h : c*h+w]
+			for i := c; i < w; i++ {
 				dst[i] -= f * col[i]
 			}
 		}
 	}
+	dense.CTrsmLDLBelow(P, h, w, sf.d[c0:c0+w])
 	return nil
 }
 
-// solve runs the supernodal L D Lᵀ solve in place, mirroring the
-// simplicial phase order: full forward substitution, then the diagonal,
-// then full backward substitution.
-func (sf *superComplexFactor) solve(x []complex128) {
+// solveRange runs the supernodal L D Lᵀ solve for RHS columns [lo, hi)
+// in place, mirroring the simplicial phase order — full forward
+// substitution, then the diagonal, then full backward substitution —
+// with each panel's in-block half running as a dense trsv and its
+// below half as a dense gemv against buf (len ≥ maxRows).
+func (sf *superComplexFactor) solveRange(rhs []complex128, n, lo, hi int, buf []complex128) {
 	ss := sf.ss
 	ns := ss.sn.NSuper()
 	for s := 0; s < ns; s++ {
@@ -738,44 +769,73 @@ func (sf *superComplexFactor) solve(x []complex128) {
 		rows := ss.rows[s]
 		h := len(rows)
 		P := sf.panel(s)
-		for j := 0; j < w; j++ {
-			zj := x[c0+j]
-			if zj == 0 {
-				continue
-			}
-			col := P[j*h : (j+1)*h]
-			for i := j + 1; i < h; i++ {
-				x[rows[i]] -= col[i] * zj
+		hb := h - w
+		for c := lo; c < hi; c++ {
+			x := rhs[c*n : (c+1)*n]
+			xseg := x[c0 : c0+w]
+			dense.CTrsvLowerUnit(xseg, P, h, w)
+			if hb > 0 {
+				yb := buf[:hb]
+				clear(yb)
+				dense.CGemvBelowAccum(yb, P, h, w, xseg)
+				for i, r := range rows[w:] {
+					x[r] -= yb[i]
+				}
 			}
 		}
 	}
-	for j := range x {
-		x[j] /= sf.d[j]
+	for c := lo; c < hi; c++ {
+		x := rhs[c*n : (c+1)*n]
+		for j := range x {
+			x[j] /= sf.d[j]
+		}
 	}
 	for s := ns - 1; s >= 0; s-- {
 		c0, w := ss.sn.Super[s], ss.sn.Width(s)
 		rows := ss.rows[s]
 		h := len(rows)
 		P := sf.panel(s)
-		for j := w - 1; j >= 0; j-- {
-			col := P[j*h : (j+1)*h]
-			sum := x[c0+j]
-			for i := j + 1; i < h; i++ {
-				sum -= col[i] * x[rows[i]]
+		hb := h - w
+		for c := lo; c < hi; c++ {
+			x := rhs[c*n : (c+1)*n]
+			xseg := x[c0 : c0+w]
+			if hb > 0 {
+				yb := buf[:hb]
+				for i, r := range rows[w:] {
+					yb[i] = x[r]
+				}
+				dense.CGemvBelowTransSub(xseg, P, h, w, yb)
 			}
-			x[c0+j] = sum
+			dense.CTrsvLowerTransUnit(xseg, P, h, w)
 		}
 	}
 }
 
+// solve runs the supernodal solve for one right-hand side.
+func (sf *superComplexFactor) solve(x []complex128) {
+	sf.solveRange(x, len(x), 0, 1, make([]complex128, sf.ss.maxRows))
+}
+
 // SolveMulti solves A X = B in place for nrhs column-major right-hand
-// sides. Per column the arithmetic is exactly Solve's, so the block
-// solve is bit-identical to nrhs sequential Solve calls; columns run in
-// parallel chunks and each panel streams once per chunk.
+// sides. Per column the arithmetic is exactly Solve's — the supernodal
+// path shares its panel kernels and runs whole chunks of columns
+// against each streamed panel, with worker-owned scratch — so the block
+// solve is bit-identical to nrhs sequential Solve calls at every
+// GOMAXPROCS.
 func (f *ComplexFactor) SolveMulti(rhs []complex128, nrhs int) error {
 	n := f.order()
 	if nrhs < 0 || len(rhs) != n*nrhs {
 		return fmt.Errorf("chol: complex multi-RHS block length %d, want %d columns of %d", len(rhs), nrhs, n)
+	}
+	if f.super != nil {
+		bufs := solveBufs[complex128](nrhs)
+		par.ForChunks(nrhs, solveMultiChunk, func(w, lo, hi int) {
+			if bufs[w] == nil {
+				bufs[w] = make([]complex128, f.super.ss.maxRows)
+			}
+			f.super.solveRange(rhs, n, lo, hi, bufs[w])
+		})
+		return nil
 	}
 	errs := make([]error, nrhs)
 	par.ForChunks(nrhs, solveMultiChunk, func(_, lo, hi int) {

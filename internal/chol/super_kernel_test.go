@@ -1,0 +1,245 @@
+package chol
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+// This file pins the micro-kernel rewrite of the supernodal path: the
+// blocked factorization and solves against the up-looking oracle at
+// deliberately awkward panel widths (1×1 supernodes, widths on every
+// unroll residue), the SupernodalMinOrder dispatch boundary, and the
+// bit-determinism of the complex tiled path across GOMAXPROCS.
+
+// TestOracleSupernodalPanelWidths forces panel widths onto every unroll
+// tail — width-1 supernodes (each panel a single column, the rank-k
+// kernel's scalar path), widths ≡ 1, 2, 3 mod 4, and the default — and
+// cross-checks factor entries and solves against the up-looking kernel.
+func TestOracleSupernodalPanelWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	a := meshSPD(19, 17)
+	n := a.Rows
+	sym := order.Analyze(a, order.MinimumDegree)
+	ap := a.PermuteSym(sym.Perm)
+	fu, err := FactorizeStrategy(ap, sym, StrategyUpLooking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu := denseL(fu)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	ap.MulVec(b, x)
+	for _, opt := range []order.SupernodeOptions{
+		{MaxWidth: 1, RelaxFill: -1}, // every supernode 1×1
+		{MaxWidth: 2},
+		{MaxWidth: 3},
+		{MaxWidth: 5},
+		{MaxWidth: 7, RelaxFill: 0.3},
+		{}, // defaults
+	} {
+		ss, err := AnalyzeSuper(ap, sym, opt)
+		if err != nil {
+			t.Fatalf("opt %+v: %v", opt, err)
+		}
+		if opt.MaxWidth == 1 && ss.NSuper() != n {
+			t.Fatalf("MaxWidth 1: %d supernodes, want %d singletons", ss.NSuper(), n)
+		}
+		fs, err := ss.Factorize(ap)
+		if err != nil {
+			t.Fatalf("opt %+v: %v", opt, err)
+		}
+		ls := denseL(fs)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if d := math.Abs(ls[i][j] - lu[i][j]); d > 1e-11*(1+math.Abs(lu[i][j])) {
+					t.Fatalf("opt %+v: L(%d,%d) = %v vs oracle %v", opt, i, j, ls[i][j], lu[i][j])
+				}
+			}
+		}
+		got := append([]float64(nil), b...)
+		fs.Solve(got)
+		for i := range got {
+			if math.Abs(got[i]-x[i]) > 1e-8*(1+math.Abs(x[i])) {
+				t.Fatalf("opt %+v: Solve[%d] = %v, want %v", opt, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+// complexTestSystem builds a permuted D + sE pattern with per-position
+// values, the shared fixture of the complex kernel tests.
+func complexTestSystem(rng *rand.Rand, n int, s complex128) (*sparse.CSR, *order.Symbolic, func(p int) complex128) {
+	d := randomSPD(rng, n, 3*n)
+	e := randomSPD(rng, n, n)
+	e.Scale(1e-2)
+	pattern := sparse.PatternUnion(d, e)
+	sym := order.Analyze(pattern, order.MinimumDegree)
+	dp := d.PermuteSym(sym.Perm)
+	ep := e.PermuteSym(sym.Perm)
+	pat := sparse.PatternUnion(dp, ep)
+	dv := make([]complex128, len(pat.Val))
+	for i := 0; i < n; i++ {
+		for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+			j := pat.Col[p]
+			dv[p] = complex(dp.At(i, j), 0) + s*complex(ep.At(i, j), 0)
+		}
+	}
+	return pat, sym, func(p int) complex128 { return dv[p] }
+}
+
+// TestOracleSupernodalComplexTiled pins the tiled complex LDLᵀ path —
+// panel widths on every unroll residue of the pair-unrolled complex
+// kernels — against the up-looking simplicial oracle, factor solves
+// entrywise.
+func TestOracleSupernodalComplexTiled(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	n := 140
+	pat, sym, val := complexTestSystem(rng, n, complex(0, 37.5))
+	fu, err := FactorizeComplex(pat, val, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]complex128, n)
+	for i := range b {
+		b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	xu := append([]complex128(nil), b...)
+	if err := fu.Solve(xu); err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []order.SupernodeOptions{
+		{MaxWidth: 1, RelaxFill: -1},
+		{MaxWidth: 2},
+		{MaxWidth: 3},
+		{},
+	} {
+		ss, err := AnalyzeSuper(pat, sym, opt)
+		if err != nil {
+			t.Fatalf("opt %+v: %v", opt, err)
+		}
+		fs, err := ss.FactorizeComplex(pat, val)
+		if err != nil {
+			t.Fatalf("opt %+v: %v", opt, err)
+		}
+		xs := append([]complex128(nil), b...)
+		if err := fs.Solve(xs); err != nil {
+			t.Fatalf("opt %+v: %v", opt, err)
+		}
+		for i := range xs {
+			if cmplx.Abs(xs[i]-xu[i]) > 1e-8*(1+cmplx.Abs(xu[i])) {
+				t.Fatalf("opt %+v: solve[%d] = %v vs oracle %v", opt, i, xs[i], xu[i])
+			}
+		}
+	}
+}
+
+// TestOracleSupernodalDispatchBoundary walks the SupernodalMinOrder
+// threshold at n = 511, 512, 513: the automatic dispatch must pick the
+// up-looking kernel strictly below 512 and the blocked kernel at and
+// above it, and whichever kernel is chosen must agree with the other
+// kernel run explicitly (the oracle for the chosen one).
+func TestOracleSupernodalDispatchBoundary(t *testing.T) {
+	if SupernodalMinOrder != 512 {
+		t.Fatalf("SupernodalMinOrder = %d, test assumes 512", SupernodalMinOrder)
+	}
+	rng := rand.New(rand.NewSource(53))
+	for _, n := range []int{511, 512, 513} {
+		a := randomSPD(rng, n, 3*n)
+		sym := order.Analyze(a, order.MinimumDegree)
+		ap := a.PermuteSym(sym.Perm)
+		f, err := Factorize(ap, sym)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		wantSuper := n >= SupernodalMinOrder
+		if gotSuper := f.Supernodes() > 0; gotSuper != wantSuper {
+			t.Fatalf("n=%d: dispatch picked supernodal=%v, want %v", n, gotSuper, wantSuper)
+		}
+		// The oracle is the kernel the dispatch did not choose.
+		oracleStrat := StrategySupernodal
+		if wantSuper {
+			oracleStrat = StrategyUpLooking
+		}
+		fo, err := FactorizeStrategy(ap, sym, oracleStrat)
+		if err != nil {
+			t.Fatalf("n=%d: oracle kernel: %v", n, err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		ap.MulVec(b, x)
+		got := append([]float64(nil), b...)
+		f.Solve(got)
+		want := append([]float64(nil), b...)
+		fo.Solve(want)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d: solve[%d] = %v chosen kernel vs %v oracle kernel", n, i, got[i], want[i])
+			}
+			if math.Abs(got[i]-x[i]) > 1e-7*(1+math.Abs(x[i])) {
+				t.Fatalf("n=%d: solve[%d] = %v, want %v", n, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+// TestSupernodalComplexDeterministicAcrossGOMAXPROCS pins the complex
+// tiled path's determinism contract at GOMAXPROCS ∈ {1, 2, 4, 8}: the
+// packed panel values, the diagonal, and a blocked multi-RHS solve must
+// be bit-identical at every worker count (one shared SuperSymbolic, as
+// a frequency sweep would use it).
+func TestSupernodalComplexDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	n := 160
+	pat, sym, val := complexTestSystem(rng, n, complex(0, 61.8))
+	ss, err := AnalyzeSuper(pat, sym, order.SupernodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 9
+	block := make([]complex128, k*n)
+	for i := range block {
+		block[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	run := func() (*superComplexFactor, []complex128) {
+		f, err := ss.FactorizeComplex(pat, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append([]complex128(nil), block...)
+		if err := f.SolveMulti(got, k); err != nil {
+			t.Fatal(err)
+		}
+		return f.super, got
+	}
+	cbits := func(what string, a, b []complex128) {
+		t.Helper()
+		for i := range a {
+			if math.Float64bits(real(a[i])) != math.Float64bits(real(b[i])) ||
+				math.Float64bits(imag(a[i])) != math.Float64bits(imag(b[i])) {
+				t.Fatalf("%s: entry %d differs bitwise: %v vs %v", what, i, a[i], b[i])
+			}
+		}
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	f1, x1 := run()
+	for _, procs := range []int{2, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		fP, xP := run()
+		cbits("complex factor values", f1.val, fP.val)
+		cbits("complex diagonal", f1.d, fP.d)
+		cbits("complex SolveMulti", x1, xP)
+	}
+}

@@ -161,12 +161,14 @@ func TestSupernodalDeterministicAcrossGOMAXPROCS(t *testing.T) {
 		return f.super.val, x
 	}
 	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
 	val1, x1 := run()
-	runtime.GOMAXPROCS(4)
-	val4, x4 := run()
-	runtime.GOMAXPROCS(old)
-	bitsEqual(t, "factor values", val1, val4)
-	bitsEqual(t, "solve result", x1, x4)
+	for _, procs := range []int{2, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		valP, xP := run()
+		bitsEqual(t, "factor values", val1, valP)
+		bitsEqual(t, "solve result", x1, xP)
+	}
 }
 
 // TestSolveMultiBitIdenticalToSequential checks the blocked multi-RHS
@@ -200,7 +202,7 @@ func TestSolveMultiBitIdenticalToSequential(t *testing.T) {
 		for c := 0; c < k; c++ {
 			f.LTSolve(wantLT[c*n : (c+1)*n])
 		}
-		for _, procs := range []int{1, 4} {
+		for _, procs := range []int{1, 2, 4, 8} {
 			old := runtime.GOMAXPROCS(procs)
 			got := append([]float64(nil), block...)
 			f.SolveMulti(got, k)

@@ -3,10 +3,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/chol"
@@ -128,28 +131,81 @@ func TestInjectedLanczosStagnationFallsBackDense(t *testing.T) {
 	}
 }
 
+// sweepSeeds returns how many seeds the seeded fault sweep replays:
+// PACT_FAULT_SWEEP_SEEDS when set (the nightly job raises it to 200),
+// else a 6-seed smoke suitable for every push.
+func sweepSeeds(t *testing.T) int64 {
+	t.Helper()
+	s := os.Getenv("PACT_FAULT_SWEEP_SEEDS")
+	if s == "" {
+		return 6
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 1 {
+		t.Fatalf("PACT_FAULT_SWEEP_SEEDS = %q: %v", s, err)
+	}
+	return n
+}
+
 // TestSeededFaultSweepIsTypedAndReproducible replays FromSeed schedules
-// against the full reduction. Whatever the armed faults hit, the outcome
-// must be either a success (with any ladder firings recorded as
-// recoveries) or a typed StageError — never a panic — and replaying the
-// same seed must reproduce the outcome exactly.
+// over the core side of the injection catalog — chol.pivot, chol.poison,
+// chol.complexpivot, lanczos.iter, plus a par.item cancellation — against
+// the full reduction, an exact admittance evaluation, and a parallel
+// frequency sweep. Whatever the armed faults hit, the outcome must be
+// either a success (with any ladder firings recorded as recoveries), a
+// typed StageError, or a clean cancellation — never a panic — and
+// replaying the same seed must reproduce the outcome string exactly.
+// (The simulator side of the catalog — newton.iter, sim.sparselu.pivot,
+// sim.ac.complexsolve — has its own seeded sweep in internal/sim.)
 func TestSeededFaultSweepIsTypedAndReproducible(t *testing.T) {
 	rng := rand.New(rand.NewSource(85))
 	sys := randomSystem(rng, 2, 30)
-	oneRun := func(seed int64) string {
-		inject.Install(inject.FromSeed(seed, 10, inject.CholPivot, inject.LanczosIter))
-		defer inject.Reset()
-		model, stats, err := Reduce(sys, Options{FMax: 0.1})
-		if err != nil {
-			var se *resilience.StageError
-			if !errors.As(err, &se) {
-				t.Fatalf("seed %d: untyped failure: %v", seed, err)
-			}
-			return "error: " + err.Error()
+	classify := func(seed int64, err error) string {
+		if resilience.IsCancellation(err) {
+			return "canceled"
 		}
-		return fmt.Sprintf("ok: %d poles, %d recoveries", model.K(), len(stats.Recoveries))
+		var se *resilience.StageError
+		if !errors.As(err, &se) {
+			t.Fatalf("seed %d: untyped failure: %v", seed, err)
+		}
+		return "error: " + err.Error()
 	}
-	for seed := int64(0); seed < 6; seed++ {
+	oneRun := func(seed int64) string {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		s := inject.FromSeed(seed, 10,
+			inject.CholPivot, inject.CholPoison, inject.CholComplexPivot, inject.LanczosIter).
+			// The func-only par.item point cannot be armed from a seed, so
+			// the sweep derives its cancellation index from the seed itself:
+			// item seed%5 of the frequency sweep below cancels the context.
+			ArmFunc(inject.ParItem, int(seed%5), cancel)
+		inject.Install(s)
+		defer inject.Reset()
+		var out string
+		model, stats, err := ReduceContext(ctx, sys, Options{FMax: 0.1})
+		if err != nil {
+			out = classify(seed, err)
+		} else {
+			out = fmt.Sprintf("ok: %d poles, %d recoveries", model.K(), len(stats.Recoveries))
+		}
+		// Exact admittance: gives chol.complexpivot a firing site.
+		if _, yerr := sys.Y(complex(0, 0.3)); yerr != nil {
+			out += "; Y failed"
+		} else {
+			out += "; Y ok"
+		}
+		// Serial frequency sweep (workers=1 keeps rule consumption order
+		// deterministic): visits par.item per point, firing the armed
+		// cancellation when its index is in range.
+		freqs := []float64{0.01, 0.03, 0.1, 0.3, 1}
+		if _, serr := sys.YSweepCtx(ctx, freqs, 1); serr != nil {
+			out += "; sweep " + classify(seed, serr)
+		} else {
+			out += "; sweep ok"
+		}
+		return out
+	}
+	for seed := int64(0); seed < sweepSeeds(t); seed++ {
 		first := oneRun(seed)
 		if second := oneRun(seed); second != first {
 			t.Fatalf("seed %d not reproducible:\n  first:  %s\n  second: %s", seed, first, second)

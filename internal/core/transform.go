@@ -117,7 +117,7 @@ type Stats struct {
 	Supernodes    int     // supernodal panels of the D factor (0: up-looking kernel)
 	SuperFill     int     // explicit zeros stored by relaxed amalgamation
 	FactorFlops   float64 // estimated flop count of the numeric factorization
-	DenseEig      bool // eigenproblem solved densely (small n)
+	DenseEig      bool    // eigenproblem solved densely (small n)
 	XCached       bool
 	// Recoveries lists every recovery ladder that fired during the
 	// reduction, with the perturbation applied (Gamma) and its worst-case

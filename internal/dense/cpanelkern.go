@@ -1,0 +1,187 @@
+// Complex panel micro-kernels: the LDLᵀ analogues of panelkern.go for
+// the supernodal factorization of D + sE. A complex multiply is already
+// four real multiplies and two adds, so the column kernels unroll two
+// source columns per pass (register pressure doubles per value); the
+// accumulation order — pairs of k ascending, then the scalar tail — is
+// fixed exactly like the real kernels', keeping every result
+// bit-identical at any GOMAXPROCS. The LDLᵀ diagonal rides along as an
+// explicit scale: panels store unit-diagonal L, and the rank-k and trsm
+// kernels fold d into the multiplier column, never into the streamed
+// source columns.
+package dense
+
+// CRankKTrapAccum accumulates the lower trapezoid of the scaled rank-wd
+// product into C: for 0 ≤ j < wC and j ≤ i < hC,
+//
+//	C[i + j·hC] += Σₖ (A[lo+j + k·lda]·d[k]) · A[lo+i + k·lda],
+//
+// the descendant update C += Aᵥ·D·Aₘᵀ of the supernodal complex LDLᵀ,
+// with d holding the wd diagonal entries of the descendant's columns.
+func CRankKTrapAccum(C []complex128, hC, wC int, A []complex128, lda, lo, wd int, d []complex128) {
+	for j := 0; j < wC; j++ {
+		dst := C[j*hC : (j+1)*hC]
+		dst = dst[j:hC]
+		k := 0
+		for ; k+2 <= wd; k += 2 {
+			p0 := k*lda + lo
+			p1 := p0 + lda
+			f0 := A[p0+j] * d[k]
+			f1 := A[p1+j] * d[k+1]
+			if f0 == 0 && f1 == 0 {
+				continue
+			}
+			a0 := A[p0+j : p0+hC]
+			a1 := A[p1+j : p1+hC]
+			for i := range dst {
+				dst[i] += f0*a0[i] + f1*a1[i]
+			}
+		}
+		for ; k < wd; k++ {
+			p0 := k*lda + lo
+			f0 := A[p0+j] * d[k]
+			if f0 == 0 {
+				continue
+			}
+			a0 := A[p0+j : p0+hC]
+			for i := range dst {
+				dst[i] += f0 * a0[i]
+			}
+		}
+	}
+}
+
+// CTrsmLDLBelow finishes a complex LDLᵀ panel whose w×w diagonal block
+// already holds its unit-lower factor L11 and whose column diagonals
+// are in d: the below block rows [w, h) holding the updated A21 are
+// overwritten with L21 = A21·L11⁻ᵀ·D⁻¹, left-looking per column:
+//
+//	L21[:,c] = (A21[:,c] − Σₖ (L11[c,k]·d[k])·L21[:,k]) / d[c].
+func CTrsmLDLBelow(P []complex128, h, w int, d []complex128) {
+	if h <= w {
+		return
+	}
+	for c := 0; c < w; c++ {
+		dst := P[c*h+w : (c+1)*h]
+		k := 0
+		for ; k+2 <= c; k += 2 {
+			f0 := P[k*h+c] * d[k]
+			f1 := P[(k+1)*h+c] * d[k+1]
+			if f0 == 0 && f1 == 0 {
+				continue
+			}
+			a0 := P[k*h+w : k*h+h]
+			a1 := P[(k+1)*h+w : (k+1)*h+h]
+			for i := range dst {
+				dst[i] -= f0*a0[i] + f1*a1[i]
+			}
+		}
+		for ; k < c; k++ {
+			f0 := P[k*h+c] * d[k]
+			if f0 == 0 {
+				continue
+			}
+			a0 := P[k*h+w : k*h+h]
+			for i := range dst {
+				dst[i] -= f0 * a0[i]
+			}
+		}
+		dc := d[c]
+		for i := range dst {
+			dst[i] /= dc
+		}
+	}
+}
+
+// CTrsvLowerUnit solves L11 x = x in place against the w×w unit-lower
+// triangle of the panel (the stored diagonal slots hold 1 and are not
+// read): the in-block half of a supernodal complex forward solve.
+func CTrsvLowerUnit(x []complex128, P []complex128, h, w int) {
+	for j := 0; j < w; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		col := P[j*h : j*h+w]
+		for i := j + 1; i < w; i++ {
+			x[i] -= col[i] * xj
+		}
+	}
+}
+
+// CTrsvLowerTransUnit solves L11ᵀ x = x in place against the w×w
+// unit-lower triangle of the panel: the in-block half of a supernodal
+// complex backward solve.
+func CTrsvLowerTransUnit(x []complex128, P []complex128, h, w int) {
+	for j := w - 1; j >= 0; j-- {
+		col := P[j*h : j*h+w]
+		s := x[j]
+		for i := j + 1; i < w; i++ {
+			s -= col[i] * x[i]
+		}
+		x[j] = s
+	}
+}
+
+// CGemvBelowAccum accumulates the below-block product into y:
+// y[i] += Σⱼ P[w+i + j·h]·x[j] for 0 ≤ i < h−w, two panel columns per
+// pass (see GemvBelowAccum).
+func CGemvBelowAccum(y []complex128, P []complex128, h, w int, x []complex128) {
+	hb := h - w
+	if hb <= 0 {
+		return
+	}
+	y = y[:hb]
+	j := 0
+	for ; j+2 <= w; j += 2 {
+		f0, f1 := x[j], x[j+1]
+		if f0 == 0 && f1 == 0 {
+			continue
+		}
+		a0 := P[j*h+w : j*h+h]
+		a1 := P[(j+1)*h+w : (j+1)*h+h]
+		for i := range y {
+			y[i] += f0*a0[i] + f1*a1[i]
+		}
+	}
+	for ; j < w; j++ {
+		f0 := x[j]
+		if f0 == 0 {
+			continue
+		}
+		a0 := P[j*h+w : j*h+h]
+		for i := range y {
+			y[i] += f0 * a0[i]
+		}
+	}
+}
+
+// CGemvBelowTransSub subtracts the transposed below-block product from
+// x: x[j] −= Σᵢ P[w+i + j·h]·yb[i], two dot products per pass sharing
+// the streamed yb (see GemvBelowTransSub).
+func CGemvBelowTransSub(x []complex128, P []complex128, h, w int, yb []complex128) {
+	hb := h - w
+	if hb <= 0 {
+		return
+	}
+	yb = yb[:hb]
+	j := 0
+	for ; j+2 <= w; j += 2 {
+		a0 := P[j*h+w : j*h+h]
+		a1 := P[(j+1)*h+w : (j+1)*h+h]
+		var s0, s1 complex128
+		for i, v := range yb {
+			s0 += a0[i] * v
+			s1 += a1[i] * v
+		}
+		x[j] -= s0
+		x[j+1] -= s1
+	}
+	for ; j < w; j++ {
+		a0 := P[j*h+w : j*h+h]
+		var s0 complex128
+		for i, v := range yb {
+			s0 += a0[i] * v
+		}
+		x[j] -= s0
+	}
+}

@@ -1,0 +1,276 @@
+// Package oracle holds the property-based reference layer the dense
+// micro-kernels are pinned against: naive triple-loop implementations
+// of every kernel's contract, plus randomized shape generators that
+// deliberately exercise the unroll tails. The oracles trade all speed
+// for obviousness — one accumulator, one term per loop iteration,
+// textbook index arithmetic — so a disagreement always indicts the
+// optimized kernel, never the reference.
+//
+// The package operates on raw slices only and imports nothing from
+// internal/dense; the kernel packages' tests import it, not the other
+// way round, so the references can never inherit a bug from the code
+// they check.
+package oracle
+
+import "math/rand"
+
+// RankKTrap is the reference for dense.RankKTrapAccum: for 0 ≤ j < wC
+// and j ≤ i < hC, C[i + j·hC] += Σₖ A[lo+i + k·lda]·A[lo+j + k·lda].
+func RankKTrap(C []float64, hC, wC int, A []float64, lda, lo, wd int) {
+	for j := 0; j < wC; j++ {
+		for i := j; i < hC; i++ {
+			s := 0.0
+			for k := 0; k < wd; k++ {
+				s += A[lo+i+k*lda] * A[lo+j+k*lda]
+			}
+			C[i+j*hC] += s
+		}
+	}
+}
+
+// CRankKTrap is the reference for dense.CRankKTrapAccum: the scaled
+// product C[i + j·hC] += Σₖ (A[lo+j + k·lda]·d[k])·A[lo+i + k·lda].
+func CRankKTrap(C []complex128, hC, wC int, A []complex128, lda, lo, wd int, d []complex128) {
+	for j := 0; j < wC; j++ {
+		for i := j; i < hC; i++ {
+			var s complex128
+			for k := 0; k < wd; k++ {
+				s += (A[lo+j+k*lda] * d[k]) * A[lo+i+k*lda]
+			}
+			C[i+j*hC] += s
+		}
+	}
+}
+
+// TrsmLLBelow is the reference for dense.TrsmLLBelow: rows [w, h) of
+// the column-major panel P are overwritten with L21 = A21·L11⁻ᵀ given
+// the already-factored non-unit lower triangle L11 in the top block.
+func TrsmLLBelow(P []float64, h, w int) {
+	for c := 0; c < w; c++ {
+		for i := w; i < h; i++ {
+			s := P[c*h+i]
+			for k := 0; k < c; k++ {
+				s -= P[k*h+c] * P[k*h+i]
+			}
+			P[c*h+i] = s / P[c*h+c]
+		}
+	}
+}
+
+// CTrsmLDLBelow is the reference for dense.CTrsmLDLBelow: rows [w, h)
+// overwritten with L21 = A21·L11⁻ᵀ·D⁻¹ for a unit-lower L11 with
+// column diagonals d.
+func CTrsmLDLBelow(P []complex128, h, w int, d []complex128) {
+	for c := 0; c < w; c++ {
+		for i := w; i < h; i++ {
+			s := P[c*h+i]
+			for k := 0; k < c; k++ {
+				s -= (P[k*h+c] * d[k]) * P[k*h+i]
+			}
+			P[c*h+i] = s / d[c]
+		}
+	}
+}
+
+// TrsvLower solves L11 x = x (non-unit diagonal) against the w×w lower
+// triangle of the panel, the reference for dense.TrsvLowerNonUnit.
+func TrsvLower(x []float64, P []float64, h, w int) {
+	for j := 0; j < w; j++ {
+		s := x[j]
+		for k := 0; k < j; k++ {
+			s -= P[k*h+j] * x[k]
+		}
+		x[j] = s / P[j*h+j]
+	}
+}
+
+// TrsvLowerTrans solves L11ᵀ x = x (non-unit diagonal), the reference
+// for dense.TrsvLowerTransNonUnit.
+func TrsvLowerTrans(x []float64, P []float64, h, w int) {
+	for j := w - 1; j >= 0; j-- {
+		s := x[j]
+		for i := j + 1; i < w; i++ {
+			s -= P[j*h+i] * x[i]
+		}
+		x[j] = s / P[j*h+j]
+	}
+}
+
+// GemvBelow is the reference for dense.GemvBelowAccum:
+// y[i] += Σⱼ P[w+i + j·h]·x[j] for 0 ≤ i < h−w.
+func GemvBelow(y []float64, P []float64, h, w int, x []float64) {
+	for i := 0; i < h-w; i++ {
+		s := 0.0
+		for j := 0; j < w; j++ {
+			s += P[j*h+w+i] * x[j]
+		}
+		y[i] += s
+	}
+}
+
+// GemvBelowTrans is the reference for dense.GemvBelowTransSub:
+// x[j] −= Σᵢ P[w+i + j·h]·yb[i].
+func GemvBelowTrans(x []float64, P []float64, h, w int, yb []float64) {
+	for j := 0; j < w; j++ {
+		s := 0.0
+		for i := 0; i < h-w; i++ {
+			s += P[j*h+w+i] * yb[i]
+		}
+		x[j] -= s
+	}
+}
+
+// CGemvBelow is the complex reference for dense.CGemvBelowAccum.
+func CGemvBelow(y []complex128, P []complex128, h, w int, x []complex128) {
+	for i := 0; i < h-w; i++ {
+		var s complex128
+		for j := 0; j < w; j++ {
+			s += P[j*h+w+i] * x[j]
+		}
+		y[i] += s
+	}
+}
+
+// CGemvBelowTrans is the complex reference for dense.CGemvBelowTransSub.
+func CGemvBelowTrans(x []complex128, P []complex128, h, w int, yb []complex128) {
+	for j := 0; j < w; j++ {
+		var s complex128
+		for i := 0; i < h-w; i++ {
+			s += P[j*h+w+i] * yb[i]
+		}
+		x[j] -= s
+	}
+}
+
+// CTrsvLowerUnit solves L11 x = x for a unit-lower triangle, the
+// reference for dense.CTrsvLowerUnit.
+func CTrsvLowerUnit(x []complex128, P []complex128, h, w int) {
+	for j := 0; j < w; j++ {
+		s := x[j]
+		for k := 0; k < j; k++ {
+			s -= P[k*h+j] * x[k]
+		}
+		x[j] = s
+	}
+}
+
+// CTrsvLowerTransUnit solves L11ᵀ x = x for a unit-lower triangle, the
+// reference for dense.CTrsvLowerTransUnit.
+func CTrsvLowerTransUnit(x []complex128, P []complex128, h, w int) {
+	for j := w - 1; j >= 0; j-- {
+		s := x[j]
+		for i := j + 1; i < w; i++ {
+			s -= P[j*h+i] * x[i]
+		}
+		x[j] = s
+	}
+}
+
+// Mul is the reference dense product for row-major raw storage:
+// c[i·n + j] = Σₖ a[i·kk + k]·b[k·n + j] for an m×kk a and kk×n b.
+func Mul(c, a, b []float64, m, kk, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < kk; k++ {
+				s += a[i*kk+k] * b[k*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+// MulVec is the reference row-major matrix-vector product:
+// y[i] = Σⱼ a[i·n + j]·x[j].
+func MulVec(y, a, x []float64, m, n int) {
+	for i := 0; i < m; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += a[i*n+j] * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// Shape is one randomized panel-update geometry: a descendant panel of
+// lda rows and wd columns, updating from row lo an hC-row target of
+// which the first wC rows are target columns (wC ≤ hC ≤ lda−lo).
+type Shape struct {
+	HC, WC, Wd, Lda, Lo int
+}
+
+// tailDim draws a dimension in [1, max] biased toward unroll tails:
+// with probability ~3/4 the result is congruent to 1, 2, or 3 mod 4,
+// so quad-tail and pair-tail code paths dominate the sample instead of
+// almost never firing.
+func tailDim(rng *rand.Rand, max int) int {
+	if max < 1 {
+		return 1
+	}
+	d := 1 + rng.Intn(max)
+	if r := rng.Intn(4); r != 0 {
+		// Nudge onto residue r (mod 4), staying in [1, max].
+		d = d - d%4 + r
+		if d > max {
+			d -= 4
+		}
+		if d < 1 {
+			d = r
+			if d > max {
+				d = max
+			}
+		}
+	}
+	return d
+}
+
+// RandomShape draws a panel-update geometry biased toward edge cases:
+// dimensions land on every residue mod 4, degenerate widths (1) and
+// empty below-blocks (hC == wC) occur with non-trivial probability.
+func RandomShape(rng *rand.Rand) Shape {
+	wd := tailDim(rng, 24)
+	wC := tailDim(rng, 16)
+	hC := wC
+	if rng.Intn(8) != 0 { // 1-in-8 shapes keep an empty below block
+		hC += tailDim(rng, 96)
+	}
+	lo := rng.Intn(8)
+	return Shape{HC: hC, WC: wC, Wd: wd, Lda: lo + hC + rng.Intn(8), Lo: lo}
+}
+
+// FillPanel fills a column-major lda×wd panel with reproducible values
+// in [-1, 1) drawn from rng.
+func FillPanel(rng *rand.Rand, lda, wd int) []float64 {
+	a := make([]float64, lda*wd)
+	for i := range a {
+		a[i] = 2*rng.Float64() - 1
+	}
+	return a
+}
+
+// FillCPanel is FillPanel for complex values (both parts in [-1, 1)).
+func FillCPanel(rng *rand.Rand, lda, wd int) []complex128 {
+	a := make([]complex128, lda*wd)
+	for i := range a {
+		a[i] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+	}
+	return a
+}
+
+// FillVec fills a length-n vector with reproducible values in [-1, 1).
+func FillVec(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 2*rng.Float64() - 1
+	}
+	return x
+}
+
+// FillCVec is FillVec for complex values.
+func FillCVec(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+	}
+	return x
+}

@@ -1,0 +1,315 @@
+package dense_test
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/dense/oracle"
+)
+
+// The property suite: every micro-kernel against its naive oracle over
+// randomized shapes biased onto the unroll tails (dims ≡ 1, 2, 3 mod 4),
+// plus the degenerate geometries (empty below block, width-1 panels,
+// zero rank) pinned explicitly. Oracles regroup no sums, so agreement is
+// up to reassociation roundoff only; the tolerance is relative 1e-12.
+
+const kernTol = 1e-12
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 1 {
+		d /= m
+	}
+	return d
+}
+
+func crelDiff(a, b complex128) float64 {
+	d := cmplx.Abs(a - b)
+	if m := math.Max(cmplx.Abs(a), cmplx.Abs(b)); m > 1 {
+		d /= m
+	}
+	return d
+}
+
+func TestOracleRankKTrap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := make([]oracle.Shape, 0, 203)
+	for i := 0; i < 200; i++ {
+		shapes = append(shapes, oracle.RandomShape(rng))
+	}
+	// Degenerate geometries the generator reaches only by luck.
+	shapes = append(shapes,
+		oracle.Shape{HC: 5, WC: 0, Wd: 4, Lda: 8, Lo: 1}, // empty update
+		oracle.Shape{HC: 1, WC: 1, Wd: 1, Lda: 3, Lo: 0}, // 1×1 supernode
+		oracle.Shape{HC: 9, WC: 3, Wd: 0, Lda: 9, Lo: 0}, // zero rank
+	)
+	for _, s := range shapes {
+		a := oracle.FillPanel(rng, s.Lda, max(s.Wd, 1))
+		got := oracle.FillVec(rng, s.HC*s.WC)
+		want := append([]float64(nil), got...)
+		dense.RankKTrapAccum(got, s.HC, s.WC, a, s.Lda, s.Lo, s.Wd)
+		oracle.RankKTrap(want, s.HC, s.WC, a, s.Lda, s.Lo, s.Wd)
+		for j := 0; j < s.WC; j++ {
+			for i := j; i < s.HC; i++ {
+				if d := relDiff(got[j*s.HC+i], want[j*s.HC+i]); d > kernTol {
+					t.Fatalf("shape %+v: C(%d,%d) = %g, oracle %g (rel %g)", s, i, j, got[j*s.HC+i], want[j*s.HC+i], d)
+				}
+			}
+		}
+		// The strict upper triangle of C is out of contract and must be
+		// untouched (bitwise) by the kernel.
+		for j := 1; j < s.WC; j++ {
+			for i := 0; i < j && i < s.HC; i++ {
+				if got[j*s.HC+i] != want[j*s.HC+i] {
+					t.Fatalf("shape %+v: kernel wrote out-of-trapezoid entry (%d,%d)", s, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestOracleCRankKTrap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		s := oracle.RandomShape(rng)
+		a := oracle.FillCPanel(rng, s.Lda, max(s.Wd, 1))
+		d := oracle.FillCVec(rng, max(s.Wd, 1))
+		got := oracle.FillCVec(rng, s.HC*s.WC)
+		want := append([]complex128(nil), got...)
+		dense.CRankKTrapAccum(got, s.HC, s.WC, a, s.Lda, s.Lo, s.Wd, d)
+		oracle.CRankKTrap(want, s.HC, s.WC, a, s.Lda, s.Lo, s.Wd, d)
+		for j := 0; j < s.WC; j++ {
+			for i := j; i < s.HC; i++ {
+				if dd := crelDiff(got[j*s.HC+i], want[j*s.HC+i]); dd > kernTol {
+					t.Fatalf("shape %+v: C(%d,%d) = %v, oracle %v (rel %g)", s, i, j, got[j*s.HC+i], want[j*s.HC+i], dd)
+				}
+			}
+		}
+	}
+}
+
+// randTrapPanel builds an h×w column-major trapezoid whose diagonal
+// block is a plausible non-unit lower factor: unit-scale entries with a
+// diagonal pushed away from zero.
+func randTrapPanel(rng *rand.Rand, h, w int) []float64 {
+	p := oracle.FillPanel(rng, h, w)
+	for c := 0; c < w; c++ {
+		p[c*h+c] = 2 + rng.Float64()
+	}
+	return p
+}
+
+func TestOracleTrsmLLBelow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		s := oracle.RandomShape(rng)
+		h, w := s.HC, s.WC
+		if w == 0 {
+			continue
+		}
+		got := randTrapPanel(rng, h, w)
+		want := append([]float64(nil), got...)
+		dense.TrsmLLBelow(got, h, w)
+		oracle.TrsmLLBelow(want, h, w)
+		for c := 0; c < w; c++ {
+			for i := 0; i < h; i++ {
+				if i < w { // diagonal block is out of contract: untouched
+					if got[c*h+i] != want[c*h+i] {
+						t.Fatalf("h=%d w=%d: trsm touched diagonal block (%d,%d)", h, w, i, c)
+					}
+					continue
+				}
+				if d := relDiff(got[c*h+i], want[c*h+i]); d > kernTol {
+					t.Fatalf("h=%d w=%d: L21(%d,%d) = %g, oracle %g (rel %g)", h, w, i, c, got[c*h+i], want[c*h+i], d)
+				}
+			}
+		}
+	}
+}
+
+func TestOracleCTrsmLDLBelow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		s := oracle.RandomShape(rng)
+		h, w := s.HC, s.WC
+		if w == 0 {
+			continue
+		}
+		got := oracle.FillCPanel(rng, h, w)
+		d := make([]complex128, w)
+		for c := range d {
+			d[c] = complex(2+rng.Float64(), 2*rng.Float64()-1)
+		}
+		want := append([]complex128(nil), got...)
+		dense.CTrsmLDLBelow(got, h, w, d)
+		oracle.CTrsmLDLBelow(want, h, w, d)
+		for c := 0; c < w; c++ {
+			for i := w; i < h; i++ {
+				if dd := crelDiff(got[c*h+i], want[c*h+i]); dd > kernTol {
+					t.Fatalf("h=%d w=%d: L21(%d,%d) = %v, oracle %v (rel %g)", h, w, i, c, got[c*h+i], want[c*h+i], dd)
+				}
+			}
+		}
+	}
+}
+
+func TestOracleSolveKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		s := oracle.RandomShape(rng)
+		h, w := s.HC, s.WC
+		if w == 0 {
+			continue
+		}
+		p := randTrapPanel(rng, h, w)
+
+		x := oracle.FillVec(rng, w)
+		xo := append([]float64(nil), x...)
+		dense.TrsvLowerNonUnit(x, p, h, w)
+		oracle.TrsvLower(xo, p, h, w)
+		for j := range x {
+			if d := relDiff(x[j], xo[j]); d > kernTol {
+				t.Fatalf("h=%d w=%d: trsv x[%d] = %g, oracle %g", h, w, j, x[j], xo[j])
+			}
+		}
+
+		xt := oracle.FillVec(rng, w)
+		xto := append([]float64(nil), xt...)
+		dense.TrsvLowerTransNonUnit(xt, p, h, w)
+		oracle.TrsvLowerTrans(xto, p, h, w)
+		for j := range xt {
+			if d := relDiff(xt[j], xto[j]); d > kernTol {
+				t.Fatalf("h=%d w=%d: trsvT x[%d] = %g, oracle %g", h, w, j, xt[j], xto[j])
+			}
+		}
+
+		y := oracle.FillVec(rng, max(h-w, 0))
+		yo := append([]float64(nil), y...)
+		xv := oracle.FillVec(rng, w)
+		dense.GemvBelowAccum(y, p, h, w, xv)
+		oracle.GemvBelow(yo, p, h, w, xv)
+		for i := range y {
+			if d := relDiff(y[i], yo[i]); d > kernTol {
+				t.Fatalf("h=%d w=%d: gemv y[%d] = %g, oracle %g", h, w, i, y[i], yo[i])
+			}
+		}
+
+		xg := oracle.FillVec(rng, w)
+		xgo := append([]float64(nil), xg...)
+		yb := oracle.FillVec(rng, max(h-w, 0))
+		dense.GemvBelowTransSub(xg, p, h, w, yb)
+		oracle.GemvBelowTrans(xgo, p, h, w, yb)
+		for j := range xg {
+			if d := relDiff(xg[j], xgo[j]); d > kernTol {
+				t.Fatalf("h=%d w=%d: gemvT x[%d] = %g, oracle %g", h, w, j, xg[j], xgo[j])
+			}
+		}
+	}
+}
+
+func TestOracleCSolveKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		s := oracle.RandomShape(rng)
+		h, w := s.HC, s.WC
+		if w == 0 {
+			continue
+		}
+		p := oracle.FillCPanel(rng, h, w)
+
+		x := oracle.FillCVec(rng, w)
+		xo := append([]complex128(nil), x...)
+		dense.CTrsvLowerUnit(x, p, h, w)
+		oracle.CTrsvLowerUnit(xo, p, h, w)
+		for j := range x {
+			if d := crelDiff(x[j], xo[j]); d > kernTol {
+				t.Fatalf("h=%d w=%d: ctrsv x[%d] = %v, oracle %v", h, w, j, x[j], xo[j])
+			}
+		}
+
+		xt := oracle.FillCVec(rng, w)
+		xto := append([]complex128(nil), xt...)
+		dense.CTrsvLowerTransUnit(xt, p, h, w)
+		oracle.CTrsvLowerTransUnit(xto, p, h, w)
+		for j := range xt {
+			if d := crelDiff(xt[j], xto[j]); d > kernTol {
+				t.Fatalf("h=%d w=%d: ctrsvT x[%d] = %v, oracle %v", h, w, j, xt[j], xto[j])
+			}
+		}
+
+		y := oracle.FillCVec(rng, max(h-w, 0))
+		yo := append([]complex128(nil), y...)
+		xv := oracle.FillCVec(rng, w)
+		dense.CGemvBelowAccum(y, p, h, w, xv)
+		oracle.CGemvBelow(yo, p, h, w, xv)
+		for i := range y {
+			if d := crelDiff(y[i], yo[i]); d > kernTol {
+				t.Fatalf("h=%d w=%d: cgemv y[%d] = %v, oracle %v", h, w, i, y[i], yo[i])
+			}
+		}
+
+		xg := oracle.FillCVec(rng, w)
+		xgo := append([]complex128(nil), xg...)
+		yb := oracle.FillCVec(rng, max(h-w, 0))
+		dense.CGemvBelowTransSub(xg, p, h, w, yb)
+		oracle.CGemvBelowTrans(xgo, p, h, w, yb)
+		for j := range xg {
+			if d := crelDiff(xg[j], xgo[j]); d > kernTol {
+				t.Fatalf("h=%d w=%d: cgemvT x[%d] = %v, oracle %v", h, w, j, xg[j], xgo[j])
+			}
+		}
+	}
+}
+
+// TestOracleMul pins the public blocked Mul (and its parallel row-panel
+// path) against the naive triple loop over metamorphic random shapes,
+// including one large enough to cross the parallel threshold.
+func TestOracleMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type dims struct{ m, k, n int }
+	cases := []dims{{1, 1, 1}, {3, 5, 2}, {17, 9, 13}, {31, 33, 34}, {80, 80, 80}}
+	for trial := 0; trial < 30; trial++ {
+		cases = append(cases, dims{1 + rng.Intn(40), 1 + rng.Intn(40), 1 + rng.Intn(40)})
+	}
+	for _, d := range cases {
+		a, b := dense.New(d.m, d.k), dense.New(d.k, d.n)
+		for i := range a.Data {
+			a.Data[i] = 2*rng.Float64() - 1
+		}
+		for i := range b.Data {
+			b.Data[i] = 2*rng.Float64() - 1
+		}
+		got := dense.Mul(a, b)
+		want := make([]float64, d.m*d.n)
+		oracle.Mul(want, a.Data, b.Data, d.m, d.k, d.n)
+		for i := range want {
+			if diff := relDiff(got.Data[i], want[i]); diff > kernTol {
+				t.Fatalf("%dx%dx%d: entry %d = %g, oracle %g", d.m, d.k, d.n, i, got.Data[i], want[i])
+			}
+		}
+	}
+}
+
+// TestOracleMulVec pins MulVec (both its serial and row-panel parallel
+// paths) against the naive reference.
+func TestOracleMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, d := range []struct{ m, n int }{{1, 1}, {7, 3}, {33, 31}, {300, 300}} {
+		a := dense.New(d.m, d.n)
+		for i := range a.Data {
+			a.Data[i] = 2*rng.Float64() - 1
+		}
+		x := oracle.FillVec(rng, d.n)
+		got := a.MulVec(x)
+		want := make([]float64, d.m)
+		oracle.MulVec(want, a.Data, x, d.m, d.n)
+		for i := range want {
+			if diff := relDiff(got[i], want[i]); diff > kernTol {
+				t.Fatalf("%dx%d: y[%d] = %g, oracle %g", d.m, d.n, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -76,9 +76,11 @@ func (s *Schedule) ArmFunc(p Point, index int, fn func()) *Schedule {
 }
 
 // FromSeed derives a reproducible randomized schedule: for each listed
-// point, one failure is armed at an index drawn uniformly from [0, span).
-// Two calls with the same arguments arm identical schedules, so a seeded
-// fault sweep is replayable from its seed alone.
+// point, one fault is armed at an index drawn uniformly from [0, span),
+// using the fault kind the point's call site consumes (a poison value
+// for poison points, a failure for everything else). Two calls with the
+// same arguments arm identical schedules, so a seeded fault sweep is
+// replayable from its seed alone.
 func FromSeed(seed int64, span int, points ...Point) *Schedule {
 	if span < 1 {
 		span = 1
@@ -86,7 +88,18 @@ func FromSeed(seed int64, span int, points ...Point) *Schedule {
 	rng := rand.New(rand.NewSource(seed))
 	s := NewSchedule()
 	for _, p := range points {
-		s.Arm(p, rng.Intn(span))
+		idx := rng.Intn(span)
+		if p == CholPoison {
+			// Alternate the poison between NaN and +Inf so sweeps cover
+			// both non-finite classes the pivot test must reject.
+			v := NaN()
+			if rng.Intn(2) == 0 {
+				v = Inf()
+			}
+			s.ArmPoison(p, idx, 1, v)
+			continue
+		}
+		s.Arm(p, idx)
 	}
 	return s
 }

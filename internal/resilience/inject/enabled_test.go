@@ -121,3 +121,38 @@ func TestNoScheduleIsPassThrough(t *testing.T) {
 		t.Fatalf("no schedule must pass values through, got %g", v)
 	}
 }
+
+// TestFromSeedArmsPoisonForPoisonPoints pins the kind-awareness of
+// seeded schedules: chol.poison must be armed as a poison rule (a
+// non-finite value surfacing through PoisonValue), never as a fail rule
+// a ShouldFail site would consume.
+func TestFromSeedArmsPoisonForPoisonPoints(t *testing.T) {
+	const span = 50
+	Install(FromSeed(7, span, CholPoison))
+	defer Reset()
+	for k := 0; k < span; k++ {
+		if ShouldFail(CholPoison, k) {
+			t.Fatalf("seeded poison point armed as a fail rule at index %d", k)
+		}
+	}
+	armed := -1
+	for k := 0; k < span; k++ {
+		v := PoisonValue(CholPoison, k, 1.25)
+		if v == 1.25 {
+			continue
+		}
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			t.Fatalf("poison at index %d is %v, want NaN or ±Inf", k, v)
+		}
+		armed = k
+		break
+	}
+	if armed < 0 {
+		t.Fatal("seeded schedule armed no poison for chol.poison")
+	}
+	// Replaying the seed must arm the identical index and value class.
+	Install(FromSeed(7, span, CholPoison))
+	if v := PoisonValue(CholPoison, armed, 1.25); v == 1.25 {
+		t.Fatalf("replayed seed did not arm index %d", armed)
+	}
+}

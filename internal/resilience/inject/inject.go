@@ -44,6 +44,14 @@ const (
 	// NewtonIter forces Newton non-convergence at iteration k of one
 	// sim.Circuit Newton solve.
 	NewtonIter Point = "newton.iter"
+	// SimSparseLUPivot forces a singular-pivot failure at elimination
+	// column k of one sparse LU factorization (sim.LUFactor), as if
+	// partial pivoting found the whole candidate column exactly zero.
+	SimSparseLUPivot Point = "sim.sparselu.pivot"
+	// SimACComplexSolve fails the complex factor-and-solve of frequency
+	// point i in an AC sweep (sim.Circuit.ACCtx), modeling a resonant
+	// point where the complex MNA matrix is numerically singular.
+	SimACComplexSolve Point = "sim.ac.complexsolve"
 	// ParItem is visited by the worker pool before work item i of a
 	// context-aware parallel region; arm it with a func (ArmFunc) that
 	// cancels the region's context to test mid-stage cancellation.

@@ -555,7 +555,7 @@ func (c *Circuit) ACCtx(ctx context.Context, freqs []float64) (*ACResult, error)
 	vals := make([]complex128, len(c.rowIdx))
 	rhs := make([]complex128, n)
 	res := &ACResult{c: c}
-	for _, f := range freqs {
+	for fi, f := range freqs {
 		if ctx.Err() != nil {
 			return nil, resilience.Canceled(resilience.StageAC, ctx)
 		}
@@ -657,6 +657,9 @@ func (c *Circuit) ACCtx(ctx context.Context, freqs []float64) (*ACResult, error)
 			c.checkMNASymmetry("sim AC MNA matrix (imaginary part)", im)
 		}
 		lu, err := LUFactor(n, c.colPtr, c.rowIdx, vals, c.q, cmplx.Abs, 0.1)
+		if inject.Enabled && err == nil && inject.ShouldFail(inject.SimACComplexSolve, fi) {
+			err = fmt.Errorf("complex MNA matrix numerically singular")
+		}
 		if err != nil {
 			return nil, fmt.Errorf("sim: AC at %g Hz: %w", f, err)
 		}

@@ -5,7 +5,11 @@ package sim
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
+	"os"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/resilience"
@@ -119,5 +123,153 @@ func TestInjectedCancelMidNewton(t *testing.T) {
 	}
 	if len(c.Stats.Recoveries) != 0 {
 		t.Fatalf("cancellation must not look like a recovery: %+v", c.Stats.Recoveries)
+	}
+}
+
+// acDeck is the shared fixture of the AC-sweep fault tests: a first-order
+// low-pass whose clean sweep succeeds at every frequency.
+const acDeck = `rc lowpass
+v1 a 0 dc 0 ac 1
+r1 a b 1k
+c1 b 0 159.155p
+.end
+`
+
+// TestInjectedSparseLUPivotRecoversByGminStepping drives
+// sim.sparselu.pivot: one forced singular pivot fails the direct Newton
+// solve's first factorization, and the gmin-stepping rung (whose
+// factorizations are not armed) must absorb it, recording the pivot
+// failure as the recovery reason.
+func TestInjectedSparseLUPivotRecoversByGminStepping(t *testing.T) {
+	clean := mustBuild(t, rcDeck)
+	ref, err := clean.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mustBuild(t, rcDeck)
+	s := inject.NewSchedule().Arm(inject.SimSparseLUPivot, 0)
+	inject.Install(s)
+	defer inject.Reset()
+	res, err := c.DCCtx(context.Background())
+	if err != nil {
+		t.Fatalf("gmin stepping did not absorb an injected pivot failure: %v", err)
+	}
+	if s.Fired(inject.SimSparseLUPivot) != 1 {
+		t.Fatal("injection point did not fire")
+	}
+	if len(c.Stats.Recoveries) != 1 {
+		t.Fatalf("Recoveries = %+v, want one entry", c.Stats.Recoveries)
+	}
+	rec := c.Stats.Recoveries[0]
+	if rec.Stage != resilience.StageNewton || rec.Action != "gmin stepping" {
+		t.Fatalf("recovery = %+v, want gmin stepping for the Newton stage", rec)
+	}
+	if !strings.Contains(rec.Reason, "singular at column") {
+		t.Fatalf("recovery reason %q does not name the pivot failure", rec.Reason)
+	}
+	for i := range ref.X {
+		if math.Abs(res.X[i]-ref.X[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %v, clean solve %v", i, res.X[i], ref.X[i])
+		}
+	}
+}
+
+// TestInjectedSparseLUPivotExhaustsLadder arms every factorization:
+// direct solve, gmin stepping and source stepping all hit the singular
+// pivot, so the terminal error must be a StageError carrying all three
+// attempts and no recovery may be recorded.
+func TestInjectedSparseLUPivotExhaustsLadder(t *testing.T) {
+	c := mustBuild(t, rcDeck)
+	inject.Install(inject.NewSchedule().ArmN(inject.SimSparseLUPivot, -1, -1))
+	defer inject.Reset()
+	_, err := c.DCCtx(context.Background())
+	var se *resilience.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want a StageError", err)
+	}
+	if se.Stage != resilience.StageNewton {
+		t.Fatalf("stage = %s, want %s", se.Stage, resilience.StageNewton)
+	}
+	if len(se.Attempts) != 3 {
+		t.Fatalf("attempt history has %d entries, want 3 (direct, gmin, source)", len(se.Attempts))
+	}
+	if !strings.Contains(err.Error(), "singular at column") {
+		t.Fatalf("terminal error %q does not surface the pivot failure", err)
+	}
+	if len(c.Stats.Recoveries) != 0 {
+		t.Fatalf("exhausted ladder must not record a recovery: %+v", c.Stats.Recoveries)
+	}
+}
+
+// TestInjectedACComplexSolveFailsNamedFrequency drives
+// sim.ac.complexsolve: the fault armed at frequency index 1 must fail
+// the sweep with an error naming that frequency, while the surrounding
+// DC operating point (real factorizations, different point) is
+// untouched.
+func TestInjectedACComplexSolveFailsNamedFrequency(t *testing.T) {
+	freqs := []float64{1e3, 1e6, 1e9}
+	clean := mustBuild(t, acDeck)
+	if _, err := clean.AC(freqs); err != nil {
+		t.Fatalf("clean sweep failed: %v", err)
+	}
+	c := mustBuild(t, acDeck)
+	s := inject.NewSchedule().Arm(inject.SimACComplexSolve, 1)
+	inject.Install(s)
+	defer inject.Reset()
+	_, err := c.AC(freqs)
+	if err == nil {
+		t.Fatal("injected complex-solve fault did not fail the sweep")
+	}
+	if s.Fired(inject.SimACComplexSolve) != 1 {
+		t.Fatal("injection point did not fire")
+	}
+	if !strings.Contains(err.Error(), "sim: AC at 1e+06 Hz") {
+		t.Fatalf("error %q does not name the faulted frequency", err)
+	}
+	if !strings.Contains(err.Error(), "numerically singular") {
+		t.Fatalf("error %q does not describe the singularity", err)
+	}
+}
+
+// TestSeededSimFaultSweepIsTypedAndReproducible replays FromSeed
+// schedules over the simulator side of the injection catalog —
+// newton.iter, sim.sparselu.pivot, sim.ac.complexsolve — against a full
+// AC run (operating point plus sweep). Whatever the armed faults hit,
+// the outcome must be a success, a recovery absorbed by the DC ladder,
+// or a typed/named error — never a panic — and replaying a seed must
+// reproduce its outcome string exactly. (The core side of the catalog
+// has its own seeded sweep in internal/core.)
+func TestSeededSimFaultSweepIsTypedAndReproducible(t *testing.T) {
+	freqs := []float64{1e3, 1e6, 1e9}
+	oneRun := func(seed int64) string {
+		c := mustBuild(t, acDeck)
+		inject.Install(inject.FromSeed(seed, 6,
+			inject.NewtonIter, inject.SimSparseLUPivot, inject.SimACComplexSolve))
+		defer inject.Reset()
+		res, err := c.AC(freqs)
+		if err != nil {
+			var se *resilience.StageError
+			typed := errors.As(err, &se)
+			named := strings.Contains(err.Error(), "sim: AC at")
+			if !typed && !named {
+				t.Fatalf("seed %d: untyped, unnamed failure: %v", seed, err)
+			}
+			return "error: " + err.Error()
+		}
+		return fmt.Sprintf("ok: %d points, %d recoveries", len(res.F), len(c.Stats.Recoveries))
+	}
+	var nSeeds int64 = 6
+	if s := os.Getenv("PACT_FAULT_SWEEP_SEEDS"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || n < 1 {
+			t.Fatalf("PACT_FAULT_SWEEP_SEEDS = %q: %v", s, err)
+		}
+		nSeeds = n
+	}
+	for seed := int64(0); seed < nSeeds; seed++ {
+		first := oneRun(seed)
+		if second := oneRun(seed); second != first {
+			t.Fatalf("seed %d not reproducible:\n  first:  %s\n  second: %s", seed, first, second)
+		}
 	}
 }

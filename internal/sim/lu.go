@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/order"
+	"repro/internal/resilience/inject"
 	"repro/internal/sparse"
 )
 
@@ -142,6 +143,9 @@ func LUFactor[T Numeric](n int, colPtr, rowIdx []int, vals []T, q []int, abs fun
 				maxAbs = t
 				ipiv = i
 			}
+		}
+		if inject.Enabled && inject.ShouldFail(inject.SimSparseLUPivot, k) {
+			ipiv = -1
 		}
 		if ipiv < 0 || maxAbs == 0 {
 			return nil, fmt.Errorf("sim: matrix structurally or numerically singular at column %d", col)

@@ -29,6 +29,13 @@ echo "== fault-injection race leg (-race -tags pactcheck over the inject-hooked 
 go test -race -tags pactcheck \
     ./internal/sim/ ./internal/resilience/... ./cmd/rcfit/ ./cmd/spicesim/
 
+echo "== kernel-oracle leg (micro-kernels vs naive references, run twice)"
+# The dense micro-kernels and the supernodal paths built on them are
+# pinned by property-based oracle tests over randomized shapes; -count=2
+# defeats the test cache and catches any run-order or leftover-state
+# dependence in the kernels' scratch reuse.
+go test ./internal/dense/... ./internal/chol/... -run Oracle -count=2
+
 echo "== invariant-checked tests (-tags pactcheck)"
 go test -tags pactcheck ./internal/check/ ./internal/core/ ./internal/prima/ \
     ./internal/lanczos/ ./internal/stamp/ ./internal/sim/ ./internal/resilience/...
