@@ -1,22 +1,29 @@
 // Command pactlint runs the repository's domain-aware static analysis
 // (see internal/lint) over the module: float-equality misuse, dropped
-// factorization errors, panic- and exit-policy violations, and
-// per-iteration allocation in the hot reduction loops.
+// factorization errors, panic- and exit-policy violations,
+// per-iteration allocation in the hot reduction loops, and the
+// determinism/concurrency suite (sharedwrite, fpreduce, maporder,
+// nondet, globalmut) that proves the worker-owned-scratch discipline
+// over the module call graph.
 //
 // Usage:
 //
 //	pactlint ./...            # analyze every package in the module
 //	pactlint ./internal/core  # analyze specific package directories
 //	pactlint -rules           # list the registered rules
+//	pactlint -json ./...      # findings as JSON lines (machine-readable)
 //
 // Findings print as file:line:col with a rule ID and a fix hint, and the
-// exit code is 1 when anything is found. Suppress an individual finding
-// with a trailing or preceding-line comment:
+// exit code is 1 when anything is found. Identical (position, rule)
+// findings reported from several analyzing packages — the callgraph
+// rules anchor at the shared fact — are deduplicated. Suppress an
+// individual finding with a trailing or preceding-line comment:
 //
 //	//lint:ignore <rule> <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	fs.SetOutput(stderr)
 	tags := fs.String("tags", "", "comma-separated build tags to enable (e.g. pactcheck)")
 	listRules := fs.Bool("rules", false, "list registered rules and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON lines instead of text")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -88,20 +96,48 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		}
 	}
 	seen := map[string]bool{}
-	count := 0
+	var all []lint.Diagnostic
 	for _, p := range pkgs {
 		if seen[p.Path] {
 			continue
 		}
 		seen[p.Path] = true
-		for _, d := range lint.Run(p, lint.Registry) {
+		all = append(all, lint.Run(p, lint.Registry)...)
+	}
+	all = lint.Dedup(all)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, d := range all {
+			if err := enc.Encode(jsonDiag{
+				File: d.Pos.Filename,
+				Line: d.Pos.Line,
+				Col:  d.Pos.Column,
+				Rule: d.Rule,
+				Msg:  d.Msg,
+				Hint: d.Hint,
+			}); err != nil {
+				return 2, err
+			}
+		}
+	} else {
+		for _, d := range all {
 			fmt.Fprintln(stdout, d)
-			count++
 		}
 	}
-	if count > 0 {
-		fmt.Fprintf(stderr, "pactlint: %d finding(s)\n", count)
+	if len(all) > 0 {
+		fmt.Fprintf(stderr, "pactlint: %d finding(s)\n", len(all))
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// jsonDiag is the wire form of one finding in -json mode: one object
+// per line, stable field names for CI artifact consumers.
+type jsonDiag struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+	Hint string `json:"hint,omitempty"`
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -16,7 +17,10 @@ func TestRunListRules(t *testing.T) {
 	if err != nil || code != 0 {
 		t.Fatalf("run(-rules) = %d, %v", code, err)
 	}
-	for _, id := range []string{"floatcmp", "checkerr", "panicpolicy", "defersmell", "exitpolicy"} {
+	for _, id := range []string{
+		"floatcmp", "checkerr", "panicpolicy", "defersmell", "exitpolicy",
+		"sharedwrite", "fpreduce", "maporder", "nondet", "globalmut",
+	} {
 		if !strings.Contains(out.String(), id) {
 			t.Errorf("rule listing missing %q:\n%s", id, out.String())
 		}
@@ -43,11 +47,61 @@ func TestRunFlagsFixture(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d on known-bad fixture, want 1\n%s", code, out.String())
 	}
-	if !strings.Contains(out.String(), "floatcmp") {
-		t.Errorf("expected a floatcmp finding:\n%s", out.String())
+	for _, rule := range []string{"floatcmp", "sharedwrite", "fpreduce", "maporder"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("expected a %s finding:\n%s", rule, out.String())
+		}
+	}
+	// The sharedwrite diagnostic must carry a file:line anchor and a fix
+	// hint naming the slot-indexed idiom — the report a future DAG
+	// scheduler author will act on.
+	if !strings.Contains(out.String(), "bad_par.go:14:") {
+		t.Errorf("sharedwrite finding should anchor at bad_par.go:14:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "item argument") {
+		t.Errorf("sharedwrite hint should name the slot-indexed idiom:\n%s", out.String())
 	}
 	if !strings.Contains(errb.String(), "finding(s)") {
 		t.Errorf("expected a findings summary on stderr, got %q", errb.String())
+	}
+}
+
+// TestRunJSON: -json emits one JSON object per finding with stable
+// field names, and still exits 1.
+func TestRunJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code, err := run([]string{"-json", "./testdata/bad"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit %d on known-bad fixture, want 1\n%s", code, out.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("want >= 4 JSON findings, got %d:\n%s", len(lines), out.String())
+	}
+	rules := map[string]bool{}
+	for _, line := range lines {
+		var d struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Col  int    `json:"col"`
+			Rule string `json:"rule"`
+			Msg  string `json:"msg"`
+		}
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("finding is not a JSON object: %q: %v", line, err)
+		}
+		if d.File == "" || d.Line == 0 || d.Rule == "" || d.Msg == "" {
+			t.Errorf("incomplete JSON finding: %q", line)
+		}
+		rules[d.Rule] = true
+	}
+	for _, rule := range []string{"floatcmp", "sharedwrite", "fpreduce", "maporder"} {
+		if !rules[rule] {
+			t.Errorf("JSON findings missing rule %s:\n%s", rule, out.String())
+		}
 	}
 }
 

@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the module-wide half of the analyzer: a static call graph
+// over every package the loader has materialized, with per-function
+// facts (nondeterminism sources, package-level writes) attached to the
+// nodes. The concurrency/determinism rules (nondet, globalmut) traverse
+// it to reason about what code can run *inside* a parallel callback or
+// *underneath* a numeric-package entry point, which no per-function AST
+// pattern can see.
+//
+// Known approximations, deliberate and documented:
+//
+//   - Only static calls are edges: a call through a function-typed
+//     variable, interface method, or method value is not resolved. The
+//     hot paths of this module call concrete functions, so the graph is
+//     near-complete where the determinism argument lives.
+//   - A function literal contained in a body is treated as called by
+//     that body (containment edge): whether it runs inline, deferred, or
+//     on a pool worker, its effects are attributed to the enclosing
+//     function. This over-approximates (a stored-but-never-called
+//     closure still contributes) in the safe direction.
+
+// Program is the module-wide analysis view: every package the loader
+// has materialized, the static call graph over their functions, and the
+// union of //lint:ignore suppressions across all their files (so a rule
+// may anchor a finding in the package that owns the fact — e.g. the
+// select statement inside internal/par — and a suppression written
+// there covers every analyzed package that reaches it).
+type Program struct {
+	// Pkgs are the loaded module packages, sorted by import path.
+	Pkgs []*Package
+
+	funcs map[*types.Func]*cgNode
+	lits  map[*ast.FuncLit]*cgNode
+	byPkg map[*Package][]*cgNode
+	sup   suppressions
+}
+
+// nondetSource is one nondeterminism source found directly in a body: a
+// wall-clock read, a draw from the process-global random source, or a
+// select statement with more than one case (resolved by scheduling
+// order).
+type nondetSource struct {
+	pos  token.Pos
+	desc string
+}
+
+// globalWrite is one direct write to a package-level variable.
+type globalWrite struct {
+	pos     token.Pos
+	varName string
+}
+
+// cgNode is one function (declared or literal) in the call graph.
+type cgNode struct {
+	pkg   *Package
+	fn    *types.Func  // nil for function literals
+	lit   *ast.FuncLit // nil for declared functions
+	label string
+	pos   token.Pos
+
+	callees []*types.Func  // static calls to module functions
+	nested  []*ast.FuncLit // function literals contained in the body
+
+	nondet  []nondetSource
+	globals []globalWrite
+}
+
+// Program returns the module-wide analysis view for the load this
+// package came from, building (and memoizing) it on first use.
+func (p *Package) Program() *Program {
+	return p.loader.program()
+}
+
+func (l *Loader) program() *Program {
+	if l.prog != nil && l.progGen == len(l.pkgs) {
+		return l.prog
+	}
+	prog := &Program{
+		funcs: map[*types.Func]*cgNode{},
+		lits:  map[*ast.FuncLit]*cgNode{},
+		byPkg: map[*Package][]*cgNode{},
+		sup:   suppressions{},
+	}
+	for _, p := range l.pkgs {
+		if p != nil {
+			prog.Pkgs = append(prog.Pkgs, p)
+		}
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	for _, p := range prog.Pkgs {
+		prog.addPackage(p)
+		sup, _ := collectSuppressions(p)
+		for file, lines := range sup {
+			for line, set := range lines {
+				for rule := range set {
+					prog.sup.add(file, line, []string{rule})
+				}
+			}
+		}
+	}
+	l.prog = prog
+	l.progGen = len(l.pkgs)
+	return prog
+}
+
+// addPackage creates one node per declared function and per function
+// literal of the package and collects their body facts.
+func (prog *Program) addPackage(p *Package) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				fn, _ := p.Info.Defs[d.Name].(*types.Func)
+				if fn == nil || d.Body == nil {
+					return true // interface-less externs; keep walking for lits
+				}
+				node := &cgNode{pkg: p, fn: fn, label: funcLabel(fn), pos: d.Pos()}
+				prog.funcs[fn] = node
+				prog.byPkg[p] = append(prog.byPkg[p], node)
+				collectFacts(p, node, d.Body)
+			case *ast.FuncLit:
+				node := &cgNode{pkg: p, lit: d, label: "function literal", pos: d.Pos()}
+				prog.lits[d] = node
+				prog.byPkg[p] = append(prog.byPkg[p], node)
+				collectFacts(p, node, d.Body)
+			}
+			return true
+		})
+	}
+	for _, nodes := range prog.byPkg {
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].pos < nodes[j].pos })
+	}
+}
+
+// collectFacts walks one function body — stopping at nested function
+// literals, which are nodes of their own reached by a containment edge
+// — recording call edges, nondeterminism sources and package-level
+// writes.
+func collectFacts(p *Package, node *cgNode, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			node.nested = append(node.nested, x)
+			return false
+		case *ast.CallExpr:
+			fn := calleeFunc(p, x)
+			if fn == nil {
+				return true
+			}
+			if inModule(p, fn) {
+				node.callees = append(node.callees, fn)
+			} else if desc := nondetCallDesc(fn); desc != "" {
+				node.nondet = append(node.nondet, nondetSource{x.Pos(), desc})
+			}
+		case *ast.SelectStmt:
+			if len(x.Body.List) >= 2 {
+				node.nondet = append(node.nondet, nondetSource{
+					x.Pos(), "select with multiple cases (winner picked by scheduling order)"})
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true // := cannot target a package-level variable
+			}
+			for _, lhs := range x.Lhs {
+				if v := packageLevelTarget(p, lhs); v != nil {
+					node.globals = append(node.globals, globalWrite{lhs.Pos(), v.Name()})
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := packageLevelTarget(p, x.X); v != nil {
+				node.globals = append(node.globals, globalWrite{x.X.Pos(), v.Name()})
+			}
+		}
+		return true
+	})
+}
+
+// nondetCallDesc classifies a non-module call as a nondeterminism
+// source. Seeded generators (methods on *rand.Rand, and the rand.New /
+// rand.NewSource constructors themselves) are deterministic under the
+// caller's control and therefore not sources; the package-level
+// math/rand functions draw from the process-global source and are.
+func nondetCallDesc(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "time." + fn.Name() + " (wall clock)"
+		}
+	case "math/rand", "math/rand/v2":
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "" // method on a caller-seeded generator
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return "" // constructors: determinism is the caller's seed choice
+		}
+		return "rand." + fn.Name() + " (process-global random source)"
+	case "crypto/rand":
+		return "crypto/rand." + fn.Name()
+	}
+	return ""
+}
+
+// packageLevelTarget unwraps an lvalue to its base identifier and
+// returns the *types.Var if that base is a package-level variable.
+func packageLevelTarget(p *Package, e ast.Expr) *types.Var {
+	base, _ := unwrapLvalue(e)
+	if base == nil {
+		return nil
+	}
+	v := varObject(p, base)
+	if v == nil || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+// unwrapLvalue peels index, selector, star and paren layers off an
+// assignable expression, returning the base identifier and the index
+// expressions encountered along the chain (nil base for targets rooted
+// in a call or composite literal, which the write rules skip).
+func unwrapLvalue(e ast.Expr) (base *ast.Ident, indexes []ast.Expr) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x, indexes
+		case *ast.IndexExpr:
+			indexes = append(indexes, x.Index)
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// varObject resolves an identifier to its variable object (use or def).
+func varObject(p *Package, id *ast.Ident) *types.Var {
+	if v, ok := p.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := p.Info.Defs[id].(*types.Var)
+	return v
+}
+
+// nodeFor returns the graph node of a declared module function.
+func (prog *Program) nodeFor(fn *types.Func) *cgNode { return prog.funcs[fn] }
+
+// litNode returns the graph node of a function literal.
+func (prog *Program) litNode(l *ast.FuncLit) *cgNode { return prog.lits[l] }
+
+// reach runs visit over every node reachable from root (including root
+// itself) following static call edges and literal-containment edges.
+// Visit order is deterministic: callees in source order, depth-first.
+func (prog *Program) reach(root *cgNode, visit func(n *cgNode)) {
+	seen := map[*cgNode]bool{}
+	var walk func(n *cgNode)
+	walk = func(n *cgNode) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		visit(n)
+		for _, fn := range n.callees {
+			walk(prog.funcs[fn])
+		}
+		for _, lit := range n.nested {
+			walk(prog.lits[lit])
+		}
+	}
+	walk(root)
+}
+
+// pkgFuncs returns the declared-function nodes of a package in source
+// order (literals excluded — they are reached through their containers).
+func (prog *Program) pkgFuncs(p *Package) []*cgNode {
+	var out []*cgNode
+	for _, n := range prog.byPkg[p] {
+		if n.fn != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a (file, line, rule) triple is covered by a
+// //lint:ignore anywhere in the module — the cross-package complement of
+// Run's own per-package suppression handling, used for findings anchored
+// in a package other than the one under analysis.
+func (prog *Program) suppressed(file string, line int, rule string) bool {
+	return prog.sup.covers(file, line, rule)
+}
+
+// hasSuffixPath reports whether an import path ends in one of the given
+// suffixes — the package-classification idiom shared by the rules, kept
+// here so the callgraph-based rules classify identically on fixture
+// modules and the real tree.
+func hasSuffixPath(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -64,6 +64,11 @@ var Registry = []Rule{
 	panicpolicyRule,
 	defersmellRule,
 	exitpolicyRule,
+	sharedwriteRule,
+	fpreduceRule,
+	maporderRule,
+	nondetRule,
+	globalmutRule,
 }
 
 // RuleByID returns the registered rule with the given ID.
@@ -80,8 +85,16 @@ func RuleByID(id string) (Rule, bool) {
 // diagnostics, sorted by position, with //lint:ignore suppressions
 // applied. Malformed suppressions (no rule list, or no reason) are
 // reported under the pseudo-rule "badignore".
+//
+// Suppression matching is module-wide: the callgraph-based rules anchor
+// findings at the fact — a select statement in internal/par, a global
+// write in a leaf package — which may live outside the package under
+// analysis, and the //lint:ignore written next to that fact must cover
+// every analyzing package that reaches it. Malformed-ignore reports
+// stay per-package so each is emitted exactly once.
 func Run(p *Package, rules []Rule) []Diagnostic {
-	sup, bad := collectSuppressions(p)
+	_, bad := collectSuppressions(p)
+	sup := p.Program().sup
 	var out []Diagnostic
 	out = append(out, bad...)
 	for _, r := range rules {
@@ -113,11 +126,30 @@ func Run(p *Package, rules []Rule) []Diagnostic {
 	return out
 }
 
-// RunAll applies every registered rule to every package.
+// RunAll applies every registered rule to every package, deduplicating
+// identical (position, rule) findings across packages — the
+// callgraph-based rules may anchor the same fact from several analyzing
+// packages.
 func RunAll(pkgs []*Package) []Diagnostic {
 	var out []Diagnostic
 	for _, p := range pkgs {
 		out = append(out, Run(p, Registry)...)
+	}
+	return Dedup(out)
+}
+
+// Dedup drops diagnostics that repeat an earlier (position, rule) pair,
+// preserving order otherwise.
+func Dedup(ds []Diagnostic) []Diagnostic {
+	seen := map[string]bool{}
+	out := ds[:0]
+	for _, d := range ds {
+		key := fmt.Sprintf("%s:%d:%d:%s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
 	}
 	return out
 }

@@ -32,6 +32,10 @@ type Package struct {
 	Types *types.Package
 	// Info holds the use/def/type maps populated by the checker.
 	Info *types.Info
+
+	// loader is the Loader that materialized this package; Program()
+	// assembles the module-wide view from it.
+	loader *Loader
 }
 
 // Loader loads and type-checks the packages of a single module using only
@@ -52,6 +56,11 @@ type Loader struct {
 	std  types.Importer
 	pkgs map[string]*Package
 	ctx  build.Context
+
+	// prog caches the module-wide Program; progGen is the number of
+	// loaded packages at build time, so loading more invalidates it.
+	prog    *Program
+	progGen int
 }
 
 // NewLoader prepares a loader for the module rooted at root. The module
@@ -187,7 +196,7 @@ func (l *Loader) load(path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
-	p := &Package{Path: path, Module: l.Module, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	p := &Package{Path: path, Module: l.Module, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info, loader: l}
 	l.pkgs[path] = p
 	return p, nil
 }

@@ -1,0 +1,349 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// The determinism/concurrency rule set. These five rules turn the
+// repository's bit-identical-at-every-GOMAXPROCS guarantee from a
+// convention pinned by Float64bits tests into a machine-checked
+// discipline: sharedwrite and fpreduce police the worker-owned-scratch
+// and fixed-reduction-order rules inside parallel callbacks (via the
+// capture dataflow in parflow.go), maporder keeps map iteration order
+// out of numeric results and reports, and nondet/globalmut use the
+// module call graph (callgraph.go) to prove that no wall-clock, global
+// random source, scheduling race, or package-level mutation is
+// reachable from the numeric packages or from inside a pool callback.
+
+// ---------------------------------------------------------------- sharedwrite
+
+// sharedwriteRule flags writes inside a parallel callback whose target
+// is captured from the enclosing function and not selected by an index
+// derived from the callback's item/slot/worker argument. Such a write
+// is executed by whichever worker drew the iteration, so it is at best
+// nondeterministic and usually also a data race.
+var sharedwriteRule = Rule{
+	ID:   "sharedwrite",
+	Doc:  "a parallel callback writes captured state not indexed by its item/slot/worker argument",
+	Hint: "give every iteration its own slot: write through an index derived from the callback's item argument (out[i] = ...), or worker-owned scratch (scratch[w]), and merge after the pool returns",
+	Run:  runSharedwrite,
+}
+
+func runSharedwrite(p *Package, report func(pos token.Pos, msg, hint string)) {
+	for _, cb := range parCallbacks(p) {
+		if cb.lit == nil {
+			continue
+		}
+		cs := analyzeCallback(p, cb.entry, cb.lit)
+		for _, w := range capturedWrites(cs) {
+			if w.indexedAll {
+				continue // iteration- or worker-owned slot
+			}
+			if floatAccumWrite(cs, w) {
+				continue // fpreduce owns order-dependent reductions
+			}
+			report(w.pos, fmt.Sprintf(
+				"parallel callback writes captured %s without indexing by its item/slot/worker argument",
+				w.desc()), "")
+		}
+	}
+}
+
+// ------------------------------------------------------------------ fpreduce
+
+// fpreduceRule flags floating-point accumulation into captured state
+// inside a parallel callback: x += v, x = x + v, and their kin, when
+// the target is not a per-item slot. Even when such an accumulation is
+// made race-free (mutex, atomics, worker-indexed partial sums), the
+// summation order follows the dynamic schedule, so the rounded result
+// differs run to run — the exact failure mode the fixed-order
+// slot-merge idiom exists to prevent.
+var fpreduceRule = Rule{
+	ID:   "fpreduce",
+	Doc:  "order-dependent floating-point reduction into captured state inside a parallel callback",
+	Hint: "accumulate into per-item slots (indexed by the callback's item argument) and reduce them in fixed index order after the pool returns",
+	Run:  runFpreduce,
+}
+
+func runFpreduce(p *Package, report func(pos token.Pos, msg, hint string)) {
+	for _, cb := range parCallbacks(p) {
+		if cb.lit == nil {
+			continue
+		}
+		cs := analyzeCallback(p, cb.entry, cb.lit)
+		for _, w := range capturedWrites(cs) {
+			if !floatAccumWrite(cs, w) {
+				continue
+			}
+			if w.indexedItem {
+				continue // per-item slot: owned by exactly one iteration
+			}
+			extra := ""
+			if w.indexedAll {
+				extra = " (worker-indexed slots receive items in scheduling order)"
+			}
+			report(w.pos, fmt.Sprintf(
+				"order-dependent floating-point accumulation into captured %s inside a parallel callback%s",
+				w.desc(), extra), "")
+		}
+	}
+}
+
+// ------------------------------------------------------------------ maporder
+
+// maporderRule flags range-over-map loops whose bodies let the
+// iteration order reach results: floating-point accumulation (rounding
+// differs per order), appends to a slice declared outside the loop
+// (element order differs per run) unless the slice is later sorted in
+// the same function, and printed reports. Exact-integer accumulation
+// and map-to-map transforms are order-independent and not flagged.
+var maporderRule = Rule{
+	ID:   "maporder",
+	Doc:  "map iteration order leaks into results: float accumulation, unsorted appends, or output inside a range over a map",
+	Hint: "collect the keys, sort them, and iterate the sorted slice instead of the map",
+	Run:  runMaporder,
+}
+
+func runMaporder(p *Package, report func(pos token.Pos, msg, hint string)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					maporderBody(p, d.Body, report)
+				}
+			case *ast.FuncLit:
+				maporderBody(p, d.Body, report)
+			}
+			return true
+		})
+	}
+}
+
+// maporderBody checks every map range directly inside one function body
+// (nested function literals are bodies of their own).
+func maporderBody(p *Package, body *ast.BlockStmt, report func(pos token.Pos, msg, hint string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(p, rs, body, report)
+		return true
+	})
+}
+
+func checkMapRangeBody(p *Package, rs *ast.RangeStmt, encl *ast.BlockStmt, report func(pos token.Pos, msg, hint string)) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if tv, ok := p.Info.Types[s.Lhs[0]]; ok && isFloatType(tv.Type) {
+					report(s.Lhs[0].Pos(), fmt.Sprintf(
+						"floating-point accumulation into %s in map iteration order",
+						types.ExprString(s.Lhs[0])), "")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && len(s.Args) > 0 {
+					checkMapOrderAppend(p, rs, encl, s, report)
+				}
+			}
+			if fn := calleeFunc(p, s); fn != nil && isReportCall(fn) {
+				report(s.Pos(), fmt.Sprintf(
+					"%s emits output in map iteration order", funcLabel(fn)), "")
+			}
+		}
+		return true
+	})
+}
+
+// checkMapOrderAppend flags append(dst, ...) inside a map range when
+// dst is declared outside the loop and never handed to a sort in the
+// enclosing function — the collect-then-sort idiom is the sanctioned
+// fix and must not be flagged.
+func checkMapOrderAppend(p *Package, rs *ast.RangeStmt, encl *ast.BlockStmt, call *ast.CallExpr, report func(pos token.Pos, msg, hint string)) {
+	base, _ := unwrapLvalue(call.Args[0])
+	if base == nil {
+		return
+	}
+	v := varObject(p, base)
+	if v == nil {
+		return
+	}
+	if v.Pos() >= rs.Pos() && v.Pos() <= rs.End() {
+		return // loop-local scratch
+	}
+	if sortedInBody(p, encl, v) {
+		return
+	}
+	report(call.Pos(), fmt.Sprintf(
+		"append to %s in map iteration order", v.Name()), "")
+}
+
+// sortedInBody reports whether the function body contains a sorting
+// call that mentions v: anything from the sort or slices packages, or a
+// local helper whose name starts with "sort" (the repository carries
+// such helpers where importing sort would be heavier than the loop).
+func sortedInBody(p *Package, body *ast.BlockStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil {
+			return true
+		}
+		isSorter := strings.HasPrefix(strings.ToLower(fn.Name()), "sort")
+		if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "sort" || pkg.Path() == "slices") {
+			isSorter = true
+		}
+		if !isSorter {
+			return true
+		}
+		for _, a := range call.Args {
+			if mentionsVar(p, a, v) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isReportCall matches the fmt emission functions (Print*/Fprint*):
+// inside a map range these publish in iteration order.
+func isReportCall(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil || pkg.Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+// -------------------------------------------------------------------- nondet
+
+// nondetNumericSuffixes are the numeric packages whose results feed the
+// PACT reproducibility argument: everything they compute must be a pure
+// function of the inputs.
+var nondetNumericSuffixes = []string{
+	"/internal/chol",
+	"/internal/core",
+	"/internal/dense",
+	"/internal/lanczos",
+	"/internal/prima",
+	"/internal/pade",
+}
+
+// nondetRule flags nondeterminism sources — time.Now and friends, the
+// process-global math/rand functions, crypto/rand, and multi-case
+// select statements — reachable through the module call graph from any
+// function of the numeric packages. The finding anchors at the source,
+// wherever it lives, so one reasoned //lint:ignore there covers every
+// numeric entry point that reaches it.
+var nondetRule = Rule{
+	ID:   "nondet",
+	Doc:  "time.Now / global math/rand / multi-case select reachable from the numeric packages (chol, core, dense, lanczos, prima, pade)",
+	Hint: "thread a caller-seeded generator or timestamp in as a parameter; numeric results must be a pure function of the inputs",
+	Run:  runNondet,
+}
+
+func runNondet(p *Package, report func(pos token.Pos, msg, hint string)) {
+	if !hasSuffixPath(p.Path, nondetNumericSuffixes) {
+		return
+	}
+	prog := p.Program()
+	seen := map[token.Pos]bool{}
+	for _, root := range prog.pkgFuncs(p) {
+		prog.reach(root, func(n *cgNode) {
+			for _, src := range n.nondet {
+				if seen[src.pos] {
+					continue
+				}
+				seen[src.pos] = true
+				if n == root {
+					report(src.pos, fmt.Sprintf(
+						"%s in numeric package function %s", src.desc, root.label), "")
+				} else {
+					report(src.pos, fmt.Sprintf(
+						"%s in %s is reachable from numeric package function %s",
+						src.desc, n.label, root.label), "")
+				}
+			}
+		})
+	}
+}
+
+// ----------------------------------------------------------------- globalmut
+
+// globalmutRule flags writes to package-level variables in any function
+// reachable, through the module call graph, from a callback handed to a
+// par entry point. A global written from inside the pool is mutated in
+// scheduling order — even when mutex-guarded it breaks the determinism
+// contract, and unguarded it is a data race. The finding anchors at the
+// write, so the justification lives next to the state it covers.
+var globalmutRule = Rule{
+	ID:   "globalmut",
+	Doc:  "package-level state written by code reachable from a parallel callback",
+	Hint: "pass the state in explicitly and let the caller merge results after the pool returns",
+	Run:  runGlobalmut,
+}
+
+func runGlobalmut(p *Package, report func(pos token.Pos, msg, hint string)) {
+	cbs := parCallbacks(p)
+	if len(cbs) == 0 {
+		return
+	}
+	prog := p.Program()
+	seen := map[token.Pos]bool{}
+	for _, cb := range cbs {
+		var root *cgNode
+		if cb.lit != nil {
+			root = prog.litNode(cb.lit)
+		} else {
+			root = prog.nodeFor(cb.named)
+		}
+		if root == nil {
+			continue
+		}
+		at := p.Fset.Position(cb.call.Pos())
+		prog.reach(root, func(n *cgNode) {
+			for _, gw := range n.globals {
+				if seen[gw.pos] {
+					continue
+				}
+				seen[gw.pos] = true
+				report(gw.pos, fmt.Sprintf(
+					"package-level %s is written by %s, which can run inside the parallel callback at %s:%d",
+					gw.varName, n.label, filepath.Base(at.Filename), at.Line), "")
+			}
+		})
+	}
+}

@@ -82,6 +82,15 @@ done:
 
 // FormatValue renders a value in compact SPICE engineering notation,
 // picking the suffix that leaves a mantissa in [1, 1000) where possible.
+//
+// The rendered token always re-parses to exactly v (bit-identical): a
+// waveform can hold a step edge at TD, and a time constant off by one
+// ulp flips the value on either side of it, so "close" is not good
+// enough for a deck that must simulate identically after a write/parse
+// cycle. The pretty ten-digit engineering form is used whenever it is
+// exact; otherwise the shortest exact mantissa keeps the suffix, and if
+// the suffix multiply itself cannot reproduce v, the value falls back
+// to plain shortest-exact scientific notation.
 func FormatValue(v float64) string {
 	if v == 0 {
 		return "0"
@@ -100,15 +109,32 @@ func FormatValue(v float64) string {
 	}
 	for _, u := range units {
 		if abs >= u.mult && abs < u.mult*1000 {
-			return trimFloat(v/u.mult) + u.suf
+			if s := trimFloat(v/u.mult) + u.suf; reparsesTo(s, v) {
+				return s
+			}
+			if s := strconv.FormatFloat(v/u.mult, 'g', -1, 64) + u.suf; reparsesTo(s, v) {
+				return s
+			}
+			return strconv.FormatFloat(v, 'g', -1, 64)
 		}
 	}
-	return trimFloat(v)
+	if s := trimFloat(v); reparsesTo(s, v) {
+		return s
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// reparsesTo reports whether the token parses back to exactly v.
+func reparsesTo(s string, v float64) bool {
+	got, err := ParseValue(s)
+	//lint:ignore floatcmp bit-exact round trip is the contract here: one ulp of drift moves a waveform edge across its sample point
+	return err == nil && got == v
 }
 
 func trimFloat(v float64) string {
-	// Ten significant digits: reduced-network element values must survive
-	// a write/parse round trip without visibly perturbing waveforms.
+	// Ten significant digits: enough for every humanly-entered value to
+	// keep its natural spelling ("2.5", "13.5"); FormatValue falls back
+	// to the shortest exact form when ten digits lose bits.
 	s := strconv.FormatFloat(v, 'g', 10, 64)
 	// Rounding to ten digits can carry values at the very edge of the
 	// float64 range past it (MaxFloat64 becomes 1.797693135e+308, which

@@ -2,53 +2,69 @@
 # Full verification pass: build, vet, domain lint, race-enabled tests,
 # invariant-checked (pactcheck) tests, and a fuzz smoke run. CI executes
 # exactly this script; run it locally before sending a change.
+#
+# Each stage announces itself with a `== <leg>` banner; on failure the
+# trap prints which leg broke so a red CI run names the culprit without
+# scrolling the log.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== go build (default and pactcheck)"
+CURRENT_LEG="startup"
+leg() {
+    CURRENT_LEG="$1"
+    echo "== ${CURRENT_LEG}"
+}
+trap 'status=$?; if [ "$status" -ne 0 ]; then echo; echo "!! check FAILED in leg: ${CURRENT_LEG} (exit ${status})" >&2; fi' EXIT
+
+leg "go build (default and pactcheck)"
 go build ./...
 go build -tags pactcheck ./...
 
-echo "== go vet (default and pactcheck)"
+leg "go vet (default and pactcheck)"
 go vet ./...
 go vet -tags pactcheck ./...
 
-echo "== pactlint"
+leg "pactlint (domain + determinism/concurrency analysis)"
+# Must be clean: every finding on the tree is either fixed or carries a
+# reasoned //lint:ignore. The determinism rules (sharedwrite, fpreduce,
+# maporder, nondet, globalmut) prove the worker-owned-scratch discipline
+# over the module call graph.
 go run ./cmd/pactlint ./...
 
-echo "== go test -race"
+leg "go test -race"
 go test -race ./...
 
-echo "== parallel-core race leg (pactcheck + -race on the pool-driven packages)"
+leg "parallel-core race leg (pactcheck + -race on the pool-driven packages)"
 go test -race -tags pactcheck ./internal/par/ ./internal/core/ ./internal/dense/
 
-echo "== fault-injection race leg (-race -tags pactcheck over the inject-hooked packages)"
+leg "fault-injection race leg (-race -tags pactcheck over the inject-hooked packages)"
 # The injection harness and the recovery ladders it drives live in these
 # packages; -race covers the cancellation paths (timeouts mid-pool,
 # mid-Newton) and the schedule's mutex-guarded fire counting.
 go test -race -tags pactcheck \
     ./internal/sim/ ./internal/resilience/... ./cmd/rcfit/ ./cmd/spicesim/
 
-echo "== kernel-oracle leg (micro-kernels vs naive references, run twice)"
+leg "kernel-oracle leg (micro-kernels vs naive references, run twice)"
 # The dense micro-kernels and the supernodal paths built on them are
 # pinned by property-based oracle tests over randomized shapes; -count=2
 # defeats the test cache and catches any run-order or leftover-state
 # dependence in the kernels' scratch reuse.
 go test ./internal/dense/... ./internal/chol/... -run Oracle -count=2
 
-echo "== invariant-checked tests (-tags pactcheck)"
+leg "invariant-checked tests (-tags pactcheck)"
 go test -tags pactcheck ./internal/check/ ./internal/core/ ./internal/prima/ \
     ./internal/lanczos/ ./internal/stamp/ ./internal/sim/ ./internal/resilience/...
 
-echo "== pactbench -json smoke"
+leg "pactbench -json smoke"
 go run ./cmd/pactbench -json /tmp/pactbench-smoke.json -benchset kernels -benchtime 10ms
 rm -f /tmp/pactbench-smoke.json
 
-echo "== fuzz smoke (10s per target)"
+leg "fuzz smoke (10s per target)"
 # go test rejects a -fuzz pattern matching several targets, so run them
 # one at a time.
 for target in FuzzParse FuzzParseValue FuzzTokenize FuzzFormatValue FuzzWaveform; do
     go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime 10s ./internal/netlist/
 done
 
+CURRENT_LEG="done"
 echo "all checks passed"
