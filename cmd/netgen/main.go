@@ -9,6 +9,8 @@
 //	netgen -kind adder > adder_on_mesh.sp
 //	netgen -kind multiplier -stages 8 -sidenets 24 > mult.sp
 //	netgen -kind supply > grid.sp
+//	netgen -kind powergrid -nodes 1000000 > grid1m.sp
+//	netgen -kind clocktree -levels 19 > tree1m.sp
 package main
 
 import (
@@ -31,7 +33,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("netgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	kind := fs.String("kind", "ladder", "ladder | inverterpair | mesh | adder | multiplier | supply")
+	kind := fs.String("kind", "ladder", "ladder | inverterpair | mesh | adder | multiplier | supply | powergrid | clocktree")
 	nseg := fs.Int("nseg", 100, "ladder segments")
 	rtot := fs.Float64("r", 250, "ladder total resistance (ohm)")
 	ctot := fs.Float64("c", 1.35e-12, "ladder total capacitance (F)")
@@ -46,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	segs := fs.Int("segs", 6, "multiplier net segments per branch")
 	sideNets := fs.Int("sidenets", 24, "multiplier side nets")
 	seed := fs.Int64("seed", 7, "random seed for net parameters")
+	nodes := fs.Int("nodes", 0, "powergrid/clocktree preset target node count (overrides -nx/-ny/-levels)")
+	levels := fs.Int("levels", 10, "clocktree depth (2^(levels+1)-1 nodes)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,6 +98,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stderr, "netgen: supply pin %s, far tap %s\n", info.Pin, info.Far)
+	case "powergrid":
+		o := netgen.PowerGridOpts{NX: *nx, NY: *ny, RSeg: 0.8, CNode: 60e-15, NPorts: *ports}
+		if *nodes > 0 {
+			o = netgen.PowerGridPreset(*nodes)
+		}
+		var portNames []string
+		var err error
+		deck, portNames, err = netgen.PowerGrid(o)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "netgen: %dx%d grid, %d port nodes\n", o.NX, o.NY, len(portNames))
+	case "clocktree":
+		o := netgen.ClockTreeOpts{Levels: *levels, RSeg: 2.5, CSeg: 4e-15, NLeafPorts: 8}
+		if *nodes > 0 {
+			o = netgen.ClockTreePreset(*nodes)
+		}
+		var portNames []string
+		var err error
+		deck, portNames, err = netgen.ClockTree(o)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "netgen: depth-%d tree (%d nodes), ports %v\n",
+			o.Levels, netgen.ClockTreeNodes(o.Levels), portNames)
 	default:
 		return fmt.Errorf("unknown kind %q", *kind)
 	}

@@ -64,6 +64,7 @@ type benchCase struct {
 	flops      float64 // FLOPs per op, when the kernel's count is known
 	supernodes int     // supernode count of the factor being exercised
 	fill       int     // amalgamation fill (explicit zeros) of that factor
+	procs      int     // parallel-leg GOMAXPROCS override (0 = ambient)
 }
 
 // measure times op until benchtime has elapsed (at least one iteration)
@@ -97,8 +98,9 @@ func measure(op func() error, benchtime time.Duration) (nsPerOp, allocsPerOp, by
 // benchCases builds the benchmark set. "kernels" covers the parallelized
 // primitives (fast enough for a CI smoke run), "factor" the supernodal-
 // versus-up-looking comparison on a mesh at the paper's full-chip scale
-// (seconds per iteration), and "all" is both plus end-to-end experiment
-// regenerations.
+// (seconds per iteration), "scale" the DAG-versus-level schedule rows on
+// a 100k-node power grid, and "all" is everything plus end-to-end
+// experiment regenerations.
 func benchCases(set string) ([]benchCase, error) {
 	var cases []benchCase
 	if set == "kernels" || set == "all" {
@@ -114,6 +116,13 @@ func benchCases(set string) ([]benchCase, error) {
 			return nil, err
 		}
 		cases = append(cases, fc...)
+	}
+	if set == "scale" || set == "all" {
+		sc, err := scaleCases()
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, sc...)
 	}
 	if set == "all" {
 		for _, name := range []string{"eq20", "sparsify"} {
@@ -390,6 +399,77 @@ func factorCases() ([]benchCase, error) {
 	}, nil
 }
 
+// scaleCases measures the tentpole on a ≥100k-node power grid: the
+// DAG-scheduled supernodal factorization against the level-by-level
+// schedule at GOMAXPROCS 1/2/4/8 (each row's serial leg is the same
+// GOMAXPROCS=1 run, so the speedup column is the schedule's scaling
+// curve), plus the pooled-workspace re-factorization loop whose
+// allocs_per_op column pins the steady-state allocation behavior the
+// AC sweep depends on. Setup extracts and orders the mesh once;
+// iterations pay only numeric factorization.
+func scaleCases() ([]benchCase, error) {
+	deck, ports, err := netgen.PowerGrid(netgen.PowerGridPreset(100_000))
+	if err != nil {
+		return nil, err
+	}
+	ex, err := stamp.Extract(deck, ports...)
+	if err != nil {
+		return nil, err
+	}
+	sys := ex.Sys
+	sym := order.Analyze(sys.D, order.MinimumDegree)
+	dperm := sys.D.PermuteSym(sym.Perm)
+	ss, err := chol.AnalyzeSuper(dperm, sym, order.SupernodeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	var cases []benchCase
+	for _, p := range []int{1, 2, 4, 8} {
+		p := p
+		for _, s := range []struct {
+			tag   string
+			sched chol.Schedule
+		}{{"dag", chol.ScheduleDAG}, {"level", chol.ScheduleLevel}} {
+			s := s
+			ws := ss.NewWorkspace()
+			cases = append(cases, benchCase{
+				name:  fmt.Sprintf("chol.FactorizeOpt/grid100k/%s/p%d", s.tag, p),
+				procs: p,
+				op: func() error {
+					_, err := ss.FactorizeOpt(dperm, s.sched, ws)
+					return err
+				},
+				flops: ss.FlopEstimate(), supernodes: ss.NSuper(), fill: ss.Fill(),
+			})
+		}
+	}
+	// The repeated-refactorization loop: one workspace, real and complex
+	// passes plus a multi-RHS solve per op — the YSweep steady state.
+	wsLoop := ss.NewWorkspace()
+	val := func(p int) complex128 {
+		return complex(dperm.Val[p], 0.25*dperm.Val[p])
+	}
+	nrhs := len(ports)
+	rhs := make([]float64, nrhs*sys.N)
+	for i := range rhs {
+		rhs[i] = float64(i%17)*0.25 + 1
+	}
+	cases = append(cases, benchCase{
+		name: "chol.Refactorize/grid100k/pooled",
+		op: func() error {
+			f, err := ss.FactorizeOpt(dperm, chol.ScheduleDAG, wsLoop)
+			if err != nil {
+				return err
+			}
+			f.SolveMulti(rhs, nrhs)
+			_, err = ss.FactorizeComplexOpt(dperm, val, chol.ScheduleDAG, wsLoop)
+			return err
+		},
+		flops: 5 * ss.FlopEstimate(), supernodes: ss.NSuper(), fill: ss.Fill(),
+	})
+	return cases, nil
+}
+
 // alignPositions maps each stored position of the union pattern to the
 // matching position in a and b (-1 when absent), so a complex value
 // closure can assemble D + sE without per-entry searches.
@@ -434,8 +514,8 @@ func fillMat(m *dense.Mat, seed uint64) {
 // the ambient GOMAXPROCS and writes the report as JSON to path ("-" for
 // stdout).
 func runBenchJSON(path, set string, benchtime time.Duration, stdout io.Writer) error {
-	if set != "kernels" && set != "factor" && set != "all" {
-		return fmt.Errorf("unknown -benchset %q (want kernels, factor or all)", set)
+	if set != "kernels" && set != "factor" && set != "scale" && set != "all" {
+		return fmt.Errorf("unknown -benchset %q (want kernels, factor, scale or all)", set)
 	}
 	if benchtime <= 0 {
 		return fmt.Errorf("-benchtime must be positive, got %v", benchtime)
@@ -456,11 +536,17 @@ func runBenchJSON(path, set string, benchtime time.Duration, stdout io.Writer) e
 	for _, bc := range cases {
 		runtime.GOMAXPROCS(1)
 		serialNs, _, _, serialIters, err := measure(bc.op, benchtime)
-		runtime.GOMAXPROCS(ambient)
+		if bc.procs > 0 {
+			runtime.GOMAXPROCS(bc.procs)
+		} else {
+			runtime.GOMAXPROCS(ambient)
+		}
 		if err != nil {
+			runtime.GOMAXPROCS(ambient)
 			return fmt.Errorf("%s (serial): %w", bc.name, err)
 		}
 		parNs, allocs, bytes, parIters, err := measure(bc.op, benchtime)
+		runtime.GOMAXPROCS(ambient)
 		if err != nil {
 			return fmt.Errorf("%s (parallel): %w", bc.name, err)
 		}

@@ -61,6 +61,11 @@ func TestRunFlagsFixture(t *testing.T) {
 	if !strings.Contains(out.String(), "item argument") {
 		t.Errorf("sharedwrite hint should name the slot-indexed idiom:\n%s", out.String())
 	}
+	// The DAG scheduler's callbacks are pool callbacks too: the captured
+	// accumulation inside the par.RunDAG body must be flagged.
+	if !strings.Contains(out.String(), "bad_par.go:35:") {
+		t.Errorf("expected a finding inside the par.RunDAG callback at bad_par.go:35:\n%s", out.String())
+	}
 	if !strings.Contains(errb.String(), "finding(s)") {
 		t.Errorf("expected a findings summary on stderr, got %q", errb.String())
 	}

@@ -117,9 +117,9 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 				kernel = fmt.Sprintf("supernodal (%d panels, %d amalgamation zeros)",
 					red.Stats.Supernodes, red.Stats.SuperFill)
 			}
-			fmt.Fprintf(stderr, "rcfit: cholesky %s: %.4g GFLOP, %d solves, %d matvecs, factor %d B\n",
+			fmt.Fprintf(stderr, "rcfit: cholesky %s: %.4g GFLOP, %d solves, %d matvecs, peak factor %d B (%d B pooled scratch)\n",
 				kernel, red.Stats.FactorFlops/1e9, red.Stats.Solves, red.Stats.MatVecs,
-				red.Stats.CholeskyBytes)
+				red.Stats.CholeskyBytes, red.Stats.ScratchBytes)
 		}
 		for _, rec := range red.Stats.Recoveries {
 			fmt.Fprintf(stderr, "rcfit: degraded: %s\n", rec.String())

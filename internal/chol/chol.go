@@ -208,12 +208,14 @@ func (f *Factor) FlopEstimate() float64 {
 	return flops
 }
 
-// Bytes returns the approximate memory footprint of the factor in bytes
-// (index + value storage), used by the Table 4 memory accounting. For a
-// supernodal factor this counts the packed panel values plus the shared
-// symbolic structure: row lists, panel offsets, and the precomputed
-// update-edge and scatter routing (int32 rel/scat lists plus the fixed
-// per-edge records).
+// Bytes returns the approximate peak memory footprint of the factor in
+// bytes, used by the Table 4 memory accounting. For a supernodal factor
+// this counts the packed panel values, the shared symbolic structure
+// (row lists, panel offsets, the precomputed update-edge and scatter
+// routing: int32 rel/scat lists plus the fixed per-edge records), and
+// the transient numeric-run scratch reported by ScratchBytes — the
+// per-worker dense update blocks, DAG run state, and solve buffers that
+// earlier accountings missed.
 func (f *Factor) Bytes() int64 {
 	if f.super != nil {
 		ss := f.super.ss
@@ -226,9 +228,22 @@ func (f *Factor) Bytes() int64 {
 		for _, es := range ss.updaters {
 			b += int64(len(es)) * 40 // per-edge record incl. slice header
 		}
-		return b
+		return b + f.super.scratchBytes
 	}
 	return int64(f.L.NNZ())*(8+8) + int64(len(f.L.ColPtr))*8
+}
+
+// ScratchBytes returns the transient memory of the numeric
+// factorization run that produced this factor — worker-owned dense
+// update scratch, DAG scheduling state, and the peak per-worker solve
+// buffers its multi-RHS solves create — 0 for a simplicial factor
+// (whose up-looking scratch is three length-n arrays, counted against
+// the matrix, not the factor). Included in Bytes.
+func (f *Factor) ScratchBytes() int64 {
+	if f.super != nil {
+		return f.super.scratchBytes
+	}
+	return 0
 }
 
 // ComplexFactor is a sparse LDLᵀ factorization of a complex symmetric (not

@@ -22,9 +22,14 @@
 // The arithmetic per entry is a fixed-order sum — updaters ascending,
 // columns ascending within a panel, the micro-kernels' quad-then-tail
 // k order — so the result is deterministic: bit-identical across runs
-// and at every GOMAXPROCS, with parallelism only across the
-// independent panels of one elimination-tree level and across
-// right-hand sides in the blocked solves.
+// and at every GOMAXPROCS. Parallelism is across panels via a
+// dependency-counting task DAG (each panel fires the moment its last
+// updater completes; see DESIGN.md §10), with the legacy
+// level-by-level schedule kept behind ScheduleLevel for comparison,
+// and across right-hand sides in the blocked solves. Determinism
+// survives the out-of-order panel completion because each panel writes
+// only its own packed region in a fixed order and reads updater panels
+// only after they are final.
 package chol
 
 import (
@@ -60,6 +65,26 @@ const (
 	StrategyUpLooking
 	// StrategySupernodal forces the supernodal blocked kernel.
 	StrategySupernodal
+)
+
+// Schedule selects how the supernodal numeric factorization
+// parallelizes across panels. Both schedules run identical per-panel
+// arithmetic in identical order, so the packed factor is bit-identical
+// between them (and to a serial run) at every GOMAXPROCS; they differ
+// only in when a ready panel starts.
+type Schedule int
+
+const (
+	// ScheduleDAG (the default) fires each panel the moment its last
+	// updater descendant completes, via the dependency-counting ready
+	// queue of par.RunDAG. No level barriers: workers stay busy as long
+	// as any panel is ready.
+	ScheduleDAG Schedule = iota
+	// ScheduleLevel is the legacy elimination-tree level schedule: the
+	// panels of one level factor in parallel, with a barrier between
+	// levels. Kept for A/B benchmarking (pactbench -benchset scale) and
+	// as a determinism cross-check.
+	ScheduleLevel
 )
 
 // updEdge is one precomputed descendant→ancestor update route: rows
@@ -106,8 +131,16 @@ type SuperSymbolic struct {
 	scat [][]int32
 	// levels groups supernodes by height in the supernodal elimination
 	// tree. Every updater of s sits at a strictly lower level, so the
-	// panels within one level are independent and run in parallel.
+	// panels within one level are independent and run in parallel. The
+	// level schedule is the legacy ScheduleLevel path; the default
+	// schedule runs on dag instead.
 	levels [][]int
+	// dag is the panel-precedence DAG: supernode s depends on exactly
+	// its updater descendants (which include its supernodal-etree
+	// children — a child's first below row is its parent column), so a
+	// panel may fire the moment its last updater completes instead of
+	// barriering on a whole level.
+	dag *par.DAG
 	// trapNNZ counts the trapezoid entries (the "logical" factor
 	// nonzeros, structural plus amalgamation zeros); maxRows/maxWidth
 	// bound the per-worker dense scratch; edgeInts counts the int32
@@ -276,6 +309,13 @@ func AnalyzeSuper(a *sparse.CSR, sym *order.Symbolic, opt order.SupernodeOptions
 	for s := 0; s < ns; s++ {
 		ss.levels[level[s]] = append(ss.levels[level[s]], s)
 	}
+
+	// Panel-precedence DAG from the updater lists: panel s reads exactly
+	// the panels of its updater descendants (and, for LDLᵀ, their
+	// diagonal segments, written by the same tasks), so those are its
+	// complete dependency set. updlist entries are distinct and d < s
+	// always, so the graph is acyclic by construction.
+	ss.dag = par.NewDAG(updlist)
 	return ss, nil
 }
 
@@ -303,6 +343,13 @@ func (ss *SuperSymbolic) TrapNNZ() int { return ss.trapNNZ }
 type superFactor struct {
 	ss  *SuperSymbolic
 	val []float64
+	// ws is the workspace this factor was produced through (nil for an
+	// owning factor): its solve buffers are reused by the multi-RHS
+	// solves, which therefore must not run concurrently.
+	ws *FactorWorkspace
+	// scratchBytes is the transient memory of the numeric run (dense
+	// update scratch, DAG run state, solve buffers), reported by Bytes.
+	scratchBytes int64
 }
 
 func (sf *superFactor) panel(s int) []float64 {
@@ -331,33 +378,104 @@ func (ss *SuperSymbolic) newScratch(complexUpd bool) *superScratch {
 
 // Factorize runs the numeric supernodal Cholesky A = LLᵀ against this
 // symbolic structure; a must carry exactly the analyzed pattern. Panels
-// within one elimination-tree level factor in parallel; all arithmetic
-// per panel is serial in fixed order, so the factor is bit-identical at
-// every GOMAXPROCS.
+// factor in parallel on the dependency DAG; all arithmetic per panel is
+// serial in fixed order, so the factor is bit-identical at every
+// GOMAXPROCS and under either schedule.
 func (ss *SuperSymbolic) Factorize(a *sparse.CSR) (*Factor, error) {
+	return ss.FactorizeOpt(a, ScheduleDAG, nil)
+}
+
+// FactorizeOpt is Factorize with an explicit panel schedule and an
+// optional workspace. A nil workspace allocates fresh storage (the
+// returned factor owns it); a non-nil workspace makes the factorization
+// allocation-free in steady state, and the returned factor aliases the
+// workspace — valid only until the next factorization through it (see
+// FactorWorkspace).
+func (ss *SuperSymbolic) FactorizeOpt(a *sparse.CSR, sched Schedule, ws *FactorWorkspace) (*Factor, error) {
 	n := ss.sym.N
 	if a.Rows != n || a.Cols != n {
 		return nil, fmt.Errorf("chol: supernodal factorize dimension mismatch (matrix %dx%d, symbolic %d)", a.Rows, a.Cols, n)
 	}
-	sf := &superFactor{ss: ss, val: make([]float64, ss.off[ss.sn.NSuper()])}
-	errs := make([]error, ss.sn.NSuper())
+	ns := ss.sn.NSuper()
 	workers := ss.maxLevelWorkers()
-	scratch := make([]*superScratch, workers)
-	for _, lvl := range ss.levels {
-		par.Do(workers, len(lvl), func(w, i int) {
-			if scratch[w] == nil {
-				scratch[w] = ss.newScratch(false)
-			}
-			s := lvl[i]
-			errs[s] = sf.factorPanel(a, s, scratch[w])
-		})
-		for _, s := range lvl {
-			if errs[s] != nil {
-				return nil, errs[s]
+	sf := &superFactor{ss: ss, ws: ws}
+	var errs []error
+	var scratch []*superScratch
+	if ws != nil {
+		sf.val = ws.realPanels()
+		errs = ws.errSlots()
+		scratch = ws.workerScratch(workers, false)
+	} else {
+		sf.val = make([]float64, ss.off[ns])
+		errs = make([]error, ns)
+		scratch = make([]*superScratch, workers)
+	}
+	body := func(w, s int) {
+		if scratch[w] == nil {
+			scratch[w] = ss.newScratch(false)
+		}
+		if inject.Enabled && inject.ShouldFail(inject.CholDAGTask, s) {
+			errs[s] = fmt.Errorf("chol: injected task failure at supernode %d", s)
+			return
+		}
+		errs[s] = sf.factorPanel(a, s, scratch[w])
+	}
+	if err := ss.runSchedule(sched, ws, workers, errs, body); err != nil {
+		return nil, err
+	}
+	sf.scratchBytes = ss.runBytes(scratch, sched, 8)
+	return &Factor{super: sf}, nil
+}
+
+// runSchedule executes the panel body under the chosen schedule and
+// returns the lowest-indexed panel error, if any. The DAG schedule has
+// no early exit — every panel runs even after a failure, which keeps
+// the set of executed tasks (and so the reported error) deterministic
+// under every interleaving; a failed panel's partial values are
+// themselves deterministic, so its dependents compute deterministic
+// (discarded) results. The level schedule keeps its historical
+// stop-after-failing-level behavior.
+func (ss *SuperSymbolic) runSchedule(sched Schedule, ws *FactorWorkspace, workers int, errs []error, body func(w, s int)) error {
+	if sched == ScheduleLevel {
+		for _, lvl := range ss.levels {
+			lvl := lvl
+			par.Do(workers, len(lvl), func(w, i int) { body(w, lvl[i]) })
+			for _, s := range lvl {
+				if errs[s] != nil {
+					return errs[s]
+				}
 			}
 		}
+		return nil
 	}
-	return &Factor{super: sf}, nil
+	if ws != nil {
+		par.RunDAGScratch(workers, ss.dag, ws.dagScratch(), body)
+	} else {
+		par.RunDAG(workers, ss.dag, body)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runBytes totals the factorization scratch actually allocated by one
+// numeric run plus the peak per-worker solve buffers the factor's
+// multi-RHS solves will lazily create, for the Bytes memory accounting
+// (elemSize 8 for real, 16 for complex solves).
+func (ss *SuperSymbolic) runBytes(scratch []*superScratch, sched Schedule, elemSize int) int64 {
+	var b int64
+	for _, sc := range scratch {
+		b += sc.bytes()
+	}
+	if sched == ScheduleDAG {
+		b += int64(ss.dag.Len()) * 8 // counts + ready queue
+	}
+	b += int64(ss.sn.NSuper()) * 16 // error slots
+	b += int64(par.Workers(ss.sn.NSuper())) * int64(ss.maxRows) * int64(elemSize)
+	return b
 }
 
 func (ss *SuperSymbolic) maxLevelWorkers() int {
@@ -571,6 +689,25 @@ func solveBufs[T float64 | complex128](nrhs int) [][]T {
 	return make([][]T, par.Workers(par.Chunks(nrhs, solveMultiChunk)))
 }
 
+// solveScratch returns the per-worker solve-buffer slots for a
+// multi-RHS run: pooled in the workspace for a workspace-backed factor
+// (allocation-free in steady state, not concurrency-safe), fresh
+// otherwise.
+func (sf *superFactor) solveScratch(nrhs int) [][]float64 {
+	if sf.ws != nil {
+		return sf.ws.realSolveBufs(par.Workers(par.Chunks(nrhs, solveMultiChunk)))
+	}
+	return solveBufs[float64](nrhs)
+}
+
+// solveScratch is superFactor.solveScratch for the complex factor.
+func (sf *superComplexFactor) solveScratch(nrhs int) [][]complex128 {
+	if sf.ws != nil {
+		return sf.ws.complexSolveBufs(par.Workers(par.Chunks(nrhs, solveMultiChunk)))
+	}
+	return solveBufs[complex128](nrhs)
+}
+
 // SolveMulti solves A X = B in place for nrhs right-hand sides stored
 // column-major in rhs (column c occupies rhs[c*n:(c+1)*n]). Each column
 // runs exactly the arithmetic of Solve on that column — parallelism is
@@ -587,7 +724,7 @@ func (f *Factor) SolveMulti(rhs []float64, nrhs int) {
 		})
 		return
 	}
-	bufs := solveBufs[float64](nrhs)
+	bufs := f.super.solveScratch(nrhs)
 	par.ForChunks(nrhs, solveMultiChunk, func(w, lo, hi int) {
 		if bufs[w] == nil {
 			bufs[w] = make([]float64, f.super.ss.maxRows)
@@ -610,7 +747,7 @@ func (f *Factor) LSolveMulti(rhs []float64, nrhs int) {
 		})
 		return
 	}
-	bufs := solveBufs[float64](nrhs)
+	bufs := f.super.solveScratch(nrhs)
 	par.ForChunks(nrhs, solveMultiChunk, func(w, lo, hi int) {
 		if bufs[w] == nil {
 			bufs[w] = make([]float64, f.super.ss.maxRows)
@@ -632,7 +769,7 @@ func (f *Factor) LTSolveMulti(rhs []float64, nrhs int) {
 		})
 		return
 	}
-	bufs := solveBufs[float64](nrhs)
+	bufs := f.super.solveScratch(nrhs)
 	par.ForChunks(nrhs, solveMultiChunk, func(w, lo, hi int) {
 		if bufs[w] == nil {
 			bufs[w] = make([]float64, f.super.ss.maxRows)
@@ -655,6 +792,7 @@ type superComplexFactor struct {
 	ss  *SuperSymbolic
 	val []complex128
 	d   []complex128
+	ws  *FactorWorkspace // see superFactor.ws
 }
 
 func (sf *superComplexFactor) panel(s int) []complex128 {
@@ -666,31 +804,45 @@ func (sf *superComplexFactor) panel(s int) []complex128 {
 // analyzed for) and entry values supplied per stored pattern position,
 // as in the package-level FactorizeComplex.
 func (ss *SuperSymbolic) FactorizeComplex(pattern *sparse.CSR, val func(p int) complex128) (*ComplexFactor, error) {
+	return ss.FactorizeComplexOpt(pattern, val, ScheduleDAG, nil)
+}
+
+// FactorizeComplexOpt is FactorizeComplex with an explicit panel
+// schedule and an optional workspace, mirroring FactorizeOpt: a
+// workspace-backed complex factor aliases the workspace and is valid
+// only until its next factorization.
+func (ss *SuperSymbolic) FactorizeComplexOpt(pattern *sparse.CSR, val func(p int) complex128, sched Schedule, ws *FactorWorkspace) (*ComplexFactor, error) {
 	n := ss.sym.N
 	if pattern.Rows != n || pattern.Cols != n {
 		return nil, fmt.Errorf("chol: supernodal complex dimension mismatch")
 	}
-	sf := &superComplexFactor{
-		ss:  ss,
-		val: make([]complex128, ss.off[ss.sn.NSuper()]),
-		d:   make([]complex128, n),
-	}
-	errs := make([]error, ss.sn.NSuper())
+	ns := ss.sn.NSuper()
 	workers := ss.maxLevelWorkers()
-	scratch := make([]*superScratch, workers)
-	for _, lvl := range ss.levels {
-		par.Do(workers, len(lvl), func(w, i int) {
-			if scratch[w] == nil {
-				scratch[w] = ss.newScratch(true)
-			}
-			s := lvl[i]
-			errs[s] = sf.factorPanel(val, s, scratch[w])
-		})
-		for _, s := range lvl {
-			if errs[s] != nil {
-				return nil, errs[s]
-			}
+	sf := &superComplexFactor{ss: ss, ws: ws}
+	var errs []error
+	var scratch []*superScratch
+	if ws != nil {
+		sf.val, sf.d = ws.complexPanels()
+		errs = ws.errSlots()
+		scratch = ws.workerScratch(workers, true)
+	} else {
+		sf.val = make([]complex128, ss.off[ns])
+		sf.d = make([]complex128, n)
+		errs = make([]error, ns)
+		scratch = make([]*superScratch, workers)
+	}
+	body := func(w, s int) {
+		if scratch[w] == nil {
+			scratch[w] = ss.newScratch(true)
 		}
+		if inject.Enabled && inject.ShouldFail(inject.CholDAGTask, s) {
+			errs[s] = fmt.Errorf("chol: injected task failure at supernode %d", s)
+			return
+		}
+		errs[s] = sf.factorPanel(val, s, scratch[w])
+	}
+	if err := ss.runSchedule(sched, ws, workers, errs, body); err != nil {
+		return nil, err
 	}
 	return &ComplexFactor{super: sf}, nil
 }
@@ -828,7 +980,7 @@ func (f *ComplexFactor) SolveMulti(rhs []complex128, nrhs int) error {
 		return fmt.Errorf("chol: complex multi-RHS block length %d, want %d columns of %d", len(rhs), nrhs, n)
 	}
 	if f.super != nil {
-		bufs := solveBufs[complex128](nrhs)
+		bufs := f.super.solveScratch(nrhs)
 		par.ForChunks(nrhs, solveMultiChunk, func(w, lo, hi int) {
 			if bufs[w] == nil {
 				bufs[w] = make([]complex128, f.super.ss.maxRows)

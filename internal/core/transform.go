@@ -114,6 +114,12 @@ type Stats struct {
 	PeakVectors   int // length-n vectors simultaneously live in Lanczos
 	CholeskyNNZ   int
 	CholeskyBytes int64
+	// ScratchBytes is the transient memory of the numeric factorization
+	// run (worker-owned dense update scratch, DAG scheduling state, and
+	// the factor's pooled multi-RHS solve buffers). CholeskyBytes
+	// includes it; it is broken out so rcfit -v can report how much of
+	// the peak is pooled workspace rather than factor storage.
+	ScratchBytes int64
 	Supernodes    int     // supernodal panels of the D factor (0: up-looking kernel)
 	SuperFill     int     // explicit zeros stored by relaxed amalgamation
 	FactorFlops   float64 // estimated flop count of the numeric factorization
@@ -268,9 +274,26 @@ func Transform1Context(ctx context.Context, sys *System, opts Options) (*Transfo
 		}, stats, nil
 	}
 
+	// factorizeD routes large orders through an explicit supernodal
+	// analysis with a private workspace: the factor's many blocked
+	// multi-RHS solve passes (X, Z, back-projection) then draw their
+	// per-worker buffers from one pool instead of allocating per call.
+	// The workspace is used for this one factorization only, so the
+	// factor owns its storage exactly as in the unpooled path.
+	factorizeD := func(dp *sparse.CSR, sym *order.Symbolic) (*chol.Factor, error) {
+		if dp.Rows < chol.SupernodalMinOrder {
+			return chol.Factorize(dp, sym)
+		}
+		ss, err := chol.AnalyzeSuper(dp, sym, order.SupernodeOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return ss.FactorizeOpt(dp, chol.ScheduleDAG, ss.NewWorkspace())
+	}
+
 	sym := order.Analyze(sys.D, opts.Ordering)
 	dp := sys.D.PermuteSym(sym.Perm)
-	fact, err := chol.Factorize(dp, sym)
+	fact, err := factorizeD(dp, sym)
 	gamma := 0.0
 	if err != nil && errors.Is(err, chol.ErrNotPositiveDefinite) {
 		attempts := []resilience.Attempt{{Action: "factorize(D)", Err: err}}
@@ -288,7 +311,7 @@ func Transform1Context(ctx context.Context, sys *System, opts Options) (*Transfo
 			dreg := sparse.AddDiagonal(sys.D, g)
 			symG := order.Analyze(dreg, opts.Ordering)
 			dpG := dreg.PermuteSym(symG.Perm)
-			factG, ferr := chol.Factorize(dpG, symG)
+			factG, ferr := factorizeD(dpG, symG)
 			if ferr == nil {
 				sym, dp, fact, gamma, err = symG, dpG, factG, g, nil
 				stats.Recoveries = append(stats.Recoveries, resilience.Recovery{
@@ -317,6 +340,7 @@ func Transform1Context(ctx context.Context, sys *System, opts Options) (*Transfo
 	rp := sys.R.PermuteRows(sym.Perm)
 	stats.CholeskyNNZ = fact.NNZ()
 	stats.CholeskyBytes = fact.Bytes()
+	stats.ScratchBytes = fact.ScratchBytes()
 	stats.Supernodes = fact.Supernodes()
 	stats.SuperFill = fact.AmalgamatedFill()
 	stats.FactorFlops = fact.FlopEstimate()

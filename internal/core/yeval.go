@@ -74,6 +74,24 @@ func (s *System) buildYEval() error {
 	return nil
 }
 
+// yPortChunk is the block size of the Schur-complement port solves: the
+// multi-RHS batch bounds the extra memory at yPortChunk·n complex
+// entries per evaluation.
+const yPortChunk = 8
+
+// yWorkspace is the reusable per-worker state of a frequency sweep: the
+// chol factorization workspace (packed panels, dense scratch, DAG run
+// state, solve buffers) and the port-block solve buffer. At 10⁶ nodes
+// those total hundreds of megabytes per evaluation, so YSweep threads
+// one yWorkspace through each worker's serial sequence of frequency
+// points and the steady state of a sweep allocates only the m×m result
+// matrices. Not safe for concurrent use; Y without a workspace remains
+// fully concurrent.
+type yWorkspace struct {
+	fws   *chol.FactorWorkspace
+	block []complex128
+}
+
 // Y evaluates the exact multiport admittance
 //
 //	Y(s) = A + sB − (Q+sR)ᵀ (D+sE)⁻¹ (Q+sR)
@@ -83,6 +101,12 @@ func (s *System) buildYEval() error {
 // reduced models are verified against; its cost per frequency point is
 // what Tables 2–3 of the paper compare full-network AC analysis with.
 func (s *System) Y(sv complex128) (*dense.CMat, error) {
+	return s.yEval(sv, nil)
+}
+
+// yEval is Y against an optional sweep workspace (nil allocates fresh
+// buffers, preserving Y's concurrency).
+func (s *System) yEval(sv complex128, ws *yWorkspace) (*dense.CMat, error) {
 	if err := s.initYEval(); err != nil {
 		return nil, err
 	}
@@ -100,8 +124,16 @@ func (s *System) Y(sv complex128) (*dense.CMat, error) {
 	var err error
 	if s.ySS != nil {
 		// Large system: reuse the supernodal structure analyzed once in
-		// buildYEval; each frequency point pays only the numeric panels.
-		f, err = s.ySS.FactorizeComplex(s.yPat, val)
+		// buildYEval; each frequency point pays only the numeric panels —
+		// and with a sweep workspace, not even an allocation for those.
+		var fws *chol.FactorWorkspace
+		if ws != nil {
+			if ws.fws == nil {
+				ws.fws = s.ySS.NewWorkspace()
+			}
+			fws = ws.fws
+		}
+		f, err = s.ySS.FactorizeComplexOpt(s.yPat, val, chol.ScheduleDAG, fws)
 	} else {
 		f, err = chol.FactorizeComplex(s.yPat, val, s.ySym)
 	}
@@ -125,10 +157,16 @@ func (s *System) Y(sv complex128) (*dense.CMat, error) {
 	// the one factor, batched into fixed-size blocks so each factor panel
 	// streams through the cache once per block rather than once per port
 	// (the multi-RHS solve runs each column's arithmetic exactly as a
-	// single solve would, so the batching changes no bits). The block
-	// size bounds the extra memory at yPortChunk·n complex entries.
-	const yPortChunk = 8
-	block := make([]complex128, yPortChunk*s.N)
+	// single solve would, so the batching changes no bits).
+	var block []complex128
+	if ws != nil {
+		if ws.block == nil {
+			ws.block = make([]complex128, yPortChunk*s.N)
+		}
+		block = ws.block
+	} else {
+		block = make([]complex128, yPortChunk*s.N)
+	}
 	for j0 := 0; j0 < m; j0 += yPortChunk {
 		j1 := j0 + yPortChunk
 		if j1 > m {
@@ -215,8 +253,24 @@ func (s *System) YSweepCtx(ctx context.Context, freqs []float64, workers int) ([
 	}
 	out := make([]*dense.CMat, len(freqs))
 	errs := make([]error, len(freqs))
-	if err := par.DoCtx(ctx, workers, len(freqs), func(_, k int) {
-		out[k], errs[k] = s.Y(complex(0, 2*math.Pi*freqs[k]))
+	// One workspace per pool worker: each worker evaluates its frequency
+	// points serially through its own workspace, so the per-point
+	// factorization and solve storage is allocated once per worker for
+	// the whole sweep instead of once per point. Result placement and
+	// arithmetic are unchanged — the workspace only recycles buffers.
+	nw := workers
+	if max := par.Workers(len(freqs)); nw > max {
+		nw = max
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	wss := make([]*yWorkspace, nw)
+	if err := par.DoCtx(ctx, workers, len(freqs), func(w, k int) {
+		if wss[w] == nil {
+			wss[w] = &yWorkspace{}
+		}
+		out[k], errs[k] = s.yEval(complex(0, 2*math.Pi*freqs[k]), wss[w])
 	}); err != nil {
 		return nil, resilience.Canceled(resilience.StageYEval, ctx)
 	}

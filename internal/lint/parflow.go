@@ -43,6 +43,8 @@ var parEntryNames = map[string]int{
 	"For":           -1,
 	"ForCtx":        -1,
 	"Map":           -1,
+	"RunDAG":        0,
+	"RunDAGScratch": 0,
 }
 
 // parEntry resolves a call to an internal/par entry point.

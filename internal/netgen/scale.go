@@ -1,0 +1,195 @@
+package netgen
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// This file holds the large-scale workloads: RC networks big enough that
+// building them as SPICE text and re-parsing it would double the memory
+// bill, so they construct netlist.Deck elements directly. The decks still
+// Write as ordinary SPICE, and port nodes are marked by zero-current
+// probes exactly as the text generators do.
+
+// PowerGridOpts configures the flat on-chip power-grid mesh: an NX×NY
+// RC grid (segment resistance RSeg between lattice neighbors, CNode to
+// ground at every node) with NPorts supply taps spread over the area.
+// Unlike Supply, there are no devices — this is the pure parasitic net a
+// grid-analysis flow hands to a reducer, scalable to millions of nodes.
+type PowerGridOpts struct {
+	NX, NY int
+	RSeg   float64
+	CNode  float64
+	NPorts int
+}
+
+// PowerGridPreset sizes a grid with at least the requested node count
+// (square, rounded up) at typical per-segment parasitics and 16 taps.
+func PowerGridPreset(nodes int) PowerGridOpts {
+	side := 1
+	for side*side < nodes {
+		side++
+	}
+	return PowerGridOpts{NX: side, NY: side, RSeg: 0.8, CNode: 60e-15, NPorts: 16}
+}
+
+// PowerGrid builds the grid deck and returns it with the port node
+// names. Node g<x>_<y>; ports are spread along the grid diagonal so the
+// reduced model sees the full electrical distance of the mesh.
+func PowerGrid(o PowerGridOpts) (*netlist.Deck, []string, error) {
+	if o.NX < 2 || o.NY < 2 {
+		return nil, nil, fmt.Errorf("netgen: power grid needs at least 2x2 nodes, got %dx%d", o.NX, o.NY)
+	}
+	if o.RSeg <= 0 || o.CNode < 0 {
+		return nil, nil, fmt.Errorf("netgen: power grid rseg %g must be positive, cnode %g non-negative", o.RSeg, o.CNode)
+	}
+	if o.NPorts < 1 || o.NPorts > o.NX*o.NY {
+		return nil, nil, fmt.Errorf("netgen: %d ports do not fit a %dx%d grid", o.NPorts, o.NX, o.NY)
+	}
+	deck := &netlist.Deck{
+		Title:   fmt.Sprintf("on-chip power grid %dx%d", o.NX, o.NY),
+		Models:  map[string]*netlist.Model{},
+		Subckts: map[string]*netlist.Subckt{},
+	}
+	// Node names are interned once and shared by every element touching
+	// the node — at 10⁶ nodes the strings dominate the deck otherwise.
+	names := make([]string, o.NX*o.NY)
+	for y := 0; y < o.NY; y++ {
+		for x := 0; x < o.NX; x++ {
+			names[y*o.NX+x] = fmt.Sprintf("g%d_%d", x, y)
+		}
+	}
+	nres := (o.NX-1)*o.NY + o.NX*(o.NY-1)
+	elems := make([]netlist.Element, 0, nres+o.NX*o.NY+o.NPorts)
+	re := 0
+	for y := 0; y < o.NY; y++ {
+		for x := 0; x < o.NX; x++ {
+			n := names[y*o.NX+x]
+			if x+1 < o.NX {
+				re++
+				elems = append(elems, &netlist.Resistor{
+					Ident: fmt.Sprintf("rg%d", re), N1: n, N2: names[y*o.NX+x+1], Value: o.RSeg,
+				})
+			}
+			if y+1 < o.NY {
+				re++
+				elems = append(elems, &netlist.Resistor{
+					Ident: fmt.Sprintf("rg%d", re), N1: n, N2: names[(y+1)*o.NX+x], Value: o.RSeg,
+				})
+			}
+			if o.CNode > 0 {
+				elems = append(elems, &netlist.Capacitor{
+					Ident: "c" + n, N1: n, N2: netlist.Ground, Value: o.CNode,
+				})
+			}
+		}
+	}
+	ports := make([]string, 0, o.NPorts)
+	seen := map[string]bool{}
+	for k := 0; k < o.NPorts; k++ {
+		f := float64(k) / float64(o.NPorts-1+boolInt(o.NPorts == 1))
+		x := int(f * float64(o.NX-1))
+		y := int(f * float64(o.NY-1))
+		tap := names[y*o.NX+x]
+		if seen[tap] { // small grids collapse adjacent diagonal taps
+			continue
+		}
+		seen[tap] = true
+		ports = append(ports, tap)
+		elems = append(elems, &netlist.ISource{
+			Ident: fmt.Sprintf("ip%d", k), N1: tap, N2: netlist.Ground,
+		})
+	}
+	deck.Elements = elems
+	return deck, ports, nil
+}
+
+// ClockTreeOpts configures the balanced clock-tree parasitic net: a
+// binary RC tree Levels deep (2^(Levels+1)−1 nodes), each branch an RSeg
+// resistance with CSeg at its far end, the root plus NLeafPorts sample
+// leaves marked as ports. Its elimination graph is a tree, so the
+// factorization has zero fill — the topology for exercising raw node
+// count (10⁶ and beyond) without a superlinear memory bill.
+type ClockTreeOpts struct {
+	Levels     int
+	RSeg       float64
+	CSeg       float64
+	NLeafPorts int
+}
+
+// ClockTreePreset sizes a tree with at least the requested node count
+// (2^(L+1)−1 ≥ nodes) at typical wire parasitics and 8 leaf ports.
+func ClockTreePreset(nodes int) ClockTreeOpts {
+	levels := 1
+	for (1<<(levels+1))-1 < nodes {
+		levels++
+	}
+	return ClockTreeOpts{Levels: levels, RSeg: 2.5, CSeg: 4e-15, NLeafPorts: 8}
+}
+
+// ClockTreeNodes returns the node count of a tree with the given depth.
+func ClockTreeNodes(levels int) int { return (1 << (levels + 1)) - 1 }
+
+// ClockTree builds the tree deck and returns it with the port node
+// names (root first, then the sampled leaves). Nodes use 1-based heap
+// indexing: node k has children 2k and 2k+1; node 1 is the root.
+func ClockTree(o ClockTreeOpts) (*netlist.Deck, []string, error) {
+	if o.Levels < 1 || o.Levels > 30 {
+		return nil, nil, fmt.Errorf("netgen: clock tree depth %d out of range [1, 30]", o.Levels)
+	}
+	if o.RSeg <= 0 || o.CSeg < 0 {
+		return nil, nil, fmt.Errorf("netgen: clock tree rseg %g must be positive, cseg %g non-negative", o.RSeg, o.CSeg)
+	}
+	nleaf := 1 << o.Levels
+	if o.NLeafPorts < 1 || o.NLeafPorts > nleaf {
+		return nil, nil, fmt.Errorf("netgen: %d leaf ports do not fit %d leaves", o.NLeafPorts, nleaf)
+	}
+	n := ClockTreeNodes(o.Levels)
+	deck := &netlist.Deck{
+		Title:   fmt.Sprintf("balanced clock tree depth %d (%d nodes)", o.Levels, n),
+		Models:  map[string]*netlist.Model{},
+		Subckts: map[string]*netlist.Subckt{},
+	}
+	names := make([]string, n+1) // heap-indexed, names[0] unused
+	for k := 1; k <= n; k++ {
+		names[k] = fmt.Sprintf("t%d", k)
+	}
+	elems := make([]netlist.Element, 0, 2*n+o.NLeafPorts)
+	for k := 2; k <= n; k++ {
+		elems = append(elems, &netlist.Resistor{
+			Ident: "r" + names[k][1:], N1: names[k/2], N2: names[k], Value: o.RSeg,
+		})
+		elems = append(elems, &netlist.Capacitor{
+			Ident: "c" + names[k][1:], N1: names[k], N2: netlist.Ground, Value: o.CSeg,
+		})
+	}
+	// Root load: without it the root would be a bare junction.
+	elems = append(elems, &netlist.Capacitor{Ident: "c1", N1: names[1], N2: netlist.Ground, Value: o.CSeg})
+	ports := make([]string, 0, 1+o.NLeafPorts)
+	ports = append(ports, names[1])
+	elems = append(elems, &netlist.ISource{Ident: "ip0", N1: names[1], N2: netlist.Ground})
+	firstLeaf := 1 << o.Levels
+	seen := map[int]bool{}
+	for k := 0; k < o.NLeafPorts; k++ {
+		f := float64(k) / float64(o.NLeafPorts-1+boolInt(o.NLeafPorts == 1))
+		leaf := firstLeaf + int(f*float64(nleaf-1))
+		if seen[leaf] { // shallow trees collapse adjacent sample leaves
+			continue
+		}
+		seen[leaf] = true
+		ports = append(ports, names[leaf])
+		elems = append(elems, &netlist.ISource{
+			Ident: fmt.Sprintf("ip%d", k+1), N1: names[leaf], N2: netlist.Ground,
+		})
+	}
+	deck.Elements = elems
+	return deck, ports, nil
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,132 @@
+package netgen
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/chol"
+	"repro/internal/netlist"
+	"repro/internal/order"
+	"repro/internal/stamp"
+)
+
+func TestPowerGridStructure(t *testing.T) {
+	o := PowerGridOpts{NX: 8, NY: 8, RSeg: 0.8, CNode: 60e-15, NPorts: 5}
+	deck, ports, err := PowerGrid(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantR := 7*8 + 8*7
+	nr, nc, ni := 0, 0, 0
+	for _, e := range deck.Elements {
+		switch e.(type) {
+		case *netlist.Resistor:
+			nr++
+		case *netlist.Capacitor:
+			nc++
+		case *netlist.ISource:
+			ni++
+		}
+	}
+	if nr != wantR || nc != 64 || ni != len(ports) {
+		t.Fatalf("grid has %d R, %d C, %d probes; want %d R, 64 C, %d probes", nr, nc, ni, wantR, len(ports))
+	}
+	// The direct-construction deck must be a valid SPICE deck: write it
+	// out and re-parse.
+	deck2, err := netlist.ParseString(deck.String())
+	if err != nil {
+		t.Fatalf("power grid deck does not re-parse: %v", err)
+	}
+	if len(deck2.Elements) != len(deck.Elements) {
+		t.Fatalf("round trip changed element count %d -> %d", len(deck.Elements), len(deck2.Elements))
+	}
+	ex, err := stamp.Extract(deck, ports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Sys.M != len(ports) || ex.Sys.M+ex.Sys.N != 64 {
+		t.Fatalf("extraction: %d ports + %d internal, want %d ports over 64 nodes", ex.Sys.M, ex.Sys.N, len(ports))
+	}
+}
+
+func TestClockTreeStructure(t *testing.T) {
+	o := ClockTreeOpts{Levels: 4, RSeg: 2.5, CSeg: 4e-15, NLeafPorts: 4}
+	deck, ports, err := ClockTree(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ClockTreeNodes(4)
+	if n != 31 {
+		t.Fatalf("depth-4 tree has %d nodes, want 31", n)
+	}
+	if ports[0] != "t1" || len(ports) != 5 {
+		t.Fatalf("ports = %v, want root + 4 leaves", ports)
+	}
+	ex, err := stamp.Extract(deck, ports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Sys.M+ex.Sys.N != n {
+		t.Fatalf("extraction covers %d nodes, want %d", ex.Sys.M+ex.Sys.N, n)
+	}
+	if _, err := netlist.ParseString(deck.String()); err != nil {
+		t.Fatalf("clock tree deck does not re-parse: %v", err)
+	}
+}
+
+func TestScalePresetsReachRequestedSize(t *testing.T) {
+	if o := PowerGridPreset(100_000); o.NX*o.NY < 100_000 {
+		t.Fatalf("PowerGridPreset(1e5) = %dx%d, below target", o.NX, o.NY)
+	}
+	if o := ClockTreePreset(1_000_000); ClockTreeNodes(o.Levels) < 1_000_000 {
+		t.Fatalf("ClockTreePreset(1e6) depth %d = %d nodes, below target", o.Levels, ClockTreeNodes(o.Levels))
+	}
+}
+
+// TestMillionNodeClockTreeFactorizes is the nightly scale smoke
+// (PACT_SCALE_SMOKE=1): generate the 10⁶-node clock-tree preset, extract
+// it, and run the DAG-scheduled supernodal factorization through a
+// pooled workspace twice — the second pass re-using every buffer — to
+// prove the million-node path completes without exhausting memory.
+func TestMillionNodeClockTreeFactorizes(t *testing.T) {
+	if os.Getenv("PACT_SCALE_SMOKE") == "" {
+		t.Skip("set PACT_SCALE_SMOKE=1 to run the million-node smoke")
+	}
+	start := time.Now()
+	o := ClockTreePreset(1_000_000)
+	deck, ports, err := ClockTree(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := stamp.Extract(deck, ports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := ex.Sys
+	t.Logf("deck built+extracted in %v: %d ports, %d internal nodes", time.Since(start), sys.M, sys.N)
+	if sys.M+sys.N < 1_000_000 {
+		t.Fatalf("smoke deck has only %d nodes", sys.M+sys.N)
+	}
+	deck = nil
+	runtime.GC()
+
+	sym := order.Analyze(sys.D, order.MinimumDegree)
+	dperm := sys.D.PermuteSym(sym.Perm)
+	ss, err := chol.AnalyzeSuper(dperm, sym, order.SupernodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := ss.NewWorkspace()
+	for pass := 0; pass < 2; pass++ {
+		f, err := ss.FactorizeOpt(dperm, chol.ScheduleDAG, ws)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if pass == 0 {
+			t.Logf("factorized %d nodes in %v: %d supernodes, %d B factor (%d B scratch)",
+				sys.N, time.Since(start), ss.NSuper(), f.Bytes(), f.ScratchBytes())
+		}
+	}
+}

@@ -11,14 +11,22 @@ import (
 // the title; '*' lines are comments, '+' lines continue the previous
 // card, and everything is case-insensitive. Parsing stops at .end (or
 // EOF).
+//
+// Parsing streams: each card is dispatched into the deck as soon as its
+// continuation lines end, so only the single pending card is buffered as
+// text — a million-element deck costs the elements it declares, never a
+// second copy of the file. The `.end` card terminates the scan at the
+// line it appears on; whatever follows it in the stream is not read.
 func Parse(r io.Reader) (*Deck, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	deck := &Deck{Models: map[string]*Model{}, Subckts: map[string]*Subckt{}}
-	var cards []string
+	st := &parseState{deck: deck}
 	lineNo := 0
 	first := true
-	for sc.Scan() {
+	pending := "" // the card being assembled, continuations joined
+	done := false
+	for !done && sc.Scan() {
 		lineNo++
 		line := sc.Text()
 		if i := strings.IndexByte(line, '$'); i >= 0 {
@@ -34,64 +42,85 @@ func Parse(r io.Reader) (*Deck, error) {
 			continue
 		}
 		if trimmed[0] == '+' {
-			if len(cards) == 0 {
+			if pending == "" {
 				return nil, fmt.Errorf("netlist: line %d: continuation with no previous card", lineNo)
 			}
-			cards[len(cards)-1] += " " + strings.TrimSpace(trimmed[1:])
+			pending += " " + strings.ToLower(strings.TrimSpace(trimmed[1:]))
 			continue
 		}
-		cards = append(cards, strings.ToLower(trimmed))
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("netlist: read: %w", err)
-	}
-	var sub *Subckt // non-nil while inside a .subckt body
-	for _, card := range cards {
-		fields := strings.Fields(card)
-		if len(fields) > 0 {
-			switch fields[0] {
-			case ".subckt":
-				if sub != nil {
-					return nil, fmt.Errorf("netlist: nested .subckt definition in %q", card)
-				}
-				if len(fields) < 2 {
-					return nil, fmt.Errorf("netlist: %q needs a name", card)
-				}
-				sub = &Subckt{Ident: fields[1]}
-				for _, p := range fields[2:] {
-					sub.Ports = append(sub.Ports, norm(p))
-				}
-				continue
-			case ".ends":
-				if sub == nil {
-					return nil, fmt.Errorf("netlist: .ends without .subckt")
-				}
-				if _, dup := deck.Subckts[sub.Ident]; dup {
-					return nil, fmt.Errorf("netlist: duplicate subcircuit %q", sub.Ident)
-				}
-				deck.Subckts[sub.Ident] = sub
-				sub = nil
-				continue
+		// A new card begins: the pending one can no longer grow, so it
+		// dispatches now.
+		if pending != "" {
+			if err := st.dispatch(pending); err != nil {
+				return nil, err
 			}
 		}
-		target := &deck.Elements
-		if sub != nil {
-			target = &sub.Elements
-		}
-		if err := parseCard(deck, target, card); err != nil {
-			return nil, err
-		}
-		if card == ".end" {
-			break
+		pending = strings.ToLower(trimmed)
+		if pending == ".end" {
+			done = true
 		}
 	}
-	if sub != nil {
-		return nil, fmt.Errorf("netlist: .subckt %s not closed by .ends", sub.Ident)
+	if !done {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("netlist: read: %w", err)
+		}
+		if pending != "" {
+			if err := st.dispatch(pending); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if st.sub != nil {
+		return nil, fmt.Errorf("netlist: .subckt %s not closed by .ends", st.sub.Ident)
 	}
 	if err := deck.flatten(); err != nil {
 		return nil, err
 	}
 	return deck, nil
+}
+
+// parseState carries the in-progress deck and the .subckt nesting state
+// between streamed card dispatches.
+type parseState struct {
+	deck *Deck
+	sub  *Subckt // non-nil while inside a .subckt body
+}
+
+// dispatch routes one complete card: subcircuit delimiters update the
+// nesting state, everything else lands in the deck or the open subckt.
+func (st *parseState) dispatch(card string) error {
+	fields := strings.Fields(card)
+	if len(fields) > 0 {
+		switch fields[0] {
+		case ".subckt":
+			if st.sub != nil {
+				return fmt.Errorf("netlist: nested .subckt definition in %q", card)
+			}
+			if len(fields) < 2 {
+				return fmt.Errorf("netlist: %q needs a name", card)
+			}
+			st.sub = &Subckt{Ident: fields[1]}
+			for _, p := range fields[2:] {
+				st.sub.Ports = append(st.sub.Ports, norm(p))
+			}
+			return nil
+		case ".ends":
+			if st.sub == nil {
+				return fmt.Errorf("netlist: .ends without .subckt")
+			}
+			if _, dup := st.deck.Subckts[st.sub.Ident]; dup {
+				return fmt.Errorf("netlist: duplicate subcircuit %q", st.sub.Ident)
+			}
+			st.deck.Subckts[st.sub.Ident] = st.sub
+			st.sub = nil
+			return nil
+		}
+	}
+	target := &st.deck.Elements
+	if st.sub != nil {
+		target = &st.sub.Elements
+	}
+	return parseCard(st.deck, target, card)
 }
 
 // ParseString parses a deck held in a string.

@@ -37,6 +37,13 @@ const (
 	// CholComplexPivot forces a zero-pivot failure at step k of the
 	// complex LDLᵀ factorization (chol.FactorizeComplex).
 	CholComplexPivot Point = "chol.complexpivot"
+	// CholDAGTask fails the supernodal panel task for supernode s before
+	// any of its arithmetic runs, modeling a task-level fault in the
+	// DAG-scheduled factorization. The scheduler has no early exit —
+	// every other panel still factors and the lowest-indexed failure is
+	// reported — so arming this point exercises the drain-and-report
+	// path under race detection.
+	CholDAGTask Point = "chol.dag.task"
 	// LanczosIter fails the Lanczos iteration at step j
 	// (lanczos.FindAbove / lanczos.TwoPass), modeling stagnation or
 	// breakdown on a clustered spectrum.

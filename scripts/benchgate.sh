@@ -8,8 +8,9 @@
 # table above".
 #
 # Usage: scripts/benchgate.sh [report-out.json]
-# Env:   BENCHGATE_SET (kernels|factor|all), BENCHGATE_TIME (per-leg
-#        measuring time), BENCHGATE_THRESHOLD (allowed slowdown ratio).
+# Env:   BENCHGATE_SET (kernels|factor|scale|all), BENCHGATE_TIME
+#        (per-leg measuring time), BENCHGATE_THRESHOLD (allowed slowdown
+#        ratio).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 out="${1:-bench-report.json}"

@@ -35,7 +35,9 @@ leg "go test -race"
 go test -race ./...
 
 leg "parallel-core race leg (pactcheck + -race on the pool-driven packages)"
-go test -race -tags pactcheck ./internal/par/ ./internal/core/ ./internal/dense/
+# internal/chol rides along for the DAG-schedule determinism pins and
+# the chol.dag.task drain-and-report path under the race detector.
+go test -race -tags pactcheck ./internal/par/ ./internal/core/ ./internal/dense/ ./internal/chol/
 
 leg "fault-injection race leg (-race -tags pactcheck over the inject-hooked packages)"
 # The injection harness and the recovery ladders it drives live in these
