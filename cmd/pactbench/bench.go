@@ -53,6 +53,14 @@ type BenchResult struct {
 	GFLOPS          float64 `json:"gflops,omitempty"`
 	Supernodes      int     `json:"supernodes,omitempty"`
 	FillNNZ         int     `json:"fill_nnz,omitempty"`
+	// The service rows (benchset "service") report a concurrent-client
+	// workload instead of a serial/parallel pair: throughput, tail
+	// latency, and the model-cache hit rate over the row's requests. For
+	// those rows ParallelNsPerOp is the mean request latency and the
+	// serial leg is not run (SerialNsPerOp and Speedup are zero).
+	RequestsPerSec float64 `json:"requests_per_sec,omitempty"`
+	P99NsPerOp     float64 `json:"p99_ns_per_op,omitempty"`
+	CacheHitRate   float64 `json:"cache_hit_rate,omitempty"`
 }
 
 // benchCase is a named operation prepared once and timed under both
@@ -514,8 +522,8 @@ func fillMat(m *dense.Mat, seed uint64) {
 // the ambient GOMAXPROCS and writes the report as JSON to path ("-" for
 // stdout).
 func runBenchJSON(path, set string, benchtime time.Duration, stdout io.Writer) error {
-	if set != "kernels" && set != "factor" && set != "scale" && set != "all" {
-		return fmt.Errorf("unknown -benchset %q (want kernels, factor, scale or all)", set)
+	if set != "kernels" && set != "factor" && set != "scale" && set != "service" && set != "all" {
+		return fmt.Errorf("unknown -benchset %q (want kernels, factor, scale, service or all)", set)
 	}
 	if benchtime <= 0 {
 		return fmt.Errorf("-benchtime must be positive, got %v", benchtime)
@@ -566,6 +574,13 @@ func runBenchJSON(path, set string, benchtime time.Duration, stdout io.Writer) e
 			res.GFLOPS = bc.flops / parNs // flop/ns = 1e9 flop/s
 		}
 		report.Results = append(report.Results, res)
+	}
+	if set == "service" || set == "all" {
+		rows, err := serviceResults(benchtime)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, rows...)
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

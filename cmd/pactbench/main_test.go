@@ -90,3 +90,33 @@ func TestRunOutputDir(t *testing.T) {
 		t.Fatalf("report content:\n%s", data)
 	}
 }
+
+// TestRunBenchJSONService smokes the service benchset: both workload
+// rows report throughput and tail latency, and the repeated-deck row's
+// cache hit rate is positive (the warmed deck is served from cache).
+func TestRunBenchJSONService(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-json", "-", "-benchset", "service", "-benchtime", "30ms"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("service report is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(report.Results) != 2 {
+		t.Fatalf("expected the two service rows, got %d results", len(report.Results))
+	}
+	byName := map[string]BenchResult{}
+	for _, r := range report.Results {
+		byName[r.Name] = r
+		if r.RequestsPerSec <= 0 || r.P99NsPerOp <= 0 || r.ParallelIters < 1 {
+			t.Fatalf("degenerate service row: %+v", r)
+		}
+		if r.P99NsPerOp < r.ParallelNsPerOp {
+			t.Fatalf("p99 below the mean: %+v", r)
+		}
+	}
+	if r := byName["service/reduce/repeated"]; r.CacheHitRate <= 0 {
+		t.Fatalf("repeated-deck workload never hit the cache: %+v", r)
+	}
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/netgen"
+	"repro/internal/service"
+)
+
+// serviceResults benchmarks the reduction service end to end, in
+// process: concurrent clients POST decks through Server.ServeHTTP and
+// every row reports throughput, mean and p99 latency, and the model
+// cache's hit rate over the row's requests. Two workloads bracket the
+// cache: "repeated" cycles two warmed decks (the verification-farm
+// steady state — hit rate must be near 1), "unique" cycles more
+// distinct decks than the cache holds (every request pays a reduction).
+func serviceResults(benchtime time.Duration) ([]BenchResult, error) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+
+	repeated := []string{
+		netgen.Ladder(60, 250, 1.35e-12).String(),
+		netgen.Ladder(80, 310, 1.1e-12).String(),
+	}
+	// More distinct decks than the default cache capacity, so the unique
+	// row keeps missing even after the pool wraps around.
+	unique := make([]string, 512)
+	for i := range unique {
+		unique[i] = netgen.Ladder(40, 250+float64(i)*0.5, 1.35e-12).String()
+	}
+
+	var out []BenchResult
+	for _, row := range []struct {
+		name  string
+		decks []string
+		warm  bool
+	}{
+		{"service/reduce/repeated", repeated, true},
+		{"service/reduce/unique", unique, false},
+	} {
+		res, err := serviceRow(svc, row.name, row.decks, row.warm, benchtime)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// benchRecorder is a minimal in-process http.ResponseWriter, so the
+// benchmark exercises the full handler without sockets.
+type benchRecorder struct {
+	code int
+	hdr  http.Header
+	body bytes.Buffer
+}
+
+func (r *benchRecorder) Header() http.Header { return r.hdr }
+
+func (r *benchRecorder) WriteHeader(code int) { r.code = code }
+
+func (r *benchRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(b)
+}
+
+func postBench(svc *service.Server, deck string) (int, string) {
+	req, err := http.NewRequest(http.MethodPost, "/reduce?fmax=5e9", strings.NewReader(deck))
+	if err != nil {
+		return 0, err.Error()
+	}
+	rec := &benchRecorder{hdr: make(http.Header)}
+	svc.ServeHTTP(rec, req)
+	return rec.code, rec.body.String()
+}
+
+// serviceRow drives nClients concurrent posters over decks for
+// benchtime and folds the latencies and the cache-counter deltas into
+// one result row.
+func serviceRow(svc *service.Server, name string, decks []string, warm bool, benchtime time.Duration) (BenchResult, error) {
+	if warm {
+		for _, d := range decks {
+			if code, body := postBench(svc, d); code != http.StatusOK {
+				return BenchResult{}, fmt.Errorf("%s: warm-up request failed %d: %s", name, code, body)
+			}
+		}
+	}
+	// Concurrent leaders on distinct decks each need an admission slot;
+	// staying under workers+queue means the row never sheds.
+	cfg := svc.Snapshot()
+	nClients := runtime.GOMAXPROCS(0)
+	if capacity := cfg.Workers + cfg.QueueLimit; nClients > capacity {
+		nClients = capacity
+	}
+	if nClients > 8 {
+		nClients = 8
+	}
+
+	before := svc.Snapshot()
+	lat := make([][]time.Duration, nClients)
+	errs := make(chan error, nClients)
+	deadline := time.Now().Add(benchtime)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; time.Now().Before(deadline); i += nClients {
+				t0 := time.Now()
+				code, body := postBench(svc, decks[i%len(decks)])
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("%s: request failed %d: %s", name, code, body)
+					return
+				}
+				lat[c] = append(lat[c], time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return BenchResult{}, err
+	}
+	after := svc.Snapshot()
+
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return BenchResult{}, fmt.Errorf("%s: no requests completed within -benchtime", name)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	p99 := all[(len(all)*99+99)/100-1]
+	lookups := (after.Cache.Hits + after.Cache.Misses) - (before.Cache.Hits + before.Cache.Misses)
+	hitRate := 0.0
+	if lookups > 0 {
+		hitRate = float64(after.Cache.Hits-before.Cache.Hits) / float64(lookups)
+	}
+	return BenchResult{
+		Name:            name,
+		ParallelNsPerOp: float64(sum.Nanoseconds()) / float64(len(all)),
+		ParallelIters:   len(all),
+		RequestsPerSec:  float64(len(all)) / elapsed.Seconds(),
+		P99NsPerOp:      float64(p99.Nanoseconds()),
+		CacheHitRate:    hitRate,
+	}, nil
+}

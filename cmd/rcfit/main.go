@@ -9,6 +9,10 @@
 //	rcfit -fmax 1e9 [-tol 0.05] [-ports n1,n2] [-verify] [-o out.sp] [in.sp]
 //
 // With no input file the deck is read from standard input.
+//
+// Exit codes: 0 on success, 2 when the reduction was canceled (SIGINT,
+// SIGTERM, or the -timeout deadline) — cooperative cancellation is not
+// a failure of the input — and 1 for every other error.
 package main
 
 import (
@@ -19,15 +23,19 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 
 	pact "repro"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "rcfit:", err)
+		if pact.IsCancellation(err) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	pact "repro"
 	"repro/internal/netgen"
 )
 
@@ -102,6 +103,10 @@ func TestRunTimeoutInterruptsLargeReduction(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "did not finish within -timeout") {
 		t.Fatalf("err = %v, want the -timeout report", err)
+	}
+	// main maps this to the documented cancellation exit code 2.
+	if !pact.IsCancellation(err) {
+		t.Fatalf("timeout error %v is not typed as a cancellation", err)
 	}
 	if elapsed := time.Since(start); elapsed > 30*time.Second {
 		t.Fatalf("cancellation took %v, not cooperative", elapsed)

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netgen"
+)
+
+// daemon starts run in a goroutine on a kernel-assigned port and
+// returns the base URL, a cancel func standing in for SIGTERM delivery
+// (main wires the real signals through the same context), and a wait
+// func yielding run's exit code and error.
+func daemon(t *testing.T, extraArgs ...string) (base string, cancel func(), wait func() (int, error)) {
+	t.Helper()
+	ctx, stop := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	var stderr bytes.Buffer
+	type exit struct {
+		code int
+		err  error
+	}
+	done := make(chan exit, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() {
+		code, err := run(ctx, args, pw, &stderr)
+		pw.Close()
+		done <- exit{code, err}
+	}()
+	line, err := bufio.NewReader(pr).ReadString('\n')
+	if err != nil {
+		stop()
+		t.Fatalf("no listening line: %v (stderr: %s)", err, stderr.String())
+	}
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		stop()
+		t.Fatalf("unexpected first line %q", line)
+	}
+	base = strings.TrimSpace(line[i+len(marker):])
+	go io.Copy(io.Discard, pr) // drain anything else
+	t.Cleanup(stop)
+	return base, stop, func() (int, error) {
+		select {
+		case e := <-done:
+			return e.code, e.err
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon did not exit")
+			return -1, nil
+		}
+	}
+}
+
+type reduceReply struct {
+	Cache string `json:"cache"`
+	Deck  string `json:"deck"`
+	Poles int    `json:"poles"`
+}
+
+func postDeck(t *testing.T, base, deck, query string) (int, *reduceReply) {
+	t.Helper()
+	resp, err := http.Post(base+"/reduce?"+query, "text/plain", strings.NewReader(deck))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	var out reduceReply
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp.StatusCode, &out
+}
+
+// TestDaemonServesMissThenHitAndDrainsCleanly is the end-to-end path
+// over a real socket: reduce a deck twice (miss, then cache hit with an
+// identical reduced deck), check health, then drain and expect exit 0.
+func TestDaemonServesMissThenHitAndDrainsCleanly(t *testing.T) {
+	base, cancel, wait := daemon(t)
+	deck := netgen.Ladder(40, 250, 1.35e-12).String()
+
+	code, first := postDeck(t, base, deck, "fmax=5e9")
+	if code != http.StatusOK || first.Cache != "miss" {
+		t.Fatalf("first POST: %d %+v, want 200 miss", code, first)
+	}
+	code, second := postDeck(t, base, deck, "fmax=5e9")
+	if code != http.StatusOK || second.Cache != "hit" {
+		t.Fatalf("second POST: %d %+v, want 200 hit", code, second)
+	}
+	if second.Deck != first.Deck {
+		t.Fatal("cache hit returned a different reduced deck")
+	}
+
+	hz, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(hz.Body)
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %q", hz.StatusCode, body)
+	}
+
+	cancel()
+	if exitCode, err := wait(); exitCode != 0 || err != nil {
+		t.Fatalf("drained daemon exited %d (%v), want 0", exitCode, err)
+	}
+}
+
+// TestDaemonForcedDrainExitsTwo pins the lossy-stop exit code: a
+// reduction still running when the drain grace expires is canceled and
+// the daemon exits 2, so orchestrators can tell the stop lost work.
+func TestDaemonForcedDrainExitsTwo(t *testing.T) {
+	base, cancel, wait := daemon(t, "-workers", "1", "-drain-timeout", "20ms")
+	big := netgen.Ladder(20000, 250, 1.35e-12).String()
+	posted := make(chan int, 1)
+	go func() {
+		code, _ := postDeck(t, base, big, "fmax=5e9")
+		posted <- code
+	}()
+	// Wait until the reduction is genuinely in flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/statz")
+		if err != nil {
+			t.Fatalf("statz: %v", err)
+		}
+		var st struct {
+			Inflight  int64 `json:"inflight"`
+			Completed int64 `json:"completed"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("statz decode: %v", err)
+		}
+		resp.Body.Close()
+		if st.Completed > 0 {
+			t.Skip("reduction finished before the drain could interrupt it on this machine")
+		}
+		if st.Inflight > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reduction never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	exitCode, err := wait()
+	if code := <-posted; code == http.StatusOK {
+		t.Skip("reduction finished inside the drain grace on this machine")
+	}
+	if exitCode != 2 {
+		t.Fatalf("forced drain exited %d (%v), want 2", exitCode, err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "forced drain") {
+		t.Fatalf("forced drain err = %v, want the forced-drain report", err)
+	}
+}
+
+// TestDaemonRefusesBadFlags: flag and argument errors exit 1 before the
+// listener ever opens.
+func TestDaemonRefusesBadFlags(t *testing.T) {
+	ctx := context.Background()
+	var out, errb bytes.Buffer
+	if code, err := run(ctx, []string{"-bogus"}, &out, &errb); code != 1 || err == nil {
+		t.Fatalf("bad flag: code %d err %v, want 1", code, err)
+	}
+	if code, err := run(ctx, []string{"-addr", "127.0.0.1:0", "positional"}, &out, &errb); code != 1 || err == nil {
+		t.Fatalf("positional arg: code %d err %v, want 1", code, err)
+	}
+}
+
+// TestDaemonListenFailureExitsOne: a port that is already bound is a
+// startup error, not a crash.
+func TestDaemonListenFailureExitsOne(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var out, errb bytes.Buffer
+	code, err := run(context.Background(), []string{"-addr", ln.Addr().String()}, &out, &errb)
+	if code != 1 || err == nil {
+		t.Fatalf("bound port: code %d err %v, want 1 and an error", code, err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("failed startup still printed %q", out.String())
+	}
+}

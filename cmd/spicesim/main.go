@@ -10,6 +10,9 @@
 //
 // With no file argument the deck is read from standard input. Decks
 // without analysis cards can be given one with -tran/-ac flags.
+//
+// Exit codes: 0 on success, 2 when the analyses were canceled (SIGINT,
+// SIGTERM, or the -timeout deadline), and 1 for every other error.
 package main
 
 import (
@@ -19,16 +22,21 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"repro/internal/netlist"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "spicesim:", err)
+		if resilience.IsCancellation(err) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }

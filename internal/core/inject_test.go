@@ -149,7 +149,8 @@ func sweepSeeds(t *testing.T) int64 {
 
 // TestSeededFaultSweepIsTypedAndReproducible replays FromSeed schedules
 // over the core side of the injection catalog — chol.pivot, chol.poison,
-// chol.complexpivot, lanczos.iter, plus a par.item cancellation — against
+// chol.complexpivot, chol.dag.task, lanczos.iter, plus a par.item
+// cancellation — against
 // the full reduction, an exact admittance evaluation, and a parallel
 // frequency sweep. Whatever the armed faults hit, the outcome must be
 // either a success (with any ladder firings recorded as recoveries), a
@@ -174,7 +175,8 @@ func TestSeededFaultSweepIsTypedAndReproducible(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
 		s := inject.FromSeed(seed, 10,
-			inject.CholPivot, inject.CholPoison, inject.CholComplexPivot, inject.LanczosIter).
+			inject.CholPivot, inject.CholPoison, inject.CholComplexPivot,
+			inject.CholDAGTask, inject.LanczosIter).
 			// The func-only par.item point cannot be armed from a seed, so
 			// the sweep derives its cancellation index from the seed itself:
 			// item seed%5 of the frequency sweep below cancels the context.

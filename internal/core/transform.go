@@ -99,38 +99,39 @@ func (o *Options) withDefaults() Options {
 }
 
 // Stats reports the work done by a reduction, the quantities Section 4 of
-// the paper analyzes.
+// the paper analyzes. The JSON tags give rcfitd's /statz and /reduce
+// responses a stable wire shape.
 type Stats struct {
-	Ports         int
-	Internal      int
-	PolesFound    int
-	CutoffHz      float64
-	LambdaC       float64
-	PolesPruned   int // poles dropped by residue pruning
-	Solves        int // sparse triangular solve pairs (D backsolves)
-	MatVecs       int // E (or E') matrix-vector products
-	LanczosIters  int
-	Reorths       int
-	PeakVectors   int // length-n vectors simultaneously live in Lanczos
-	CholeskyNNZ   int
-	CholeskyBytes int64
+	Ports         int     `json:"ports"`
+	Internal      int     `json:"internal"`
+	PolesFound    int     `json:"poles_found"`
+	CutoffHz      float64 `json:"cutoff_hz"`
+	LambdaC       float64 `json:"lambda_c"`
+	PolesPruned   int     `json:"poles_pruned"`  // poles dropped by residue pruning
+	Solves        int     `json:"solves"`        // sparse triangular solve pairs (D backsolves)
+	MatVecs       int     `json:"matvecs"`       // E (or E') matrix-vector products
+	LanczosIters  int     `json:"lanczos_iters"`
+	Reorths       int     `json:"reorths"`
+	PeakVectors   int     `json:"peak_vectors"` // length-n vectors simultaneously live in Lanczos
+	CholeskyNNZ   int     `json:"cholesky_nnz"`
+	CholeskyBytes int64   `json:"cholesky_bytes"`
 	// ScratchBytes is the transient memory of the numeric factorization
 	// run (worker-owned dense update scratch, DAG scheduling state, and
 	// the factor's pooled multi-RHS solve buffers). CholeskyBytes
 	// includes it; it is broken out so rcfit -v can report how much of
 	// the peak is pooled workspace rather than factor storage.
-	ScratchBytes int64
-	Supernodes    int     // supernodal panels of the D factor (0: up-looking kernel)
-	SuperFill     int     // explicit zeros stored by relaxed amalgamation
-	FactorFlops   float64 // estimated flop count of the numeric factorization
-	DenseEig      bool    // eigenproblem solved densely (small n)
-	XCached       bool
+	ScratchBytes int64   `json:"scratch_bytes"`
+	Supernodes   int     `json:"supernodes"`   // supernodal panels of the D factor (0: up-looking kernel)
+	SuperFill    int     `json:"super_fill"`   // explicit zeros stored by relaxed amalgamation
+	FactorFlops  float64 `json:"factor_flops"` // estimated flop count of the numeric factorization
+	DenseEig     bool    `json:"dense_eig"`    // eigenproblem solved densely (small n)
+	XCached      bool    `json:"x_cached"`
 	// Recoveries lists every recovery ladder that fired during the
 	// reduction, with the perturbation applied (Gamma) and its worst-case
 	// DC admittance error bound (ErrBound) where applicable. An empty list
 	// means the pipeline ran clean; a non-empty list means the result is
 	// degraded in the recorded, bounded ways.
-	Recoveries []resilience.Recovery
+	Recoveries []resilience.Recovery `json:"recoveries,omitempty"`
 }
 
 // CutoffFactor maps a relative error tolerance to the ratio f_c/f_max.

@@ -112,6 +112,83 @@ func TestFromSeedReproducible(t *testing.T) {
 	}
 }
 
+// TestCatalogPinsCount pins the size and membership of the injection
+// catalog: twelve points, one per documented site. Adding a point
+// without extending Catalog() (and the DESIGN.md §9 table plus a seeded
+// sweep) fails here.
+func TestCatalogPinsCount(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 12 {
+		t.Fatalf("catalog has %d points, want 12 (update Catalog, DESIGN.md §9 and the seeded sweeps)", len(cat))
+	}
+	want := map[Point]bool{
+		CholPivot: true, CholPoison: true, CholComplexPivot: true, CholDAGTask: true,
+		LanczosIter: true, NewtonIter: true, SimSparseLUPivot: true, SimACComplexSolve: true,
+		ParItem: true, SvcAdmit: true, SvcCacheStore: true, SvcFlightLeader: true,
+	}
+	for _, p := range cat {
+		if !want[p] {
+			t.Fatalf("catalog lists unknown point %q", p)
+		}
+		delete(want, p)
+	}
+	for p := range want {
+		t.Errorf("catalog is missing point %q", p)
+	}
+	for _, p := range []Point{SvcAdmit, SvcCacheStore, SvcFlightLeader} {
+		found := false
+		for _, q := range cat {
+			if p == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("service point %q missing from catalog", p)
+		}
+	}
+}
+
+// TestFromSeedCoversSeedableCatalog proves every seedable catalog point
+// — the full set minus the func-only par.item — is reachable from a
+// seeded sweep: FromSeed over Seedable() arms exactly one live rule per
+// point, and walking the armed span fires each of them (through
+// PoisonValue for the poison point, ShouldFail for the rest). This is
+// the coverage guarantee the nightly 200-seed sweep rests on; a point
+// FromSeed silently skipped would never be drilled by it.
+func TestFromSeedCoversSeedableCatalog(t *testing.T) {
+	const span = 25
+	seedable := Seedable()
+	if want := len(Catalog()) - 1; len(seedable) != want {
+		t.Fatalf("Seedable lists %d points, want %d (catalog minus par.item)", len(seedable), want)
+	}
+	for _, p := range seedable {
+		if p == ParItem {
+			t.Fatalf("func-only point %q must not be seedable", p)
+		}
+	}
+	s := FromSeed(99, span, seedable...)
+	Install(s)
+	defer Reset()
+	for _, p := range seedable {
+		fired := false
+		for k := 0; k < span && !fired; k++ {
+			if p == CholPoison {
+				v := PoisonValue(p, k, 1.5)
+				fired = math.IsNaN(v) || math.IsInf(v, 0)
+				continue
+			}
+			fired = ShouldFail(p, k)
+		}
+		if !fired {
+			t.Errorf("point %q not reachable from the seeded sweep over [0,%d)", p, span)
+		}
+		if got := s.Fired(p); fired && got != 1 {
+			t.Errorf("point %q fired %d times, want exactly 1", p, got)
+		}
+	}
+}
+
 func TestNoScheduleIsPassThrough(t *testing.T) {
 	Reset()
 	if ShouldFail(CholPivot, 0) {

@@ -63,4 +63,47 @@ const (
 	// context-aware parallel region; arm it with a func (ArmFunc) that
 	// cancels the region's context to test mid-stage cancellation.
 	ParItem Point = "par.item"
+	// SvcAdmit fires at admission decision i of the reduction service
+	// (internal/service): an armed failure forces a deterministic shed —
+	// the request is rejected 429 exactly as if the admission queue were
+	// at its depth limit.
+	SvcAdmit Point = "svc.admit"
+	// SvcCacheStore fails store i into the service's content-addressed
+	// model cache: the completed result is returned to its requester but
+	// the cache write is dropped, so the next identical deck misses and
+	// re-reduces instead of observing a corrupt entry.
+	SvcCacheStore Point = "svc.cache.store"
+	// SvcFlightLeader fails the leader of singleflight i before its
+	// reduction runs: a plain arm surfaces a typed StageError that every
+	// follower of the flight must observe verbatim; an ArmFunc that
+	// panics models a leader crash mid-flight, which must fail followers
+	// over to a fresh attempt instead of hanging them.
+	SvcFlightLeader Point = "svc.flight.leader"
 )
+
+// Catalog lists every injection point in the pipeline, in the
+// declaration order above. The count is pinned by a test so a new point
+// cannot be added without joining the catalog (and therefore the seeded
+// sweeps and the DESIGN.md table).
+func Catalog() []Point {
+	return []Point{
+		CholPivot, CholPoison, CholComplexPivot, CholDAGTask,
+		LanczosIter, NewtonIter, SimSparseLUPivot, SimACComplexSolve,
+		ParItem, SvcAdmit, SvcCacheStore, SvcFlightLeader,
+	}
+}
+
+// Seedable lists the catalog points FromSeed can arm on its own: every
+// point whose call site consumes a fail or poison rule. The func-only
+// ParItem is excluded — a seeded sweep derives its cancellation index
+// from the seed and arms it with ArmFunc explicitly.
+func Seedable() []Point {
+	var out []Point
+	for _, p := range Catalog() {
+		if p == ParItem {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -55,6 +55,12 @@ const (
 	StageTransient Stage = "transient"
 	// StageAC is the simulator's small-signal frequency sweep.
 	StageAC Stage = "ac-sweep"
+	// StageService is the reduction service's request path
+	// (internal/service): admission, singleflight leadership and cache
+	// maintenance. It has no numerical ladder — its failures are typed so
+	// every follower of a deduplicated flight observes the same
+	// StageError the leader produced.
+	StageService Stage = "service(reduce)"
 )
 
 // Attempt records one rung of a recovery ladder: what was tried and how

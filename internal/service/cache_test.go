@@ -1,0 +1,72 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func res(tag string) *Result { return &Result{Deck: tag} }
+
+func TestCacheHitMissAndPromotion(t *testing.T) {
+	c := newModelCache(2)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.store("a", res("a"), 0)
+	c.store("b", res("b"), 1)
+	if r, ok := c.get("a"); !ok || r.Deck != "a" {
+		t.Fatalf("a not cached: %v %v", r, ok)
+	}
+	// a is now most recently used; storing c must evict b, not a.
+	c.store("c", res("c"), 2)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU evicted the wrong entry (b survived)")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	s := c.snapshot()
+	if s.Entries != 2 || s.Evictions != 1 || s.Stores != 3 {
+		t.Fatalf("snapshot %+v, want 2 entries, 1 eviction, 3 stores", s)
+	}
+	if s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("snapshot %+v, want 2 hits / 2 misses", s)
+	}
+	if want := 0.5; s.HitRate != want {
+		t.Fatalf("hit rate %g, want %g", s.HitRate, want)
+	}
+}
+
+func TestCacheDuplicateStoreKeepsFirstEntry(t *testing.T) {
+	c := newModelCache(4)
+	first := res("first")
+	c.store("k", first, 0)
+	c.store("k", res("second"), 1)
+	got, ok := c.get("k")
+	if !ok || got != first {
+		t.Fatalf("duplicate store replaced the entry: got %v", got)
+	}
+	if s := c.snapshot(); s.Entries != 1 {
+		t.Fatalf("duplicate store grew the cache: %+v", s)
+	}
+}
+
+func TestCacheCapacityBound(t *testing.T) {
+	c := newModelCache(8)
+	for i := 0; i < 100; i++ {
+		c.store(fmt.Sprintf("k%d", i), res("x"), i)
+	}
+	s := c.snapshot()
+	if s.Entries != 8 {
+		t.Fatalf("cache grew past capacity: %d entries", s.Entries)
+	}
+	if s.Evictions != 92 {
+		t.Fatalf("evictions = %d, want 92", s.Evictions)
+	}
+	// The survivors are exactly the 8 most recent keys.
+	for i := 92; i < 100; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("recent key k%d evicted", i)
+		}
+	}
+}

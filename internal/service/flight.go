@@ -1,0 +1,120 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// errLeaderCrashed is the terminal error a follower reports when every
+// failover attempt also crashed; it never surfaces unless maxFailovers
+// consecutive leaders panic on the same key.
+var errLeaderCrashed = errors.New("service: reduction leader crashed")
+
+// maxFailovers bounds how many fresh attempts a follower makes after
+// observing leader crashes, so a deterministically-crashing deck ends in
+// a typed error instead of an unbounded retry storm.
+const maxFailovers = 3
+
+// FlightStats is the singleflight counter snapshot reported by /statz.
+type FlightStats struct {
+	// Leaders counts flights that ran the reduction; Followers counts
+	// requests that waited on another request's flight instead of paying
+	// their own factorization.
+	Leaders   int64 `json:"leaders"`
+	Followers int64 `json:"followers"`
+	// Crashes counts leader panics; Failovers counts follower retries
+	// caused by them.
+	Crashes   int64 `json:"crashes"`
+	Failovers int64 `json:"failovers"`
+}
+
+// flight is one in-progress reduction: followers block on done, then
+// read res/err. crashed marks a leader panic — followers must not trust
+// err as the reduction's outcome and instead fail over to a fresh
+// attempt. Fields other than done are written only by the leader before
+// close(done), so the channel close is the publication barrier.
+type flight struct {
+	done    chan struct{}
+	res     *Result
+	err     error
+	crashed bool
+}
+
+// flightGroup deduplicates concurrent work by key: the first request
+// becomes the leader and runs fn; every request arriving for the same
+// key before the leader finishes becomes a follower and observes the
+// leader's result or its typed error. A leader panic is contained and
+// converted to failover: followers retry (one becoming the next
+// leader), bounded by maxFailovers.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	leaders, followers, crashes, failovers int64
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: map[string]*flight{}}
+}
+
+// do runs fn under singleflight semantics for key and reports the
+// result, the error, and whether this caller led the flight (false =
+// the result was inherited from another request's flight).
+func (g *flightGroup) do(key string, fn func() (*Result, error)) (res *Result, err error, led bool) {
+	for attempt := 0; ; attempt++ {
+		g.mu.Lock()
+		if f, ok := g.flights[key]; ok {
+			g.followers++
+			if attempt > 0 {
+				g.failovers++
+			}
+			g.mu.Unlock()
+			<-f.done
+			if !f.crashed {
+				return f.res, f.err, false
+			}
+			if attempt+1 >= maxFailovers {
+				return nil, fmt.Errorf("%w (gave up after %d failover attempts)", errLeaderCrashed, attempt+1), false
+			}
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		g.flights[key] = f
+		g.leaders++
+		if attempt > 0 {
+			g.failovers++
+		}
+		g.mu.Unlock()
+
+		f.res, f.err, f.crashed = runProtected(fn)
+		g.mu.Lock()
+		delete(g.flights, key)
+		if f.crashed {
+			g.crashes++
+		}
+		g.mu.Unlock()
+		close(f.done)
+		return f.res, f.err, true
+	}
+}
+
+// runProtected runs fn, converting a panic into (nil, error, crashed)
+// so one crashing reduction cannot take the daemon down and followers
+// can distinguish a crash (retry fresh) from a typed failure (share it).
+func runProtected(fn func() (*Result, error)) (res *Result, err error, crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err, crashed = nil, fmt.Errorf("%w: %v", errLeaderCrashed, r), true
+		}
+	}()
+	res, err = fn()
+	return res, err, false
+}
+
+// snapshot returns the counters under one lock acquisition.
+func (g *flightGroup) snapshot() FlightStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return FlightStats{Leaders: g.leaders, Followers: g.followers, Crashes: g.crashes, Failovers: g.failovers}
+}

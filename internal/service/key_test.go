@@ -1,0 +1,110 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// deckA and deckB describe the identical circuit; B differs only in
+// comments, blank lines, spacing and value spelling that the parser
+// normalizes away.
+const deckA = `key test deck
+r1 in mid 250
+c1 mid 0 1p
+r2 mid out 250
+c2 out 0 1e-12
+.end
+`
+
+const deckB = `key test deck
+* a comment the canonical form drops
+r1   in    mid   250
+c1 mid 0 1p
+
+* another comment
+r2 mid out 0.25k
+c2 out 0 1p
+.end
+`
+
+func mustParse(t *testing.T, s string) *netlist.Deck {
+	t.Helper()
+	d, err := netlist.ParseString(s)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return d
+}
+
+// TestRawVsCanonicalKeys pins the content-addressing contract: decks
+// differing only in comments/whitespace hash to different raw keys but
+// identical canonical keys, so they share one cache entry while the
+// request log still distinguishes the bytes received.
+func TestRawVsCanonicalKeys(t *testing.T) {
+	p := Params{FMax: 1e9, Tol: 0.05}
+	da, db := mustParse(t, deckA), mustParse(t, deckB)
+	rawA, rawB := RawKey([]byte(deckA), p), RawKey([]byte(deckB), p)
+	if rawA == rawB {
+		t.Fatal("raw keys collide for different source bytes")
+	}
+	canA, canB := CanonicalKey(da, p), CanonicalKey(db, p)
+	if canA != canB {
+		t.Fatalf("canonical keys differ for equivalent decks:\n%s\nvs\n%s",
+			Canonicalize(da), Canonicalize(db))
+	}
+	if canA == rawA {
+		t.Fatal("canonical and raw keys must hash different material")
+	}
+}
+
+// TestKeysSeparateParams pins that every Params field participates in
+// both keys: the same deck at a different tolerance, fmax or pole cap
+// must address a different cache entry.
+func TestKeysSeparateParams(t *testing.T) {
+	d := mustParse(t, deckA)
+	base := Params{FMax: 1e9, Tol: 0.05}
+	for _, p := range []Params{
+		{FMax: 2e9, Tol: 0.05},
+		{FMax: 1e9, Tol: 0.1},
+		{FMax: 1e9, Tol: 0.05, MaxPoles: 3},
+	} {
+		if CanonicalKey(d, base) == CanonicalKey(d, p) {
+			t.Fatalf("params %+v and %+v share a canonical key", base, p)
+		}
+		if RawKey([]byte(deckA), base) == RawKey([]byte(deckA), p) {
+			t.Fatalf("params %+v and %+v share a raw key", base, p)
+		}
+	}
+}
+
+// TestCanonicalizeRoundTrip pins that the canonical form is a fixed
+// point: parsing canonical text and canonicalizing again reproduces it
+// byte for byte, so the canonical key of a canonicalized deck is stable
+// across arbitrarily many round trips.
+func TestCanonicalizeRoundTrip(t *testing.T) {
+	for _, src := range []string{deckA, deckB} {
+		can1 := Canonicalize(mustParse(t, src))
+		can2 := Canonicalize(mustParse(t, can1))
+		if can1 != can2 {
+			t.Fatalf("canonical form is not a fixed point:\n--- first\n%s\n--- second\n%s", can1, can2)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	for _, p := range []Params{
+		{},                          // missing fmax
+		{FMax: -1},                  // negative fmax
+		{FMax: 1e9, Tol: -0.1},      // negative tol
+		{FMax: 1e9, Tol: 1},         // tol at 1
+		{FMax: 1e9, MaxPoles: -2},   // negative cap
+	} {
+		if err := p.validate(); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+	if err := (Params{FMax: 1e9, Tol: 0.05}).validate(); err != nil {
+		t.Fatalf("good params rejected: %v", err)
+	}
+}

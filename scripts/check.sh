@@ -46,6 +46,13 @@ leg "fault-injection race leg (-race -tags pactcheck over the inject-hooked pack
 go test -race -tags pactcheck \
     ./internal/sim/ ./internal/resilience/... ./cmd/rcfit/ ./cmd/spicesim/
 
+leg "service leg (-race -tags pactcheck on rcfitd and its service layer)"
+# The daemon's admission/singleflight/drain machinery plus the svc.*
+# request-level fault drills: injected leader failures must propagate
+# one typed StageError to every follower with no goroutine leak, and an
+# armed admission point must shed deterministically with 429.
+go test -race -tags pactcheck ./internal/service/ ./cmd/rcfitd/
+
 leg "kernel-oracle leg (micro-kernels vs naive references, run twice)"
 # The dense micro-kernels and the supernodal paths built on them are
 # pinned by property-based oracle tests over randomized shapes; -count=2
@@ -60,6 +67,10 @@ go test -tags pactcheck ./internal/check/ ./internal/core/ ./internal/prima/ \
 leg "pactbench -json smoke"
 go run ./cmd/pactbench -json /tmp/pactbench-smoke.json -benchset kernels -benchtime 10ms
 rm -f /tmp/pactbench-smoke.json
+
+leg "pactbench service benchset smoke"
+go run ./cmd/pactbench -json /tmp/pactbench-service-smoke.json -benchset service -benchtime 30ms
+rm -f /tmp/pactbench-service-smoke.json
 
 leg "fuzz smoke (10s per target)"
 # go test rejects a -fuzz pattern matching several targets, so run them
