@@ -522,8 +522,8 @@ func fillMat(m *dense.Mat, seed uint64) {
 // the ambient GOMAXPROCS and writes the report as JSON to path ("-" for
 // stdout).
 func runBenchJSON(path, set string, benchtime time.Duration, stdout io.Writer) error {
-	if set != "kernels" && set != "factor" && set != "scale" && set != "service" && set != "all" {
-		return fmt.Errorf("unknown -benchset %q (want kernels, factor, scale, service or all)", set)
+	if set != "kernels" && set != "factor" && set != "scale" && set != "frontend" && set != "service" && set != "all" {
+		return fmt.Errorf("unknown -benchset %q (want kernels, factor, scale, frontend, service or all)", set)
 	}
 	if benchtime <= 0 {
 		return fmt.Errorf("-benchtime must be positive, got %v", benchtime)
@@ -574,6 +574,13 @@ func runBenchJSON(path, set string, benchtime time.Duration, stdout io.Writer) e
 			res.GFLOPS = bc.flops / parNs // flop/ns = 1e9 flop/s
 		}
 		report.Results = append(report.Results, res)
+	}
+	if set == "frontend" || set == "all" {
+		rows, err := frontendResults(benchtime)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, rows...)
 	}
 	if set == "service" || set == "all" {
 		rows, err := serviceResults(benchtime)

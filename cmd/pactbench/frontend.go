@@ -1,0 +1,159 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/netgen"
+	"repro/internal/netlist"
+	"repro/internal/order"
+	"repro/internal/stamp"
+)
+
+// frontendResults benchmarks the deck-to-factorizer front end stage by
+// stage on two 100k-node presets: a power grid (wide, duplicate-heavy
+// stamping) and a clock tree (deep, already near-optimal ordering).
+// Each row reports one stage — parse, stamp, assemble, order, symbolic —
+// with the serial leg at GOMAXPROCS=1 and the parallel leg at the
+// ambient setting, using the per-stage wall times the pipeline itself
+// records (Extraction.StampNs/AssembleNs, Symbolic.OrderNs/SymbolicNs)
+// rather than re-timing around the calls, so the rows measure exactly
+// what rcfit -v and /statz report.
+func frontendResults(benchtime time.Duration) ([]BenchResult, error) {
+	var out []BenchResult
+	for _, preset := range []struct {
+		tag   string
+		build func() (*netlist.Deck, []string, error)
+	}{
+		{"grid100k", func() (*netlist.Deck, []string, error) {
+			return netgen.PowerGrid(netgen.PowerGridPreset(100_000))
+		}},
+		{"tree100k", func() (*netlist.Deck, []string, error) {
+			return netgen.ClockTree(netgen.ClockTreePreset(100_000))
+		}},
+	} {
+		deck, ports, err := preset.build()
+		if err != nil {
+			return nil, err
+		}
+		rows, err := frontendPresetRows(preset.tag, deck, ports, benchtime)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// frontendPresetRows produces the five stage rows of one preset.
+func frontendPresetRows(tag string, deck *netlist.Deck, ports []string, benchtime time.Duration) ([]BenchResult, error) {
+	text := deck.String()
+
+	// Parse: the deck's own recorded ParseNs per op (the scanner is
+	// single-threaded, so the two legs should agree — a gap is scheduler
+	// noise, not speedup).
+	parse := func() ([]int64, error) {
+		d, err := netlist.ParseString(text)
+		if err != nil {
+			return nil, err
+		}
+		return []int64{d.ParseNs}, nil
+	}
+	// Stamp and assemble: one Extract per op, split by the extraction's
+	// stage accounting.
+	extract := func() ([]int64, error) {
+		ex, err := stamp.Extract(deck, ports...)
+		if err != nil {
+			return nil, err
+		}
+		return []int64{ex.StampNs, ex.AssembleNs}, nil
+	}
+	// Order and symbolic: one Analyze of the internal conductance block
+	// per op. The system is extracted once outside the timed loop.
+	ex, err := stamp.Extract(deck, ports...)
+	if err != nil {
+		return nil, err
+	}
+	analyze := func() ([]int64, error) {
+		sym := order.Analyze(ex.Sys.D, order.MinimumDegree)
+		return []int64{sym.OrderNs, sym.SymbolicNs}, nil
+	}
+
+	var out []BenchResult
+	for _, grp := range []struct {
+		stages []string
+		op     func() ([]int64, error)
+	}{
+		{[]string{"parse"}, parse},
+		{[]string{"stamp", "assemble"}, extract},
+		{[]string{"order", "symbolic"}, analyze},
+	} {
+		rows, err := frontendStageRows(tag, grp.stages, grp.op, benchtime)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// frontendStageRows times op under both GOMAXPROCS legs and splits the
+// per-stage nanoseconds it returns into one BenchResult per stage name.
+func frontendStageRows(tag string, stages []string, op func() ([]int64, error), benchtime time.Duration) ([]BenchResult, error) {
+	ambient := runtime.GOMAXPROCS(0)
+	runtime.GOMAXPROCS(1)
+	serialNs, serialIters, err := accumulateStages(len(stages), op, benchtime)
+	runtime.GOMAXPROCS(ambient)
+	if err != nil {
+		return nil, fmt.Errorf("frontend.%s/%s (serial): %w", stages[0], tag, err)
+	}
+	parNs, parIters, err := accumulateStages(len(stages), op, benchtime)
+	if err != nil {
+		return nil, fmt.Errorf("frontend.%s/%s (parallel): %w", stages[0], tag, err)
+	}
+	out := make([]BenchResult, len(stages))
+	for i, stage := range stages {
+		res := BenchResult{
+			Name:            "frontend." + stage + "/" + tag,
+			SerialNsPerOp:   serialNs[i],
+			ParallelNsPerOp: parNs[i],
+			SerialIters:     serialIters,
+			ParallelIters:   parIters,
+		}
+		if parNs[i] > 0 {
+			res.Speedup = serialNs[i] / parNs[i]
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// accumulateStages runs op until benchtime elapses (at least once after
+// a warm-up iteration) and returns the mean per-stage nanoseconds.
+func accumulateStages(nStages int, op func() ([]int64, error), benchtime time.Duration) ([]float64, int, error) {
+	if _, err := op(); err != nil { // warm-up
+		return nil, 0, err
+	}
+	sums := make([]int64, nStages)
+	iters := 0
+	start := time.Now()
+	for elapsed := time.Duration(0); elapsed < benchtime; elapsed = time.Since(start) {
+		ns, err := op()
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(ns) != nStages {
+			return nil, 0, fmt.Errorf("stage split returned %d values, want %d", len(ns), nStages)
+		}
+		for i, v := range ns {
+			sums[i] += v
+		}
+		iters++
+	}
+	out := make([]float64, nStages)
+	for i, s := range sums {
+		out[i] = float64(s) / float64(iters)
+	}
+	return out, iters, nil
+}

@@ -128,19 +128,33 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			fmt.Fprintf(stderr, "rcfit: cholesky %s: %.4g GFLOP, %d solves, %d matvecs, peak factor %d B (%d B pooled scratch)\n",
 				kernel, red.Stats.FactorFlops/1e9, red.Stats.Solves, red.Stats.MatVecs,
 				red.Stats.CholeskyBytes, red.Stats.ScratchBytes)
+			st := red.Stats.Stage
+			fmt.Fprintf(stderr, "rcfit: stages: parse %s, stamp %s, assemble %s, order %s, symbolic %s, factor %s\n",
+				stageMs(st.ParseNs), stageMs(st.StampNs), stageMs(st.AssembleNs),
+				stageMs(st.OrderNs), stageMs(st.SymbolicNs), stageMs(st.FactorNs))
 		}
 		for _, rec := range red.Stats.Recoveries {
 			fmt.Fprintf(stderr, "rcfit: degraded: %s\n", rec.String())
 		}
 	}
 	if *verify {
-		pts, err := red.Verify(*fmax, 7)
-		if err != nil {
-			return err
-		}
-		for _, p := range pts {
-			fmt.Fprintf(stderr, "rcfit: verify f=%-12.4g rel err %.3f%%\n", p.Freq, 100*p.RelErr)
-		}
+		return runVerify(red, *fmax, stderr)
+	}
+	return nil
+}
+
+// stageMs formats a nanosecond stage time for the -v report.
+func stageMs(ns int64) string {
+	return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+}
+
+func runVerify(red *pact.Reduction, fmax float64, stderr io.Writer) error {
+	pts, err := red.Verify(fmax, 7)
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Fprintf(stderr, "rcfit: verify f=%-12.4g rel err %.3f%%\n", p.Freq, 100*p.RelErr)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/check"
 	"repro/internal/chol"
@@ -132,6 +133,25 @@ type Stats struct {
 	// means the pipeline ran clean; a non-empty list means the result is
 	// degraded in the recorded, bounded ways.
 	Recoveries []resilience.Recovery `json:"recoveries,omitempty"`
+	// Stage breaks the reduction's wall time down by pipeline stage, so a
+	// front end that stops keeping pace with the factorizer is visible in
+	// rcfit -v and /statz rather than buried in an aggregate total.
+	Stage StageTimes `json:"stage_ns"`
+}
+
+// StageTimes is the per-stage wall-time breakdown of one deck-to-model
+// run, in nanoseconds. The front-end stages (parse, stamp, assemble) are
+// filled by callers that start from a netlist deck (pact.ReduceDeck);
+// the ordering, symbolic and numeric-factorization stages are filled by
+// Transform 1 and accumulate across recovery rungs, so a rescued run
+// reports the total time spent, not just the winning rung's.
+type StageTimes struct {
+	ParseNs    int64 `json:"parse,omitempty"`
+	StampNs    int64 `json:"stamp,omitempty"`
+	AssembleNs int64 `json:"assemble,omitempty"`
+	OrderNs    int64 `json:"order,omitempty"`
+	SymbolicNs int64 `json:"symbolic,omitempty"`
+	FactorNs   int64 `json:"factor,omitempty"`
 }
 
 // CutoffFactor maps a relative error tolerance to the ratio f_c/f_max.
@@ -281,13 +301,33 @@ func Transform1Context(ctx context.Context, sys *System, opts Options) (*Transfo
 	// per-worker buffers from one pool instead of allocating per call.
 	// The workspace is used for this one factorization only, so the
 	// factor owns its storage exactly as in the unpooled path.
+	// Every Analyze and factorizeD call folds its wall time into the
+	// per-stage accounting, so a recovery ladder that reorders and
+	// refactors reports the total time spent, not the winning rung's.
 	factorizeD := func(dp *sparse.CSR, sym *order.Symbolic) (*chol.Factor, error) {
-		if dp.Rows < chol.SupernodalMinOrder {
-			return chol.Factorize(dp, sym)
+		stats.Stage.OrderNs += sym.OrderNs
+		stats.Stage.SymbolicNs += sym.SymbolicNs
+		//lint:ignore nondet stage wall-time accounting only, never feeds numeric results
+		t0 := time.Now()
+		var ss *chol.SuperSymbolic
+		if dp.Rows >= chol.SupernodalMinOrder {
+			var err error
+			ss, err = chol.AnalyzeSuper(dp, sym, order.SupernodeOptions{})
+			if err != nil {
+				return nil, err
+			}
 		}
-		ss, err := chol.AnalyzeSuper(dp, sym, order.SupernodeOptions{})
-		if err != nil {
-			return nil, err
+		// The supernodal amalgamation is symbolic work; everything after
+		// this point is the numeric factorization.
+		//lint:ignore nondet stage wall-time accounting only, never feeds numeric results
+		t1 := time.Now()
+		stats.Stage.SymbolicNs += t1.Sub(t0).Nanoseconds()
+		defer func() {
+			//lint:ignore nondet stage wall-time accounting only, never feeds numeric results
+			stats.Stage.FactorNs += time.Since(t1).Nanoseconds()
+		}()
+		if ss == nil {
+			return chol.Factorize(dp, sym)
 		}
 		return ss.FactorizeOpt(dp, chol.ScheduleDAG, ss.NewWorkspace())
 	}

@@ -153,6 +153,77 @@ func OkSlotMerge(xs []float64) float64 {
 	wantLines(t, runRule(t, l, "internal/core", "sharedwrite"))
 }
 
+// TestSharedwriteChunkBucketIdiom: the chunk-indexed bucket pattern of
+// the parallel stamping/assembly front end — a ForChunks callback that
+// writes only the bucket selected by lo/chunk, or only the rows of its
+// own [lo,hi) range — is clean, while the same shape with a captured
+// (non-derived) bucket cursor or a captured first-error variable is a
+// scheduling-order race and is flagged.
+func TestSharedwriteChunkBucketIdiom(t *testing.T) {
+	t.Parallel()
+	l := fixtureLoader(t, map[string]string{
+		"internal/par/par.go": parStub,
+		"internal/stamp/stamp.go": `package stamp
+
+import "fixturemod/internal/par"
+
+type bucket struct {
+	rows []int
+	vals []float64
+	err  error
+}
+
+func OkBuckets(n int, xs []float64) []bucket {
+	buckets := make([]bucket, (n+7)/8)
+	par.ForChunks(n, 8, func(w, lo, hi int) {
+		bk := &buckets[lo/8]
+		for i := lo; i < hi; i++ {
+			bk.rows = append(bk.rows, i)
+			bk.vals = append(bk.vals, xs[i])
+		}
+	})
+	return buckets
+}
+
+func OkRowSegments(rowLen []int, n int) {
+	par.ForChunks(n, 8, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rowLen[i] = i - lo
+		}
+	})
+}
+
+func BadCapturedCursor(n int) []bucket {
+	buckets := make([]bucket, (n+7)/8)
+	next := 0
+	par.ForChunks(n, 8, func(w, lo, hi int) {
+		buckets[next].rows = append(buckets[next].rows, lo)
+		next++
+	})
+	return buckets
+}
+
+func BadFirstError(n int) error {
+	var firstErr error
+	par.ForChunks(n, 8, func(w, lo, hi int) {
+		firstErr = nil
+	})
+	return firstErr
+}
+`,
+	})
+	ds := runRule(t, l, "internal/stamp", "sharedwrite")
+	// buckets[next] (35) and next++ (36): the cursor is captured, not
+	// derived from lo/hi, so whichever worker draws the chunk writes it.
+	// firstErr (44): the sanctioned idiom stores the error in the chunk's
+	// own bucket and picks the lowest failing chunk after the pool
+	// returns, never a captured scalar.
+	wantLines(t, ds, 35, 36, 44)
+	// The clean idioms must also be clean under fpreduce: every write is
+	// an owned slot, not a reduction.
+	wantLines(t, runRule(t, l, "internal/stamp", "fpreduce"))
+}
+
 // TestMaporder: float accumulation, unsorted appends and fmt output in
 // map iteration order are flagged; the collect-sort-iterate idiom (both
 // stdlib sort and a local sort helper), integer counting and map-to-map

@@ -28,6 +28,10 @@ type Deck struct {
 	// (lowercased, continuations joined) so a rewritten deck keeps its
 	// analysis setup.
 	Controls []string
+	// ParseNs is the wall time Parse spent building this deck (zero for
+	// decks constructed programmatically); pact.ReduceDeck folds it into
+	// the per-stage reduction accounting.
+	ParseNs int64
 }
 
 // Element is any circuit element.

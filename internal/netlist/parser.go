@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 )
 
 // Parse reads a SPICE deck. Following SPICE convention the first line is
@@ -18,6 +19,7 @@ import (
 // second copy of the file. The `.end` card terminates the scan at the
 // line it appears on; whatever follows it in the stream is not read.
 func Parse(r io.Reader) (*Deck, error) {
+	t0 := time.Now()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	deck := &Deck{Models: map[string]*Model{}, Subckts: map[string]*Subckt{}}
@@ -76,6 +78,7 @@ func Parse(r io.Reader) (*Deck, error) {
 	if err := deck.flatten(); err != nil {
 		return nil, err
 	}
+	deck.ParseNs = time.Since(t0).Nanoseconds()
 	return deck, nil
 }
 

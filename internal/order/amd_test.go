@@ -1,0 +1,180 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func grid3D(nx, ny, nz int) *sparse.CSR {
+	n := nx * ny * nz
+	b := sparse.NewBuilder(n, n)
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				b.Add(id(x, y, z), id(x, y, z), 6)
+				if x+1 < nx {
+					b.AddSym(id(x, y, z), id(x+1, y, z), -1)
+				}
+				if y+1 < ny {
+					b.AddSym(id(x, y, z), id(x, y+1, z), -1)
+				}
+				if z+1 < nz {
+					b.AddSym(id(x, y, z), id(x, y, z+1), -1)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// binaryTree builds the graph of a complete binary tree on n heap-indexed
+// nodes — the clock-tree topology netgen generates at scale.
+func binaryTree(n int) *sparse.CSR {
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 2)
+		if c := 2*i + 1; c < n {
+			b.AddSym(i, c, -1)
+		}
+		if c := 2*i + 2; c < n {
+			b.AddSym(i, c, -1)
+		}
+	}
+	return b.Build()
+}
+
+// fillFor computes the Cholesky factor nonzero count of a under the given
+// permutation via the etree-based symbolic analysis.
+func fillFor(a *sparse.CSR, perm []int) int {
+	upper := a.PermuteSym(perm).UpperCSC()
+	parent := ETree(upper)
+	total := 0
+	for _, c := range ColCounts(upper, parent) {
+		total += c
+	}
+	return total
+}
+
+func TestAMDIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(80)
+		a := randomSymPattern(rng, n, 3*n)
+		if !validPerm(AMD(a), n) {
+			t.Fatalf("trial %d: AMD did not return a permutation", trial)
+		}
+	}
+}
+
+func TestAMDHandlesDisconnected(t *testing.T) {
+	n := 12
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 1)
+	}
+	for i := 0; i < 4; i++ {
+		b.AddSym(i, i+1, 1)
+	}
+	for i := 6; i < 9; i++ {
+		b.AddSym(i, i+1, 1)
+	}
+	a := b.Build()
+	if !validPerm(AMD(a), n) {
+		t.Fatal("AMD failed on disconnected graph")
+	}
+}
+
+func TestAMDDeterministic(t *testing.T) {
+	// Same pattern, same permutation — AMD is a pure serial function of
+	// the pattern, so repeated runs must agree exactly.
+	fixtures := []*sparse.CSR{
+		grid2D(17, 13),
+		grid3D(6, 6, 6),
+		binaryTree(501),
+	}
+	rng := rand.New(rand.NewSource(32))
+	fixtures = append(fixtures, randomSymPattern(rng, 300, 900))
+	for fi, a := range fixtures {
+		p1 := AMD(a)
+		p2 := AMD(a)
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("fixture %d: AMD not deterministic at position %d: %d vs %d", fi, i, p1[i], p2[i])
+			}
+		}
+	}
+}
+
+func TestAMDFillNoWorseThanMinDegree(t *testing.T) {
+	// On the fixture meshes the supervariable AMD must match or beat the
+	// plain minimum-degree ordering it replaces at scale.
+	fixtures := []struct {
+		name string
+		a    *sparse.CSR
+	}{
+		{"grid2d-20x20", grid2D(20, 20)},
+		{"grid2d-31x17", grid2D(31, 17)},
+		{"grid3d-7x7x7", grid3D(7, 7, 7)},
+		{"tree-1023", binaryTree(1023)},
+		{"path-400", pathGraph(400)},
+	}
+	for _, f := range fixtures {
+		amd := fillFor(f.a, AMD(f.a))
+		md := fillFor(f.a, MinDegree(f.a))
+		t.Logf("%s: AMD fill %d, MinDegree fill %d", f.name, amd, md)
+		if amd > md {
+			t.Errorf("%s: AMD fill %d worse than MinDegree fill %d", f.name, amd, md)
+		}
+	}
+}
+
+func TestAMDFillMatchesBruteForce(t *testing.T) {
+	// The permuted-pattern fill reported through the symbolic pipeline
+	// must equal brute-force symbolic elimination, i.e. the permutation
+	// is usable, not just valid.
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(24)
+		a := randomSymPattern(rng, n, 2*n)
+		perm := AMD(a)
+		if !validPerm(perm, n) {
+			t.Fatalf("trial %d: invalid perm", trial)
+		}
+		got := fillFor(a, perm)
+		want := denseSymbolicFill(a.PermuteSym(perm))
+		if got != want {
+			t.Fatalf("trial %d: fill %d, brute force %d", trial, got, want)
+		}
+	}
+}
+
+func TestAnalyzeDispatchesAMD(t *testing.T) {
+	// Above the threshold Analyze must use AMD, below it MinDegree; both
+	// observable because the two orderings differ on a shuffled grid.
+	a := grid2D(25, 25).PermuteSym(rand.New(rand.NewSource(34)).Perm(625))
+	defer func(old int) { AMDMinOrder = old }(AMDMinOrder)
+
+	AMDMinOrder = 1 // force AMD
+	sym := Analyze(a, MinimumDegree)
+	want := AMD(a)
+	for i := range want {
+		if sym.Perm[i] != want[i] {
+			t.Fatalf("Analyze above threshold did not use AMD (pos %d)", i)
+		}
+	}
+	if sym.OrderNs < 0 || sym.SymbolicNs <= 0 {
+		t.Errorf("stage times not recorded: order %d symbolic %d", sym.OrderNs, sym.SymbolicNs)
+	}
+
+	AMDMinOrder = 1 << 30 // force MinDegree
+	sym = Analyze(a, MinimumDegree)
+	want = MinDegree(a)
+	for i := range want {
+		if sym.Perm[i] != want[i] {
+			t.Fatalf("Analyze below threshold did not use MinDegree (pos %d)", i)
+		}
+	}
+}

@@ -79,6 +79,12 @@ const (
 	// panics models a leader crash mid-flight, which must fail followers
 	// over to a fresh attempt instead of hanging them.
 	SvcFlightLeader Point = "svc.flight.leader"
+	// StampAssemble fails stamping chunk i of the parallel element loop
+	// in stamp.Extract before any of its triplets are emitted. The other
+	// chunks still run to completion and the lowest-indexed armed chunk
+	// is the error reported, so drilling this point under -race proves
+	// the bucketed assembly drains deterministically on failure.
+	StampAssemble Point = "stamp.assemble"
 )
 
 // Catalog lists every injection point in the pipeline, in the
@@ -90,6 +96,7 @@ func Catalog() []Point {
 		CholPivot, CholPoison, CholComplexPivot, CholDAGTask,
 		LanczosIter, NewtonIter, SimSparseLUPivot, SimACComplexSolve,
 		ParItem, SvcAdmit, SvcCacheStore, SvcFlightLeader,
+		StampAssemble,
 	}
 }
 

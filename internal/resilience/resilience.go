@@ -61,6 +61,13 @@ const (
 	// every follower of a deduplicated flight observes the same
 	// StageError the leader produced.
 	StageService Stage = "service(reduce)"
+	// StageExtract is the deck-to-matrices front end (stamp.Extract):
+	// element classification, port detection and the parallel bucketed
+	// stamping of the conductance/susceptance matrices. It has no ladder
+	// — a malformed element or an injected assembly fault is terminal —
+	// but its failures carry the same typed shape, with the lowest
+	// failing stamping chunk reported deterministically.
+	StageExtract Stage = "extract(stamp)"
 )
 
 // Attempt records one rung of a recovery ladder: what was tried and how

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	pact "repro"
 	"repro/internal/resilience/inject"
 )
 
@@ -29,6 +30,10 @@ type Result struct {
 	// ElapsedNs is the wall-clock time of the producing reduction; a
 	// cache hit returns it unchanged, so clients can see what they saved.
 	ElapsedNs int64 `json:"elapsed_ns"`
+	// Stage is the per-stage wall-time breakdown of the producing
+	// reduction (parse/stamp/assemble/order/symbolic/factor), carried so
+	// clients can see where a slow deck spent its time.
+	Stage pact.StageTimes `json:"stage_ns"`
 }
 
 // CacheStats is the cache counter snapshot reported by /statz.

@@ -97,6 +97,12 @@ type Stats struct {
 	Cache   CacheStats  `json:"cache"`
 	Flights FlightStats `json:"flights"`
 
+	// StageTotals accumulates the per-stage wall time of every reduction
+	// this process actually ran (led flights only; hits and followers are
+	// free), so operators can see whether the front end (stamp/assemble)
+	// or the factorizer dominates the fleet's spend.
+	StageTotals pact.StageTimes `json:"stage_totals_ns"`
+
 	// WorkspaceLastBytes/WorkspacePeakBytes report the pooled
 	// chol.FactorWorkspace scratch of the most recent and the largest
 	// reduction served, surfacing the steady-state memory the worker
@@ -150,6 +156,10 @@ type Server struct {
 
 	requests, completed, failed, shed, timeouts, degraded atomic.Int64
 	wsLast, wsPeak                                        atomic.Int64
+
+	// Cumulative per-stage wall time of every reduction this process led
+	// (cache hits and followers add nothing — the work ran once).
+	stageStamp, stageAssemble, stageOrder, stageSymbolic, stageFactor atomic.Int64
 
 	// reduceFn runs one reduction; tests substitute it to control timing
 	// and outcomes without multi-second decks.
@@ -205,11 +215,25 @@ func (s *Server) runReduction(ctx context.Context, deck *netlist.Deck, p Params)
 		Internal:     red.Stats.Internal,
 		ScratchBytes: red.Stats.ScratchBytes,
 		ElapsedNs:    red.Elapsed.Nanoseconds(),
+		Stage:        red.Stats.Stage,
 	}
 	for _, rec := range red.Stats.Recoveries {
 		res.Recoveries = append(res.Recoveries, rec.String())
 	}
+	s.recordStages(res.Stage)
 	return res, nil
+}
+
+// recordStages folds one reduction's stage breakdown into the running
+// /statz totals (front-end parse time is absent here: the service parses
+// decks on the request path before the flight, so its cost shows up in
+// the request latency, not the reduction's stage accounting).
+func (s *Server) recordStages(st pact.StageTimes) {
+	s.stageStamp.Add(st.StampNs)
+	s.stageAssemble.Add(st.AssembleNs)
+	s.stageOrder.Add(st.OrderNs)
+	s.stageSymbolic.Add(st.SymbolicNs)
+	s.stageFactor.Add(st.FactorNs)
 }
 
 // acquireSlot admits the caller into the bounded worker pool: it sheds
@@ -407,20 +431,27 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 // pactbench read the same numbers the endpoint serves.
 func (s *Server) Snapshot() Stats {
 	return Stats{
-		UptimeNs:           time.Since(s.start).Nanoseconds(),
-		Draining:           s.draining.Load(),
-		Workers:            s.cfg.Workers,
-		QueueLimit:         s.cfg.QueueDepth,
-		QueueDepth:         s.waiting.Load(),
-		Inflight:           s.inflight.Load(),
-		Requests:           s.requests.Load(),
-		Completed:          s.completed.Load(),
-		Failed:             s.failed.Load(),
-		Shed:               s.shed.Load(),
-		Timeouts:           s.timeouts.Load(),
-		Degraded:           s.degraded.Load(),
-		Cache:              s.cache.snapshot(),
-		Flights:            s.flights.snapshot(),
+		UptimeNs:   time.Since(s.start).Nanoseconds(),
+		Draining:   s.draining.Load(),
+		Workers:    s.cfg.Workers,
+		QueueLimit: s.cfg.QueueDepth,
+		QueueDepth: s.waiting.Load(),
+		Inflight:   s.inflight.Load(),
+		Requests:   s.requests.Load(),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+		Shed:       s.shed.Load(),
+		Timeouts:   s.timeouts.Load(),
+		Degraded:   s.degraded.Load(),
+		Cache:      s.cache.snapshot(),
+		Flights:    s.flights.snapshot(),
+		StageTotals: pact.StageTimes{
+			StampNs:    s.stageStamp.Load(),
+			AssembleNs: s.stageAssemble.Load(),
+			OrderNs:    s.stageOrder.Load(),
+			SymbolicNs: s.stageSymbolic.Load(),
+			FactorNs:   s.stageFactor.Load(),
+		},
 		WorkspaceLastBytes: s.wsLast.Load(),
 		WorkspacePeakBytes: s.wsPeak.Load(),
 	}

@@ -1,0 +1,166 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// csrBitsEqual compares two matrices exactly, values by Float64bits —
+// the equality the parallel-assembly determinism contract promises.
+func csrBitsEqual(a, b *CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := 0; i <= a.Rows; i++ {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for p := range a.Col {
+		if a.Col[p] != b.Col[p] || math.Float64bits(a.Val[p]) != math.Float64bits(b.Val[p]) {
+			return false
+		}
+	}
+	return true
+}
+
+// randomBuilder fills a builder with duplicate-heavy triplets, including
+// pairs that cancel to exactly zero, across enough rows to clear the
+// BuildPar serial-fallback threshold.
+func randomBuilder(rng *rand.Rand, rows, cols, nnz int) *Builder {
+	b := NewBuilder(rows, cols)
+	for k := 0; k < nnz; k++ {
+		i, j := rng.Intn(rows), rng.Intn(cols)
+		v := rng.NormFloat64()
+		b.Add(i, j, v)
+		switch rng.Intn(4) {
+		case 0:
+			b.Add(i, j, rng.NormFloat64()) // duplicate, summed
+		case 1:
+			b.Add(i, j, -v) // cancels the first entry exactly
+		}
+	}
+	return b
+}
+
+func TestBuildParMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 6; trial++ {
+		rows := 2*buildRowChunk + rng.Intn(3*buildRowChunk)
+		b := randomBuilder(rng, rows, rows, 4*rows)
+		serial := b.Build()
+		for _, procs := range []int{1, 2, 4, 8} {
+			old := runtime.GOMAXPROCS(procs)
+			got := b.BuildPar()
+			runtime.GOMAXPROCS(old)
+			if !csrBitsEqual(serial, got) {
+				t.Fatalf("trial %d: BuildPar at GOMAXPROCS=%d differs from Build", trial, procs)
+			}
+		}
+	}
+}
+
+func TestBuildParSmallFallsBackToBuild(t *testing.T) {
+	b := NewBuilder(5, 5)
+	b.AddSym(0, 1, 2)
+	b.Add(3, 3, 1)
+	if !csrBitsEqual(b.Build(), b.BuildPar()) {
+		t.Fatal("small BuildPar differs from Build")
+	}
+}
+
+func TestReserveAndAppend(t *testing.T) {
+	b := NewBuilder(4, 4)
+	b.Reserve(8)
+	b.Add(0, 0, 1)
+	b.Append([]int{1, 2, 1}, []int{1, 3, 1}, []float64{2, -5, 3})
+	a := b.Build()
+	if a.At(0, 0) != 1 || a.At(1, 1) != 5 || a.At(2, 3) != -5 {
+		t.Fatalf("unexpected entries after Append: %v %v %v", a.At(0, 0), a.At(1, 1), a.At(2, 3))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append with out-of-range entry did not panic")
+		}
+	}()
+	b.Append([]int{9}, []int{0}, []float64{1})
+}
+
+// builderPermuteSym is the historical triplet-rebuild implementation,
+// kept as the oracle for the direct-construction PermuteSym.
+func builderPermuteSym(a *CSR, perm []int) *CSR {
+	inv := InversePerm(perm)
+	b := NewBuilder(a.Rows, a.Cols)
+	for iOld := 0; iOld < a.Rows; iOld++ {
+		iNew := inv[iOld]
+		for p := a.RowPtr[iOld]; p < a.RowPtr[iOld+1]; p++ {
+			b.Add(iNew, inv[a.Col[p]], a.Val[p])
+		}
+	}
+	return b.Build()
+}
+
+// builderSubmatrix is the historical map-based implementation, kept as
+// the oracle for the direct-construction Submatrix.
+func builderSubmatrix(a *CSR, rows, cols []int) *CSR {
+	colMap := make(map[int]int, len(cols))
+	for k, j := range cols {
+		colMap[j] = k
+	}
+	b := NewBuilder(len(rows), len(cols))
+	for k, i := range rows {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if jNew, ok := colMap[a.Col[p]]; ok {
+				b.Add(k, jNew, a.Val[p])
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestPermuteSymMatchesBuilderOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		n := 1 + rng.Intn(200)
+		a := randomCSR(rng, n, n, 3*n)
+		// Inject an explicit zero so the zero-dropping path is exercised.
+		if a.NNZ() > 0 {
+			a.Val[rng.Intn(a.NNZ())] = 0
+		}
+		perm := rng.Perm(n)
+		want := builderPermuteSym(a, perm)
+		if !csrBitsEqual(want, a.PermuteSym(perm)) {
+			t.Fatalf("trial %d: PermuteSym differs from builder oracle", trial)
+		}
+		ident := IdentityPerm(n)
+		if !csrBitsEqual(builderPermuteSym(a, ident), a.PermuteSym(ident)) {
+			t.Fatalf("trial %d: identity PermuteSym differs from builder oracle", trial)
+		}
+	}
+}
+
+func TestSubmatrixMatchesBuilderOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(150)
+		a := randomCSR(rng, n, n, 4*n)
+		if a.NNZ() > 0 {
+			a.Val[rng.Intn(a.NNZ())] = 0
+		}
+		var rows, cols []int
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				rows = append(rows, i)
+			}
+			if rng.Intn(2) == 0 {
+				cols = append(cols, i)
+			}
+		}
+		want := builderSubmatrix(a, rows, cols)
+		if !csrBitsEqual(want, a.Submatrix(rows, cols)) {
+			t.Fatalf("trial %d: Submatrix differs from builder oracle", trial)
+		}
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // Builder accumulates matrix entries in triplet (COO) form. Duplicate
@@ -309,7 +311,13 @@ func AddDiagonal(a *CSR, gamma float64) *CSR {
 
 // PermuteSym returns B with B[i][j] = A[perm[i]][perm[j]]; perm maps new
 // index to old index and must be a permutation of 0..n-1. A must be
-// square.
+// square. Entries whose value is exactly zero are dropped, matching the
+// historical triplet-rebuild semantics.
+//
+// Each output row is row perm[i] of A with columns remapped and
+// re-sorted, built directly into its own slice segment; rows are
+// independent, so the per-row work runs on the worker pool and the
+// result is identical at every GOMAXPROCS.
 func (a *CSR) PermuteSym(perm []int) *CSR {
 	if a.Rows != a.Cols {
 		panic("sparse: PermuteSym requires a square matrix")
@@ -319,14 +327,43 @@ func (a *CSR) PermuteSym(perm []int) *CSR {
 		panic("sparse: PermuteSym permutation length mismatch")
 	}
 	inv := InversePerm(perm)
-	b := NewBuilder(n, n)
-	for iOld := 0; iOld < n; iOld++ {
-		iNew := inv[iOld]
+	out := &CSR{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+	for i, iOld := range perm {
+		cnt := 0
 		for p := a.RowPtr[iOld]; p < a.RowPtr[iOld+1]; p++ {
-			b.Add(iNew, inv[a.Col[p]], a.Val[p])
+			if a.Val[p] != 0 {
+				cnt++
+			}
 		}
+		out.RowPtr[i+1] = out.RowPtr[i] + cnt
 	}
-	return b.Build()
+	out.Col = make([]int, out.RowPtr[n])
+	out.Val = make([]float64, out.RowPtr[n])
+	par.ForChunks(n, buildRowChunk, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			iOld := perm[i]
+			q := out.RowPtr[i]
+			prev := -1
+			sorted := true
+			for p := a.RowPtr[iOld]; p < a.RowPtr[iOld+1]; p++ {
+				if a.Val[p] == 0 {
+					continue
+				}
+				j := inv[a.Col[p]]
+				out.Col[q] = j
+				out.Val[q] = a.Val[p]
+				q++
+				if j < prev {
+					sorted = false
+				}
+				prev = j
+			}
+			if !sorted {
+				sort.Sort(rowSeg{col: out.Col[out.RowPtr[i]:q], val: out.Val[out.RowPtr[i]:q]})
+			}
+		}
+	})
+	return out
 }
 
 // PermuteRows returns B with row i of B equal to row perm[i] of A.
@@ -350,24 +387,54 @@ func (a *CSR) PermuteRows(perm []int) *CSR {
 
 // Submatrix extracts the block with the given (ordered) row and column
 // index sets. Index sets need not be contiguous; they must be strictly
-// increasing for the result to keep sorted rows.
+// increasing for the result to keep sorted rows. Entries whose value is
+// exactly zero are dropped, matching the historical triplet-rebuild
+// semantics.
+//
+// Because the column set is strictly increasing, the surviving entries
+// of each source row are already in output order, so rows build
+// directly into their own segments with no sort; the per-row work runs
+// on the worker pool with identical results at every GOMAXPROCS.
 func (a *CSR) Submatrix(rows, cols []int) *CSR {
-	colMap := make(map[int]int, len(cols))
+	colMap := make([]int32, a.Cols)
+	for i := range colMap {
+		colMap[i] = -1
+	}
 	for k, j := range cols {
 		if k > 0 && cols[k-1] >= j {
 			panic("sparse: Submatrix column set must be strictly increasing")
 		}
-		colMap[j] = k
+		if j < 0 || j >= a.Cols {
+			panic("sparse: Submatrix column index out of range")
+		}
+		colMap[j] = int32(k)
 	}
-	b := NewBuilder(len(rows), len(cols))
+	out := &CSR{Rows: len(rows), Cols: len(cols), RowPtr: make([]int, len(rows)+1)}
 	for k, i := range rows {
+		cnt := 0
 		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-			if jNew, ok := colMap[a.Col[p]]; ok {
-				b.Add(k, jNew, a.Val[p])
+			if colMap[a.Col[p]] >= 0 && a.Val[p] != 0 {
+				cnt++
 			}
 		}
+		out.RowPtr[k+1] = out.RowPtr[k] + cnt
 	}
-	return b.Build()
+	out.Col = make([]int, out.RowPtr[len(rows)])
+	out.Val = make([]float64, out.RowPtr[len(rows)])
+	par.ForChunks(len(rows), buildRowChunk, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i := rows[k]
+			q := out.RowPtr[k]
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				if jNew := colMap[a.Col[p]]; jNew >= 0 && a.Val[p] != 0 {
+					out.Col[q] = int(jNew)
+					out.Val[q] = a.Val[p]
+					q++
+				}
+			}
+		}
+	})
+	return out
 }
 
 // IsSymmetric reports whether A equals its transpose within tol on each

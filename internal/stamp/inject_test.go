@@ -1,0 +1,57 @@
+//go:build pactcheck
+
+package stamp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/netgen"
+	"repro/internal/resilience"
+	"repro/internal/resilience/inject"
+)
+
+// TestInjectStampAssemble drills the stamp.assemble injection point: an
+// armed stamping chunk must surface as a typed StageError naming the
+// extract stage, with every other chunk still draining cleanly (this
+// test runs under -race in scripts/check.sh's fault-injection leg).
+func TestInjectStampAssemble(t *testing.T) {
+	deck, ports, err := netgen.PowerGrid(netgen.PowerGridPreset(20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inject.Reset()
+	for _, chunk := range []int{0, 2} {
+		inject.Install(inject.NewSchedule().Arm(inject.StampAssemble, chunk))
+		_, err := Extract(deck, ports...)
+		if err == nil {
+			t.Fatalf("chunk %d: armed extract succeeded", chunk)
+		}
+		var se *resilience.StageError
+		if !errors.As(err, &se) || se.Stage != resilience.StageExtract {
+			t.Fatalf("chunk %d: error %v is not a StageError for %s", chunk, err, resilience.StageExtract)
+		}
+		if !errors.Is(err, errAssembleFault) {
+			t.Fatalf("chunk %d: error %v does not wrap the assembly fault sentinel", chunk, err)
+		}
+	}
+
+	// Arming two chunks must deterministically report the lower one.
+	inject.Install(inject.NewSchedule().
+		Arm(inject.StampAssemble, 3).
+		Arm(inject.StampAssemble, 1))
+	_, err = Extract(deck, ports...)
+	var se *resilience.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("two armed chunks: error %v is not a StageError", err)
+	}
+	if se.Detail != "stamping chunk 1 failed" {
+		t.Fatalf("two armed chunks: detail %q, want the lowest chunk reported", se.Detail)
+	}
+
+	// With the schedule cleared the same deck extracts cleanly.
+	inject.Reset()
+	if _, err := Extract(deck, ports...); err != nil {
+		t.Fatalf("after reset: %v", err)
+	}
+}

@@ -6,13 +6,18 @@
 package stamp
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/dense"
 	"repro/internal/netlist"
+	"repro/internal/par"
+	"repro/internal/resilience"
+	"repro/internal/resilience/inject"
 	"repro/internal/sparse"
 )
 
@@ -32,7 +37,25 @@ type Extraction struct {
 	// DroppedElements are RC cards in components not connected to any
 	// port; they cannot affect the ports and are removed.
 	DroppedElements []netlist.Element
+	// StampNs is the wall time of element classification, port
+	// detection, connectivity pruning and the (parallel) triplet
+	// stamping loop; AssembleNs covers the triplet-to-CSR builds and the
+	// port/internal partition. Together they are the front end's share
+	// of core.Stats stage accounting.
+	StampNs    int64
+	AssembleNs int64
 }
+
+// stampChunk is the number of RC elements a stamping worker processes
+// per triplet bucket. Bucket boundaries depend only on the element
+// count, never the worker count, and buckets are merged in index order,
+// so the assembled triplet sequence — and therefore the built CSR, bit
+// for bit — is identical at every GOMAXPROCS.
+const stampChunk = 2048
+
+// errAssembleFault marks an injected stamping-chunk failure (inject
+// point stamp.assemble, pactcheck builds only).
+var errAssembleFault = errors.New("stamp: injected assembly fault")
 
 // Extract separates the RC network of a deck and stamps it into a
 // partitioned System. Following RCFIT, a node becomes a port when it is
@@ -40,9 +63,24 @@ type Extraction struct {
 // resistor or capacitor; ground is the implicit common node. ExtraPorts
 // lets the caller force nodes (e.g. observation points) to be ports.
 func Extract(deck *netlist.Deck, extraPorts ...string) (*Extraction, error) {
+	tStamp := time.Now()
 	ex := &Extraction{}
-	touchRC := map[string]bool{}
-	touchOther := map[string]bool{}
+	// Pre-size the classification maps, node index and triplet buffers
+	// from the deck's element counts: growing them from zero showed up
+	// as allocation churn in the million-node profile.
+	nRC := 0
+	for _, e := range deck.Elements {
+		switch e.(type) {
+		case *netlist.Resistor, *netlist.Capacitor:
+			nRC++
+		}
+	}
+	ex.RCElements = make([]netlist.Element, 0, nRC)
+	if rest := len(deck.Elements) - nRC; rest > 0 {
+		ex.OtherElements = make([]netlist.Element, 0, rest)
+	}
+	touchRC := make(map[string]bool, nRC+1)
+	touchOther := make(map[string]bool, 2*(len(deck.Elements)-nRC)+1)
 	for _, e := range deck.Elements {
 		switch e.(type) {
 		case *netlist.Resistor, *netlist.Capacitor:
@@ -62,7 +100,7 @@ func Extract(deck *netlist.Deck, extraPorts ...string) (*Extraction, error) {
 		force[p] = true
 	}
 	// Node order: first appearance among RC elements; ports first.
-	index := map[string]int{}
+	index := make(map[string]int, nRC+1)
 	var portNames, internalNames []string
 	for _, e := range ex.RCElements {
 		for _, n := range e.Nodes() {
@@ -87,7 +125,7 @@ func Extract(deck *netlist.Deck, extraPorts ...string) (*Extraction, error) {
 	}
 	// Drop RC components not reachable from any port or ground. Union-find
 	// over RC nodes, with ground and every port in one "anchored" group.
-	parent := map[string]string{}
+	parent := make(map[string]string, nRC+1)
 	var find func(string) string
 	find = func(x string) string {
 		p, ok := parent[x]
@@ -137,49 +175,112 @@ func Extract(deck *netlist.Deck, extraPorts ...string) (*Extraction, error) {
 	for i, name := range internalNames {
 		index[name] = m + i
 	}
+	// Stamp the element loop in parallel: fixed-size chunks of the
+	// element slice fill chunk-indexed triplet buckets (iteration-owned —
+	// no two chunks share a bucket), which are then merged in chunk
+	// order. The merged triplet sequence is exactly what the serial loop
+	// would have appended, so the built matrices are bit-identical at
+	// every GOMAXPROCS. Element errors land in the owning bucket and the
+	// lowest-indexed one wins, again matching the serial loop.
+	type triBucket struct {
+		gr, gc []int
+		gv     []float64
+		cr, cc []int
+		cv     []float64
+		err    error
+	}
+	nElems := len(ex.RCElements)
+	buckets := make([]triBucket, (nElems+stampChunk-1)/stampChunk)
+	par.ForChunks(nElems, stampChunk, func(_, lo, hi int) {
+		ci := lo / stampChunk
+		bk := &buckets[ci]
+		if inject.Enabled && inject.ShouldFail(inject.StampAssemble, ci) {
+			bk.err = resilience.NewStageError(resilience.StageExtract,
+				fmt.Sprintf("stamping chunk %d failed", ci), nil, errAssembleFault)
+			return
+		}
+		est := 4 * (hi - lo)
+		bk.gr = make([]int, 0, est)
+		bk.gc = make([]int, 0, est)
+		bk.gv = make([]float64, 0, est)
+		bk.cr = make([]int, 0, est)
+		bk.cc = make([]int, 0, est)
+		bk.cv = make([]float64, 0, est)
+		for k := lo; k < hi; k++ {
+			e := ex.RCElements[k]
+			var isG bool
+			var val float64
+			switch el := e.(type) {
+			case *netlist.Resistor:
+				if el.Value <= 0 {
+					bk.err = fmt.Errorf("stamp: resistor %s has non-positive value %g (network must be passive)", el.Ident, el.Value)
+					return
+				}
+				isG, val = true, 1/el.Value
+			case *netlist.Capacitor:
+				if el.Value < 0 {
+					bk.err = fmt.Errorf("stamp: capacitor %s has negative value %g (network must be passive)", el.Ident, el.Value)
+					return
+				}
+				isG, val = false, el.Value
+			}
+			r, c, v := bk.cr, bk.cc, bk.cv
+			if isG {
+				r, c, v = bk.gr, bk.gc, bk.gv
+			}
+			ns := e.Nodes()
+			i, iOK := index[ns[0]]
+			j, jOK := index[ns[1]]
+			isGndI := ns[0] == netlist.Ground
+			isGndJ := ns[1] == netlist.Ground
+			switch {
+			case isGndI && isGndJ:
+				continue // both terminals grounded: no effect
+			case isGndI:
+				r, c, v = append(r, j), append(c, j), append(v, val)
+			case isGndJ:
+				r, c, v = append(r, i), append(c, i), append(v, val)
+			default:
+				if !iOK || !jOK {
+					bk.err = fmt.Errorf("stamp: internal error, unindexed node on %s", e.Name())
+					return
+				}
+				if i == j {
+					continue // element shorted on one node
+				}
+				// Same triplet order the serial Builder calls produced:
+				// (i,i), (j,j), (i,j), (j,i).
+				r = append(r, i, j, i, j)
+				c = append(c, i, j, j, i)
+				v = append(v, val, val, -val, -val)
+			}
+			if isG {
+				bk.gr, bk.gc, bk.gv = r, c, v
+			} else {
+				bk.cr, bk.cc, bk.cv = r, c, v
+			}
+		}
+	})
+	sumG, sumC := 0, 0
+	for bi := range buckets {
+		if err := buckets[bi].err; err != nil {
+			return nil, err
+		}
+		sumG += len(buckets[bi].gv)
+		sumC += len(buckets[bi].cv)
+	}
 	gb := sparse.NewBuilder(m+n, m+n)
 	cb := sparse.NewBuilder(m+n, m+n)
-	for _, e := range ex.RCElements {
-		var b *sparse.Builder
-		var val float64
-		switch el := e.(type) {
-		case *netlist.Resistor:
-			if el.Value <= 0 {
-				return nil, fmt.Errorf("stamp: resistor %s has non-positive value %g (network must be passive)", el.Ident, el.Value)
-			}
-			b, val = gb, 1/el.Value
-		case *netlist.Capacitor:
-			if el.Value < 0 {
-				return nil, fmt.Errorf("stamp: capacitor %s has negative value %g (network must be passive)", el.Ident, el.Value)
-			}
-			b, val = cb, el.Value
-		}
-		ns := e.Nodes()
-		i, iOK := index[ns[0]]
-		j, jOK := index[ns[1]]
-		isGndI := ns[0] == netlist.Ground
-		isGndJ := ns[1] == netlist.Ground
-		if isGndI && isGndJ {
-			continue // both terminals grounded: no effect
-		}
-		switch {
-		case isGndI:
-			b.Add(j, j, val)
-		case isGndJ:
-			b.Add(i, i, val)
-		default:
-			if !iOK || !jOK {
-				return nil, fmt.Errorf("stamp: internal error, unindexed node on %s", e.Name())
-			}
-			if i == j {
-				continue // element shorted on one node
-			}
-			b.Add(i, i, val)
-			b.Add(j, j, val)
-			b.AddSym(i, j, -val)
-		}
+	gb.Reserve(sumG)
+	cb.Reserve(sumC)
+	for bi := range buckets {
+		gb.Append(buckets[bi].gr, buckets[bi].gc, buckets[bi].gv)
+		cb.Append(buckets[bi].cr, buckets[bi].cc, buckets[bi].cv)
 	}
-	g, c := gb.Build(), cb.Build()
+	ex.StampNs = time.Since(tStamp).Nanoseconds()
+
+	tAssemble := time.Now()
+	g, c := gb.BuildPar(), cb.BuildPar()
 	if check.Enabled {
 		check.SymmetricCSR("stamped conductance matrix", g, check.DefaultTol)
 		check.SymmetricCSR("stamped susceptance matrix", c, check.DefaultTol)
@@ -192,6 +293,7 @@ func Extract(deck *netlist.Deck, extraPorts ...string) (*Extraction, error) {
 	if err != nil {
 		return nil, err
 	}
+	ex.AssembleNs = time.Since(tAssemble).Nanoseconds()
 	ex.Sys = sys
 	ex.PortNames = portNames
 	ex.InternalNames = internalNames

@@ -45,6 +45,10 @@ type Model = core.ReducedModel
 // ReduceStats reports the work done by a reduction.
 type ReduceStats = core.Stats
 
+// StageTimes is the per-stage wall-time breakdown carried by
+// ReduceStats.Stage (parse, stamp, assemble, order, symbolic, factor).
+type StageTimes = core.StageTimes
+
 // Ordering selects the fill-reducing ordering of the internal conductance
 // block.
 type Ordering = order.Method
@@ -168,6 +172,12 @@ func ReduceDeckContext(ctx context.Context, deck *Deck, opts Options) (*Reductio
 	if err != nil {
 		return nil, fmt.Errorf("pact: reduce: %w", err)
 	}
+	// Fold the front-end stage times (parser and extractor) into the
+	// reduction's per-stage accounting next to the ordering/symbolic/
+	// factorization times Transform 1 recorded.
+	stats.Stage.ParseNs = deck.ParseNs
+	stats.Stage.StampNs = ex.StampNs
+	stats.Stage.AssembleNs = ex.AssembleNs
 	ropts := stamp.RealizeOptions{Prefix: opts.Prefix, SparsifyTol: opts.SparsifyTol}
 	out := &netlist.Deck{
 		Title:    deck.Title + " (pact reduced)",

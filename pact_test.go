@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -212,6 +213,63 @@ func TestDeterminism(t *testing.T) {
 	for i := range r1.Model.Lambda {
 		if r1.Model.Lambda[i] != r2.Model.Lambda[i] {
 			t.Fatal("same seed, different poles")
+		}
+	}
+}
+
+// TestReducedModelGOMAXPROCSInvariant pins the end-to-end determinism
+// contract of the parallel front end: the reduced model a deck produces
+// — poles, connection rows, port matrices, every float64 bit — must not
+// depend on the worker count. The grid is big enough to engage the
+// chunked stamping loop (well past one 2048-element chunk), the
+// parallel triplet→CSR build, and the AMD ordering path
+// (order.AMDMinOrder internal nodes), so a scheduling leak anywhere in
+// stamp → sparse → order → factor shows up as a bit difference here.
+func TestReducedModelGOMAXPROCSInvariant(t *testing.T) {
+	deck, ports, err := netgen.PowerGrid(netgen.PowerGridPreset(3600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := deck.String()
+	opts := Options{FMax: 5e9, Tol: 0.05, ExtraPorts: ports}
+	reduceAt := func(procs int) *Model {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		_, red, err := ReduceString(text, opts)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		return red.Model
+	}
+	bits := func(xs []float64) []uint64 {
+		out := make([]uint64, len(xs))
+		for i, x := range xs {
+			out[i] = math.Float64bits(x)
+		}
+		return out
+	}
+	ref := reduceAt(1)
+	for _, procs := range []int{2, 4, 8} {
+		got := reduceAt(procs)
+		if got.K() != ref.K() {
+			t.Fatalf("GOMAXPROCS=%d: %d poles, serial %d", procs, got.K(), ref.K())
+		}
+		for name, pair := range map[string][2][]float64{
+			"Lambda": {got.Lambda, ref.Lambda},
+			"A":      {got.A.Data, ref.A.Data},
+			"B":      {got.B.Data, ref.B.Data},
+			"R":      {got.R.Data, ref.R.Data},
+		} {
+			g, r := bits(pair[0]), bits(pair[1])
+			if len(g) != len(r) {
+				t.Fatalf("GOMAXPROCS=%d: %s length %d, serial %d", procs, name, len(g), len(r))
+			}
+			for i := range g {
+				if g[i] != r[i] {
+					t.Fatalf("GOMAXPROCS=%d: %s[%d] = %x, serial %x — reduced model is not bit-identical",
+						procs, name, i, g[i], r[i])
+				}
+			}
 		}
 	}
 }

@@ -36,15 +36,22 @@ go test -race ./...
 
 leg "parallel-core race leg (pactcheck + -race on the pool-driven packages)"
 # internal/chol rides along for the DAG-schedule determinism pins and
-# the chol.dag.task drain-and-report path under the race detector.
-go test -race -tags pactcheck ./internal/par/ ./internal/core/ ./internal/dense/ ./internal/chol/
+# the chol.dag.task drain-and-report path under the race detector;
+# internal/sparse for the parallel triplet->CSR build and permutation
+# bit-identity pins.
+go test -race -tags pactcheck ./internal/par/ ./internal/core/ ./internal/dense/ \
+    ./internal/chol/ ./internal/sparse/
 
 leg "fault-injection race leg (-race -tags pactcheck over the inject-hooked packages)"
 # The injection harness and the recovery ladders it drives live in these
 # packages; -race covers the cancellation paths (timeouts mid-pool,
 # mid-Newton) and the schedule's mutex-guarded fire counting.
+# internal/stamp drills the stamp.assemble point: a poisoned stamping
+# chunk must surface as a typed extract(stamp) StageError naming the
+# lowest failing chunk, with the parallel element loop racing under it.
 go test -race -tags pactcheck \
-    ./internal/sim/ ./internal/resilience/... ./cmd/rcfit/ ./cmd/spicesim/
+    ./internal/sim/ ./internal/resilience/... ./internal/stamp/ \
+    ./cmd/rcfit/ ./cmd/spicesim/
 
 leg "service leg (-race -tags pactcheck on rcfitd and its service layer)"
 # The daemon's admission/singleflight/drain machinery plus the svc.*
