@@ -11,6 +11,7 @@
 //	netgen -kind supply > grid.sp
 //	netgen -kind powergrid -nodes 1000000 > grid1m.sp
 //	netgen -kind clocktree -levels 19 > tree1m.sp
+//	netgen -kind wideband -ports 256 > wideband256.sp
 package main
 
 import (
@@ -33,7 +34,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("netgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	kind := fs.String("kind", "ladder", "ladder | inverterpair | mesh | adder | multiplier | supply | powergrid | clocktree")
+	kind := fs.String("kind", "ladder", "ladder | inverterpair | mesh | adder | multiplier | supply | powergrid | clocktree | wideband")
 	nseg := fs.Int("nseg", 100, "ladder segments")
 	rtot := fs.Float64("r", 250, "ladder total resistance (ohm)")
 	ctot := fs.Float64("c", 1.35e-12, "ladder total capacitance (F)")
@@ -123,6 +124,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "netgen: depth-%d tree (%d nodes), ports %v\n",
 			o.Levels, netgen.ClockTreeNodes(o.Levels), portNames)
+	case "wideband":
+		o := netgen.WideBandPreset(*ports)
+		var portNames []string
+		var err error
+		deck, portNames, err = netgen.WideBand(o)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "netgen: %dx%d graded grid, %d port nodes over %g decades\n",
+			o.NX, o.NY, len(portNames), o.GradeDecades)
 	default:
 		return fmt.Errorf("unknown kind %q", *kind)
 	}

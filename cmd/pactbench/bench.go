@@ -61,6 +61,15 @@ type BenchResult struct {
 	RequestsPerSec float64 `json:"requests_per_sec,omitempty"`
 	P99NsPerOp     float64 `json:"p99_ns_per_op,omitempty"`
 	CacheHitRate   float64 `json:"cache_hit_rate,omitempty"`
+	// The multipoint rows (benchset "multipoint") report the reduced
+	// model next to its wall time: retained pole count, max relative
+	// Y(s) error against the dense oracle over the band, and the
+	// multi-point stage splits (per-shift factorization under the shared
+	// symbolic, basis union) from one instrumented run.
+	Poles         int     `json:"poles,omitempty"`
+	MaxRelErr     float64 `json:"max_rel_err,omitempty"`
+	ShiftFactorNs float64 `json:"shift_factor_ns,omitempty"`
+	BasisUnionNs  float64 `json:"basis_union_ns,omitempty"`
 }
 
 // benchCase is a named operation prepared once and timed under both
@@ -522,8 +531,8 @@ func fillMat(m *dense.Mat, seed uint64) {
 // the ambient GOMAXPROCS and writes the report as JSON to path ("-" for
 // stdout).
 func runBenchJSON(path, set string, benchtime time.Duration, stdout io.Writer) error {
-	if set != "kernels" && set != "factor" && set != "scale" && set != "frontend" && set != "service" && set != "all" {
-		return fmt.Errorf("unknown -benchset %q (want kernels, factor, scale, frontend, service or all)", set)
+	if set != "kernels" && set != "factor" && set != "scale" && set != "frontend" && set != "service" && set != "multipoint" && set != "all" {
+		return fmt.Errorf("unknown -benchset %q (want kernels, factor, scale, frontend, service, multipoint or all)", set)
 	}
 	if benchtime <= 0 {
 		return fmt.Errorf("-benchtime must be positive, got %v", benchtime)
@@ -584,6 +593,13 @@ func runBenchJSON(path, set string, benchtime time.Duration, stdout io.Writer) e
 	}
 	if set == "service" || set == "all" {
 		rows, err := serviceResults(benchtime)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, rows...)
+	}
+	if set == "multipoint" || set == "all" {
+		rows, err := multipointResults(benchtime)
 		if err != nil {
 			return err
 		}

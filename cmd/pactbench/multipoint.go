@@ -1,0 +1,92 @@
+package main
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netgen"
+	"repro/internal/stamp"
+)
+
+// The multipoint benchset measures the multi-expansion-point reduction
+// on the wide-band 256-port bench (`netgen -kind wideband -ports 256`):
+// single-point, two-shift multi-point, and cluster-thinned multi-point
+// at one pole budget. Each row carries the usual serial/parallel wall
+// times plus the reduced model's pole count and its max relative Y(s)
+// error against the dense oracle over the band — the accuracy-vs-size
+// comparison of the experiments tables, measured on this machine — and
+// the multi-point rows split out the per-shift factorization (shared
+// symbolic) and basis-union times.
+
+// multipointResults builds the wide-band system once and produces one
+// row per reduction mode.
+func multipointResults(benchtime time.Duration) ([]BenchResult, error) {
+	deck, ports, err := netgen.WideBand(netgen.WideBandPreset(256))
+	if err != nil {
+		return nil, err
+	}
+	ex, err := stamp.Extract(deck, ports...)
+	if err != nil {
+		return nil, err
+	}
+	sys := ex.Sys
+	const fmax = 2e10
+	base := core.Options{FMax: fmax, Tol: 0.05, MaxPoles: 48}
+	multi := base
+	multi.Shifts = []float64{0, fmax}
+	clustered := multi
+	clustered.PortClusters = 16
+	freqs := core.OracleFreqs(fmax, 3, 3)
+
+	var out []BenchResult
+	for _, row := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"multipoint/wideband256/single-point", base},
+		{"multipoint/wideband256/multi-2pt", multi},
+		{"multipoint/wideband256/multi-2pt-cluster16", clustered},
+	} {
+		opts := row.opts
+		op := func() error {
+			_, _, err := core.Reduce(sys, opts)
+			return err
+		}
+		ambient := runtime.GOMAXPROCS(0)
+		runtime.GOMAXPROCS(1)
+		serialNs, _, _, serialIters, err := measure(op, benchtime)
+		runtime.GOMAXPROCS(ambient)
+		if err != nil {
+			return nil, err
+		}
+		parNs, allocs, bytes, parIters, err := measure(op, benchtime)
+		if err != nil {
+			return nil, err
+		}
+		// One instrumented run for the model-quality and stage columns.
+		model, stats, err := core.Reduce(sys, opts)
+		if err != nil {
+			return nil, err
+		}
+		errs, err := core.OracleMaxRelErrs(sys, []*core.ReducedModel{model}, freqs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BenchResult{
+			Name:            row.name,
+			SerialNsPerOp:   serialNs,
+			ParallelNsPerOp: parNs,
+			Speedup:         serialNs / parNs,
+			SerialIters:     serialIters,
+			ParallelIters:   parIters,
+			AllocsPerOp:     allocs,
+			BytesPerOp:      bytes,
+			Poles:           model.K(),
+			MaxRelErr:       errs[0],
+			ShiftFactorNs:   float64(stats.Stage.ShiftFactorNs),
+			BasisUnionNs:    float64(stats.Stage.BasisUnionNs),
+		})
+	}
+	return out, nil
+}

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	rcfit -fmax 1e9 [-tol 0.05] [-ports n1,n2] [-verify] [-o out.sp] [in.sp]
+//	rcfit -fmax 1e9 -shifts 0,1e8,1e9 -portcluster 16 wideband.sp   # multi-point
 //
 // With no input file the deck is read from standard input.
 //
@@ -22,6 +23,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -50,6 +52,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	out := fs.String("o", "", "output file (default stdout)")
 	prefix := fs.String("prefix", "pact", "name prefix for generated elements")
 	maxPoles := fs.Int("maxpoles", 0, "cap on retained poles (0 = no cap)")
+	shiftsFlag := fs.String("shifts", "", "comma-separated expansion-point frequencies in Hz for multi-point reduction (empty = classic single-point)")
+	portCluster := fs.Int("portcluster", 0, "cluster ports into this many groups for cluster-wise basis thinning (multi-point only, 0 disables)")
 	twoPass := fs.Bool("twopass", false, "use the memory-minimal two-pass Lanczos")
 	verify := fs.Bool("verify", false, "sample exact vs reduced admittance and report errors on stderr")
 	asSubckt := fs.Bool("subckt", false, "emit the reduced network as a .subckt + instance")
@@ -85,6 +89,22 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	if *portsFlag != "" {
 		extra = strings.Split(*portsFlag, ",")
 	}
+	var shifts []float64
+	if *shiftsFlag != "" {
+		for _, tok := range strings.Split(*shiftsFlag, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				return fmt.Errorf("-shifts entry %q: %w", tok, err)
+			}
+			shifts = append(shifts, f)
+		}
+	}
+	if *portCluster < 0 {
+		return fmt.Errorf("-portcluster must be non-negative, got %d", *portCluster)
+	}
+	if *portCluster > 0 && len(shifts) == 0 {
+		return fmt.Errorf("-portcluster requires -shifts (port clustering thins the multi-point basis)")
+	}
 	red, err := pact.ReduceDeckContext(ctx, deck, pact.Options{
 		FMax:        *fmax,
 		Tol:         *tol,
@@ -94,6 +114,9 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		MaxPoles:    *maxPoles,
 		TwoPass:     *twoPass,
 		AsSubckt:    *asSubckt,
+
+		Shifts:       shifts,
+		PortClusters: *portCluster,
 	})
 	if err != nil {
 		if pact.IsCancellation(err) && *timeout > 0 {
@@ -119,6 +142,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		fmt.Fprintf(stderr, "rcfit: nodes %d -> %d, R %d -> %d, C %d -> %d in %v\n",
 			red.OriginalNodes, red.ReducedNodes, red.OriginalR, red.ReducedR,
 			red.OriginalC, red.ReducedC, red.Elapsed)
+		if red.Stats.Shifts > 0 {
+			fmt.Fprintf(stderr, "rcfit: multi-point: %d expansion points (%d dropped), basis kept %d of %d columns, %d port clusters\n",
+				red.Stats.Shifts, red.Stats.ShiftsDropped, red.Stats.BasisKept,
+				red.Stats.BasisColumns, red.Stats.PortClusters)
+		}
 		if *verbose {
 			kernel := "up-looking"
 			if red.Stats.Supernodes > 0 {

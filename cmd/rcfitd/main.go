@@ -13,8 +13,14 @@
 // Endpoints:
 //
 //	POST /reduce?fmax=5e9[&tol=0.05][&maxpoles=n]  body: SPICE deck
+//	     [&shifts=0,1e9,5e9][&portcluster=16]      multi-expansion-point mode
 //	GET  /healthz                                  "ok" or 503 "draining"
 //	GET  /statz                                    JSON counters
+//
+// The shifts parameter selects multi-expansion-point reduction; the set
+// is canonicalized (sorted, deduplicated) before keying the model
+// cache, so every listing order of one expansion-point set shares one
+// cache entry and one singleflight.
 //
 // On SIGTERM or SIGINT the daemon drains: new work is refused with 503,
 // in-flight reductions get -drain-timeout to finish, then are canceled

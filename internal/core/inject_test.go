@@ -131,6 +131,64 @@ func TestInjectedLanczosStagnationFallsBackDense(t *testing.T) {
 	}
 }
 
+// TestInjectedShiftFactorDegradesToSurvivors drives mp.shiftfactor: a
+// forced factorization failure at one expansion point must drop only
+// that point, record a StageMultiPoint recovery, and leave a model
+// bit-identical to a clean run over the surviving shift set — the
+// degradation contract of the multi-point basis union.
+func TestInjectedShiftFactorDegradesToSurvivors(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	sys := randomSystem(rng, 3, 30)
+	opts := Options{FMax: 0.1, Shifts: []float64{0, 0.01, 0.1}}
+	s := inject.NewSchedule().Arm(inject.MPShiftFactor, 1)
+	inject.Install(s)
+	defer inject.Reset()
+	model, stats, err := Reduce(sys, opts)
+	if err != nil {
+		t.Fatalf("multi-point run did not absorb one failed expansion point: %v", err)
+	}
+	if s.Fired(inject.MPShiftFactor) != 1 {
+		t.Fatal("injection point did not fire")
+	}
+	if stats.ShiftsDropped != 1 || stats.Shifts != 3 {
+		t.Fatalf("shift accounting: %d of %d dropped, want 1 of 3", stats.ShiftsDropped, stats.Shifts)
+	}
+	if len(stats.Recoveries) != 1 || stats.Recoveries[0].Stage != resilience.StageMultiPoint {
+		t.Fatalf("Recoveries = %+v, want one StageMultiPoint entry", stats.Recoveries)
+	}
+	inject.Reset()
+	ref, _, err := Reduce(sys, Options{FMax: 0.1, Shifts: []float64{0, 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinModelBits(t, "degraded run vs clean survivor set", model, ref)
+}
+
+// TestInjectedShiftFactorAllFailIsTyped drives mp.shiftfactor armed for
+// every expansion point: with no survivor left to degrade to, the stage
+// must return a typed StageError carrying one attempt per shift and
+// still matching the chol sentinel through errors.Is.
+func TestInjectedShiftFactorAllFailIsTyped(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	sys := randomSystem(rng, 2, 20)
+	inject.Install(inject.NewSchedule().ArmN(inject.MPShiftFactor, -1, -1))
+	defer inject.Reset()
+	_, _, err := Reduce(sys, Options{FMax: 0.1, Shifts: []float64{0, 0.1}})
+	var se *resilience.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want a StageError", err)
+	}
+	if se.Stage != resilience.StageMultiPoint {
+		t.Fatalf("stage = %s, want %s", se.Stage, resilience.StageMultiPoint)
+	}
+	if len(se.Attempts) != 2 {
+		t.Fatalf("attempt history has %d entries, want one per expansion point (2)", len(se.Attempts))
+	}
+	if !errors.Is(err, chol.ErrNotPositiveDefinite) {
+		t.Fatalf("StageError no longer matches the chol sentinel: %v", err)
+	}
+}
+
 // sweepSeeds returns how many seeds the seeded fault sweep replays:
 // PACT_FAULT_SWEEP_SEEDS when set (the nightly job raises it to 200),
 // else a 6-seed smoke suitable for every push.
@@ -149,10 +207,11 @@ func sweepSeeds(t *testing.T) int64 {
 
 // TestSeededFaultSweepIsTypedAndReproducible replays FromSeed schedules
 // over the core side of the injection catalog — chol.pivot, chol.poison,
-// chol.complexpivot, chol.dag.task, lanczos.iter, plus a par.item
-// cancellation — against
-// the full reduction, an exact admittance evaluation, and a parallel
-// frequency sweep. Whatever the armed faults hit, the outcome must be
+// chol.complexpivot, chol.dag.task, lanczos.iter, mp.shiftfactor, plus a
+// par.item cancellation — against
+// the full reduction, a multi-point reduction, an exact admittance
+// evaluation, and a frequency sweep. Whatever the armed faults hit, the
+// outcome must be
 // either a success (with any ladder firings recorded as recoveries), a
 // typed StageError, or a clean cancellation — never a panic — and
 // replaying the same seed must reproduce the outcome string exactly.
@@ -176,7 +235,7 @@ func TestSeededFaultSweepIsTypedAndReproducible(t *testing.T) {
 		defer cancel()
 		s := inject.FromSeed(seed, 10,
 			inject.CholPivot, inject.CholPoison, inject.CholComplexPivot,
-			inject.CholDAGTask, inject.LanczosIter).
+			inject.CholDAGTask, inject.LanczosIter, inject.MPShiftFactor).
 			// The func-only par.item point cannot be armed from a seed, so
 			// the sweep derives its cancellation index from the seed itself:
 			// item seed%5 of the frequency sweep below cancels the context.
@@ -189,6 +248,13 @@ func TestSeededFaultSweepIsTypedAndReproducible(t *testing.T) {
 			out = classify(seed, err)
 		} else {
 			out = fmt.Sprintf("ok: %d poles, %d recoveries", model.K(), len(stats.Recoveries))
+		}
+		// Multi-point reduction: gives mp.shiftfactor its firing sites and
+		// exercises the degradation ladder under whatever else is armed.
+		if mm, mstats, merr := ReduceContext(ctx, sys, Options{FMax: 0.1, Shifts: []float64{0, 0.02, 0.1}}); merr != nil {
+			out += "; mp " + classify(seed, merr)
+		} else {
+			out += fmt.Sprintf("; mp ok: %d poles, %d shifts dropped", mm.K(), mstats.ShiftsDropped)
 		}
 		// Exact admittance: gives chol.complexpivot a firing site.
 		if _, yerr := sys.Y(complex(0, 0.3)); yerr != nil {

@@ -1,0 +1,590 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/chol"
+	"repro/internal/dense"
+	"repro/internal/order"
+	"repro/internal/par"
+	"repro/internal/resilience"
+	"repro/internal/resilience/inject"
+	"repro/internal/sparse"
+)
+
+// This file is the multi-expansion-point replacement for Transform 2.
+//
+// Single-point PACT keeps the dominant eigenvectors of E′ = L⁻¹EL⁻ᵀ:
+// exact at s = 0 through two moments, but blind to where the ports
+// actually drive the network at higher frequencies. The multi-point mode
+// works on the same Transform-1 state and instead builds a projection
+// basis from the internal responses (D + s₀E)⁻¹P at a small set of
+// expansion points s₀ = j2πf (P = R − EX is the connection block
+// Transform 1 already assembles). The candidate columns are unioned by a
+// D-orthonormal modified Gram–Schmidt into V with VᵀDV = I, so the
+// congruence-projected pencil is simply
+//
+//	Vᵀ(D + sE)V = I + sÊ,  Ê = VᵀEV  (symmetric, non-negative definite),
+//
+// and the eigendecomposition Ê = WΛWᵀ lands the projected internal term
+// in exactly the single-point model form Σᵢ s²rᵢᵀrᵢ/(1+sλᵢ) with
+// rᵢ = wᵢᵀVᵀP. Congruence on a non-negative definite pencil preserves
+// non-negative definiteness, so the realized reduced model is passive by
+// construction, shift set or not — the same argument as Transform 2,
+// with V in place of the kept eigenvectors.
+//
+// Determinism: the shift set is canonicalized, candidate columns are
+// generated into a fixed order (shift ascending → moment ascending → Re
+// columns by port → Im columns by port), and the Gram–Schmidt union runs
+// serially over that order. All parallelism lives in the factorizations
+// and per-column slot writes, which are bit-identical at every
+// GOMAXPROCS, so the projected model is too.
+
+// CanonicalShifts returns the canonical form of a multi-point shift set:
+// sorted ascending with exact duplicates dropped. Every consumer of
+// Options.Shifts (the reduction itself, the service cache key) uses this
+// form, so listing order never changes the model or splits cache
+// entries. Returns an error for negative or non-finite entries.
+func CanonicalShifts(shifts []float64) ([]float64, error) {
+	out := make([]float64, 0, len(shifts))
+	for _, f := range shifts {
+		if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+			return nil, fmt.Errorf("core: expansion-point frequency %g outside [0, ∞)", f)
+		}
+		out = append(out, f)
+	}
+	sort.Float64s(out)
+	dedup := out[:0]
+	for i, f := range out {
+		//lint:ignore floatcmp exact equality is the dedup contract: only bit-identical listing duplicates collapse, near-equal shifts are distinct expansion points
+		if i == 0 || f != out[i-1] {
+			dedup = append(dedup, f)
+		}
+	}
+	return dedup, nil
+}
+
+// connectionBlock assembles the m columns of P = R − EX in the permuted
+// internal frame — the right-hand-side block RPrimeBlock forward-solves,
+// kept unsolved here because the multi-point moments apply (D + s₀E)⁻¹
+// themselves. Column j is owned by one goroutine, so the block is
+// bit-identical at every GOMAXPROCS.
+func (t *Transformed) connectionBlock(ctx context.Context) ([][]float64, error) {
+	m, n := t.M, t.N
+	back := make([]float64, m*n)
+	out := make([][]float64, m)
+	workers := par.Workers(m)
+	wcs := make([]workCounters, workers)
+	xbufs := make([][]float64, workers)
+	for w := range xbufs {
+		xbufs[w] = make([]float64, n)
+	}
+	err := par.ForWorkersCtx(ctx, m, func(w, j int) {
+		col := back[j*n : (j+1)*n]
+		out[j] = col
+		x := t.columnX(j, xbufs[w], &wcs[w])
+		t.ep.MulVec(col, x)
+		wcs[w].matVecs++
+		for i := range col {
+			col[i] = -col[i]
+		}
+		cols, vals := t.rpT.Row(j)
+		for p, i := range cols {
+			col[i] += vals[p]
+		}
+	})
+	t.stats.merge(wcs)
+	if err != nil {
+		return nil, resilience.Canceled(resilience.StageMultiPoint, ctx)
+	}
+	return out, nil
+}
+
+// alignUnionPositions maps every stored position of the union pattern to
+// the corresponding stored position in a and b (-1 where the pattern has
+// no entry) — the value-alignment idiom of the exact admittance path,
+// reused here for the shifted factorizations D + s₀E.
+func alignUnionPositions(pat, a, b *sparse.CSR) (aPos, bPos []int) {
+	aPos = make([]int, pat.NNZ())
+	bPos = make([]int, pat.NNZ())
+	for p := range aPos {
+		aPos[p] = -1
+		bPos[p] = -1
+	}
+	for i := 0; i < pat.Rows; i++ {
+		pa := a.RowPtr[i]
+		pb := b.RowPtr[i]
+		for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+			j := pat.Col[p]
+			for pa < a.RowPtr[i+1] && a.Col[pa] < j {
+				pa++
+			}
+			if pa < a.RowPtr[i+1] && a.Col[pa] == j {
+				aPos[p] = pa
+			}
+			for pb < b.RowPtr[i+1] && b.Col[pb] < j {
+				pb++
+			}
+			if pb < b.RowPtr[i+1] && b.Col[pb] == j {
+				bPos[p] = pb
+			}
+		}
+	}
+	return aPos, bPos
+}
+
+// mulVecComplexReal computes dst = a·src for a real sparse matrix and a
+// complex vector.
+func mulVecComplexReal(a *sparse.CSR, dst, src []complex128) {
+	for i := 0; i < a.Rows; i++ {
+		var acc complex128
+		cols, vals := a.Row(i)
+		for p, j := range cols {
+			acc += complex(vals[p], 0) * src[j]
+		}
+		dst[i] = acc
+	}
+}
+
+// shiftedBasisState is the shared symbolic state of the per-shift
+// factorizations: the union pattern of the permuted D and E, its
+// analysis (one symbolic shared by every shift, as in YSweep), and the
+// value alignment of both operands against the union storage.
+type shiftedBasisState struct {
+	sa         *chol.ShiftedAnalysis
+	ws         *chol.FactorWorkspace
+	dPos, ePos []int
+}
+
+// newShiftedBasisState analyzes the D/E union pattern once for all
+// shifts. The Transform-1 frame is kept (order.Natural on the already
+// permuted pattern is the identity), so candidate columns live in the
+// same coordinates as dp, ep and the connection block.
+func (t *Transformed) newShiftedBasisState() (*shiftedBasisState, error) {
+	pat := sparse.PatternUnion(t.dp, t.ep)
+	sym := order.Analyze(pat, order.Natural)
+	sa, err := chol.AnalyzeShifted(pat, sym)
+	if err != nil {
+		return nil, err
+	}
+	dPos, ePos := alignUnionPositions(pat, t.dp, t.ep)
+	return &shiftedBasisState{sa: sa, ws: sa.NewWorkspace(), dPos: dPos, ePos: ePos}, nil
+}
+
+// shiftCandidates generates the moment candidates of expansion point
+// index k at frequency f (Hz): v₀ = (D+s₀E)⁻¹P and
+// v_{j+1} = (D+s₀E)⁻¹(E v_j), returned as real columns in the fixed
+// order moment → Re by port → Im by port (the DC shift has no imaginary
+// part and reuses the real Transform-1 factor). ports[i] names the port
+// that produced column i, for the cluster-wise basis thinning.
+func (t *Transformed) shiftCandidates(sb *shiftedBasisState, k, moments int, f float64, pcols [][]float64) (cands [][]float64, ports []int, err error) {
+	m, n := t.M, t.N
+	if inject.Enabled && inject.ShouldFail(inject.MPShiftFactor, k) {
+		return nil, nil, fmt.Errorf("core: injected shifted factorization failure at expansion point %g Hz: %w",
+			f, chol.ErrNotPositiveDefinite)
+	}
+	if f == 0 {
+		block := make([]float64, m*n)
+		tmp := make([]float64, n)
+		for mom := 0; mom < moments; mom++ {
+			if mom == 0 {
+				for j, col := range pcols {
+					copy(block[j*n:(j+1)*n], col)
+				}
+			} else {
+				for j := 0; j < m; j++ {
+					col := block[j*n : (j+1)*n]
+					t.ep.MulVec(tmp, col)
+					copy(col, tmp)
+				}
+				t.stats.MatVecs += m
+			}
+			t.fact.SolveMulti(block, m)
+			t.stats.Solves += m
+			for j := 0; j < m; j++ {
+				//lint:ignore defersmell the clone survives as a moment candidate for the basis union; block is the reused per-moment scratch
+				cands = append(cands, append([]float64(nil), block[j*n:(j+1)*n]...))
+				ports = append(ports, j)
+			}
+		}
+		return cands, ports, nil
+	}
+	sv := complex(0, 2*math.Pi*f)
+	val := func(p int) complex128 {
+		var v complex128
+		if q := sb.dPos[p]; q >= 0 {
+			v += complex(t.dp.Val[q], 0)
+		}
+		if q := sb.ePos[p]; q >= 0 {
+			v += sv * complex(t.ep.Val[q], 0)
+		}
+		return v
+	}
+	//lint:ignore nondet stage wall-time accounting only, never feeds numeric results
+	t0 := time.Now()
+	cf, err := sb.sa.Factorize(val, sb.ws)
+	//lint:ignore nondet stage wall-time accounting only, never feeds numeric results
+	t.stats.Stage.ShiftFactorNs += time.Since(t0).Nanoseconds()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: factorization of D+sE at expansion point %g Hz: %w", f, err)
+	}
+	z := make([]complex128, m*n)
+	tmp := make([]complex128, n)
+	for j, col := range pcols {
+		for i, v := range col {
+			z[j*n+i] = complex(v, 0)
+		}
+	}
+	for mom := 0; mom < moments; mom++ {
+		if mom > 0 {
+			for j := 0; j < m; j++ {
+				col := z[j*n : (j+1)*n]
+				mulVecComplexReal(t.ep, tmp, col)
+				copy(col, tmp)
+			}
+			t.stats.MatVecs += m
+		}
+		if serr := cf.SolveMulti(z, m); serr != nil {
+			return nil, nil, fmt.Errorf("core: moment solves at expansion point %g Hz: %w", f, serr)
+		}
+		t.stats.Solves += m
+		re := make([][]float64, m)
+		im := make([][]float64, m)
+		for j := 0; j < m; j++ {
+			rc := make([]float64, n)
+			ic := make([]float64, n)
+			for i := 0; i < n; i++ {
+				rc[i] = real(z[j*n+i])
+				ic[i] = imag(z[j*n+i])
+			}
+			re[j], im[j] = rc, ic
+		}
+		cands = append(cands, re...)
+		cands = append(cands, im...)
+		for j := 0; j < m; j++ {
+			ports = append(ports, j)
+		}
+		for j := 0; j < m; j++ {
+			ports = append(ports, j)
+		}
+	}
+	return cands, ports, nil
+}
+
+// mgsD thins candidate columns into a D-orthonormal basis by modified
+// Gram–Schmidt in the D inner product ⟨u,v⟩ = uᵀDv, dropping a column
+// when orthogonalization leaves less than droptol of its original
+// D-norm. The loop is serial over the fixed candidate order, so the kept
+// basis — and everything projected through it — is bit-identical at
+// every GOMAXPROCS and invariant under shift listing order. Candidate
+// slices are normalized in place and aliased by the returned basis.
+func (t *Transformed) mgsD(cands [][]float64, droptol float64) [][]float64 {
+	n := t.N
+	var basis, wcache [][]float64
+	w := make([]float64, n)
+	for _, c := range cands {
+		t.dp.MulVec(w, c)
+		norm0 := math.Sqrt(sparse.Dot(c, w))
+		if !(norm0 > 0) || math.IsInf(norm0, 0) {
+			continue
+		}
+		orth := func() {
+			for i, u := range basis {
+				h := sparse.Dot(wcache[i], c)
+				if h == 0 {
+					continue
+				}
+				for r := range c {
+					c[r] -= h * u[r]
+				}
+			}
+		}
+		orth()
+		t.dp.MulVec(w, c)
+		nrm2 := sparse.Dot(c, w)
+		if !(nrm2 > 0) {
+			continue
+		}
+		nrm := math.Sqrt(nrm2)
+		if nrm < 0.5*norm0 {
+			// Heavy cancellation: one reorthogonalization pass restores
+			// D-orthogonality to working precision ("twice is enough").
+			orth()
+			t.dp.MulVec(w, c)
+			nrm2 = sparse.Dot(c, w)
+			if !(nrm2 > 0) {
+				continue
+			}
+			nrm = math.Sqrt(nrm2)
+		}
+		if nrm <= droptol*norm0 {
+			continue
+		}
+		inv := 1 / nrm
+		for r := range c {
+			c[r] *= inv
+		}
+		wc := make([]float64, n)
+		t.dp.MulVec(wc, c)
+		basis = append(basis, c)
+		wcache = append(wcache, wc)
+	}
+	return basis
+}
+
+// clusterPorts groups the ports by electrical proximity on the exact
+// port conductance block: weight(i,j) = |A′_ij|/√(A′_ii·A′_jj), the
+// normalized DC coupling two ports see through the network (TurboMOR's
+// notion of port locality, computed on the block Transform 1 already
+// produced exactly).
+func (t *Transformed) clusterPorts(k int) [][]int {
+	a := t.APrime
+	return order.ClusterGreedy(t.M, k, func(i, j int) float64 {
+		v := math.Abs(a.At(i, j))
+		d := a.At(i, i) * a.At(j, j)
+		if d > 0 {
+			return v / math.Sqrt(d)
+		}
+		return v
+	})
+}
+
+// transform2MultiPoint is the multi-expansion-point Transform 2: moment
+// candidates per shift, per-cluster thinning when port clustering is on,
+// the global D-orthonormal union, and the congruence projection of the
+// (D, E) pencil onto it. A shift whose factorization fails is dropped
+// with a recorded Recovery (the surviving shifts still span a valid
+// congruence basis); only when every shift fails does the stage return a
+// typed StageError. Cancellation is terminal immediately.
+func (t *Transformed) transform2MultiPoint(ctx context.Context, opts Options) (*ReducedModel, error) {
+	opts = opts.withDefaults()
+	if opts.FMax <= 0 {
+		return nil, fmt.Errorf("core: Options.FMax must be positive, got %g", opts.FMax)
+	}
+	if opts.Tol <= 0 || opts.Tol >= 1 {
+		return nil, fmt.Errorf("core: Options.Tol must be in (0,1), got %g", opts.Tol)
+	}
+	m, n := t.M, t.N
+	stats := t.stats
+	if n == 0 {
+		return &ReducedModel{M: m, A: t.APrime, B: t.BPrime, R: dense.New(0, m)}, nil
+	}
+	shifts, err := CanonicalShifts(opts.Shifts)
+	if err != nil {
+		return nil, err
+	}
+	if len(shifts) == 0 {
+		return nil, fmt.Errorf("core: multi-point mode needs at least one expansion point")
+	}
+	stats.Shifts = len(shifts)
+
+	pcols, err := t.connectionBlock(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := t.newShiftedBasisState()
+	if err != nil {
+		return nil, fmt.Errorf("core: shifted symbolic analysis: %w", err)
+	}
+
+	// Candidate generation, shift by shift in canonical order. The
+	// degradation ladder lives here: a failed shift contributes nothing
+	// but does not kill the reduction while any shift survives.
+	var cands [][]float64
+	var ports []int
+	var attempts []resilience.Attempt
+	for k, f := range shifts {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, resilience.Canceled(resilience.StageMultiPoint, ctx)
+		}
+		sc, sp, serr := t.shiftCandidates(sb, k, opts.ShiftMoments, f, pcols)
+		if serr != nil {
+			if resilience.IsCancellation(serr) {
+				return nil, resilience.Canceled(resilience.StageMultiPoint, ctx)
+			}
+			attempts = append(attempts, resilience.Attempt{
+				Action: fmt.Sprintf("factorize(D+s₀E), f=%g Hz", f),
+				Err:    serr,
+			})
+			stats.ShiftsDropped++
+			continue
+		}
+		cands = append(cands, sc...)
+		ports = append(ports, sp...)
+	}
+	if stats.ShiftsDropped == len(shifts) {
+		return nil, resilience.NewStageError(resilience.StageMultiPoint,
+			"every expansion point failed to factor", attempts, attempts[len(attempts)-1].Err)
+	}
+	if stats.ShiftsDropped > 0 {
+		stats.Recoveries = append(stats.Recoveries, resilience.Recovery{
+			Stage:    resilience.StageMultiPoint,
+			Action:   fmt.Sprintf("degraded to %d of %d expansion points", len(shifts)-stats.ShiftsDropped, len(shifts)),
+			Attempts: stats.ShiftsDropped + 1,
+			Reason:   attempts[0].Err.Error(),
+		})
+	}
+	stats.BasisColumns = len(cands)
+
+	// Basis union. With port clustering the candidates thin per cluster
+	// first (each cluster's Gram–Schmidt sees only its own columns —
+	// the quadratic cost drops by the cluster count), then the surviving
+	// columns union globally in fixed cluster order.
+	//lint:ignore nondet stage wall-time accounting only, never feeds numeric results
+	u0 := time.Now()
+	var basis [][]float64
+	if opts.PortClusters > 1 && m > opts.PortClusters {
+		clusters := t.clusterPorts(opts.PortClusters)
+		stats.PortClusters = len(clusters)
+		inCluster := make([]int, m)
+		for ci, cl := range clusters {
+			for _, p := range cl {
+				inCluster[p] = ci
+			}
+		}
+		var merged [][]float64
+		for ci := range clusters {
+			var sub [][]float64
+			for i, c := range cands {
+				if inCluster[ports[i]] == ci {
+					sub = append(sub, c)
+				}
+			}
+			merged = append(merged, t.mgsD(sub, opts.BasisDropTol)...)
+		}
+		basis = t.mgsD(merged, opts.BasisDropTol)
+	} else {
+		basis = t.mgsD(cands, opts.BasisDropTol)
+	}
+	//lint:ignore nondet stage wall-time accounting only, never feeds numeric results
+	stats.Stage.BasisUnionNs += time.Since(u0).Nanoseconds()
+	stats.BasisKept = len(basis)
+	q := len(basis)
+	if q == 0 {
+		return nil, resilience.NewStageError(resilience.StageMultiPoint,
+			"basis union kept no columns", attempts, fmt.Errorf("core: all %d candidates dropped", len(cands)))
+	}
+
+	// Projection: Ê = VᵀEV and R̂ = VᵀP. Column j of each owns its slot
+	// writes (SetSym mirrors i ≤ j), so both are bit-identical at every
+	// GOMAXPROCS; symmetry of Ê is constructional.
+	ev := make([][]float64, q)
+	merr := par.ForWorkersCtx(ctx, q, func(_, j int) {
+		e := make([]float64, n)
+		t.ep.MulVec(e, basis[j])
+		ev[j] = e
+	})
+	if merr != nil {
+		return nil, resilience.Canceled(resilience.StageMultiPoint, ctx)
+	}
+	stats.MatVecs += q
+	eHat := dense.New(q, q)
+	par.ForWorkers(q, func(_, j int) {
+		for i := 0; i <= j; i++ {
+			eHat.SetSym(i, j, sparse.Dot(basis[i], ev[j]))
+		}
+	})
+	rHat := dense.New(q, m)
+	par.ForWorkers(m, func(_, j int) {
+		for i := 0; i < q; i++ {
+			rHat.Set(i, j, sparse.Dot(basis[i], pcols[j]))
+		}
+	})
+	if check.Enabled {
+		check.Symmetric("multi-point projected pencil Ê = VᵀEV", eHat, check.DefaultTol)
+		check.NonNegDef("multi-point projected pencil Ê = VᵀEV", eHat, check.DefaultTol)
+	}
+
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, resilience.Canceled(resilience.StageMultiPoint, ctx)
+	}
+	vals, vecs, err := dense.SymEig(eHat, true)
+	if err != nil {
+		return nil, fmt.Errorf("core: eigensolve of projected Ê: %w", err)
+	}
+	// Keep λ ≥ λ_c descending — the same frequency cutoff as the
+	// single-point path, so every retained pole is strictly positive and
+	// the realized internal nodes are well defined.
+	var keep []int
+	for i := q - 1; i >= 0; i-- {
+		if vals[i] >= stats.LambdaC {
+			keep = append(keep, i)
+		}
+	}
+	k := len(keep)
+	outVals := make([]float64, k)
+	rk := dense.New(k, m)
+	for c, idx := range keep {
+		outVals[c] = vals[idx]
+		for j := 0; j < m; j++ {
+			s := 0.0
+			for i := 0; i < q; i++ {
+				s += vecs.At(i, idx) * rHat.At(i, j)
+			}
+			rk.Set(c, j, s)
+		}
+	}
+	if opts.MaxPoles > 0 && k > opts.MaxPoles {
+		outVals, rk = selectStrongestPoles(outVals, rk, opts.MaxPoles, opts.FMax)
+		k = len(outVals)
+	}
+	if check.Enabled {
+		check.PoleRealNonneg("multi-point retained eigenvalues of Ê", outVals)
+	}
+	stats.PolesFound = k
+
+	model := &ReducedModel{M: m, Lambda: outVals, A: t.APrime, B: t.BPrime, R: rk}
+	if opts.ResiduePruneTol > 0 && k > 0 {
+		model = pruneWeakPoles(model, opts, stats)
+	}
+	if check.Enabled {
+		gr, cr := model.Matrices()
+		check.ReducedPassive("multi-point realized reduced model", gr, cr, check.DefaultTol)
+	}
+	return model, nil
+}
+
+// selectStrongestPoles enforces an opts.MaxPoles budget on the
+// multi-point model. The single-point path truncates by eigenvalue
+// (keep the slowest poles); with hundreds of ports that wastes budget
+// on slow modes the ports barely couple to. Here the budget goes to
+// the poles with the largest worst-case contribution to Y(s) over the
+// band [0, ω_max]: the pole term s²rᵢᵀrᵢ/(1+sλᵢ) peaks at the band
+// edge with magnitude ω²‖rᵢ‖²/√(1+(ωλᵢ)²), ω = 2π·FMax. Selection is
+// by that score, ties broken toward the slower pole, and the kept set
+// is re-sorted λ-descending so the model keeps the ordering every
+// consumer (and check.PoleRealNonneg) expects. Dropping rows of R_k is
+// a congruence restriction, so passivity is untouched.
+func selectStrongestPoles(vals []float64, rk *dense.Mat, budget int, fmax float64) ([]float64, *dense.Mat) {
+	k, m := len(vals), rk.C
+	w := 2 * math.Pi * fmax
+	idx := make([]int, k)
+	score := make([]float64, k)
+	for i := range idx {
+		idx[i] = i
+		nrm2 := 0.0
+		for j := 0; j < m; j++ {
+			v := rk.At(i, j)
+			nrm2 += v * v
+		}
+		score[i] = w * w * nrm2 / math.Sqrt(1+w*vals[i]*w*vals[i])
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return score[idx[a]] > score[idx[b]] })
+	sel := idx[:budget]
+	// vals arrives λ-descending, so ascending index order restores it.
+	sort.Ints(sel)
+	outVals := make([]float64, budget)
+	out := dense.New(budget, m)
+	for c, i := range sel {
+		outVals[c] = vals[i]
+		for j := 0; j < m; j++ {
+			out.Set(c, j, rk.At(i, j))
+		}
+	}
+	return outVals, out
+}

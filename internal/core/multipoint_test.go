@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+// Determinism pins of the multi-point mode: the model must be
+// bit-identical at every GOMAXPROCS, for every shift count, clustered
+// or not, and invariant under the listing order of the shift set. These
+// are Float64bits pins, not tolerance comparisons — any reduction in
+// the ordering guarantees (candidate order, serial Gram–Schmidt,
+// per-slot parallel writes) shows up as a hard failure here.
+
+func multiPointFixture(t *testing.T) *System {
+	t.Helper()
+	return gradedGridSystem(t, 10, 10, 2, 2, 2)
+}
+
+func reduceMP(t *testing.T, sys *System, o Options) *ReducedModel {
+	t.Helper()
+	model, _, err := Reduce(sys, o)
+	if err != nil {
+		t.Fatalf("multi-point reduce: %v", err)
+	}
+	return model
+}
+
+func pinModelBits(t *testing.T, name string, got, want *ReducedModel) {
+	t.Helper()
+	if got.K() != want.K() {
+		t.Fatalf("%s: order %d vs %d", name, got.K(), want.K())
+	}
+	bitsEqualSlice(t, name+" Lambda", got.Lambda, want.Lambda)
+	bitsEqualSlice(t, name+" A", got.A.Data, want.A.Data)
+	bitsEqualSlice(t, name+" B", got.B.Data, want.B.Data)
+	bitsEqualSlice(t, name+" R", got.R.Data, want.R.Data)
+}
+
+// TestMultiPointDeterministicAcrossGOMAXPROCS sweeps GOMAXPROCS
+// {1,2,4,8} × shift counts {1,2,4} × clustered/unclustered and pins the
+// model of every combination against its GOMAXPROCS=1 reference. Not
+// t.Parallel: it mutates the process-wide GOMAXPROCS.
+func TestMultiPointDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	sys := multiPointFixture(t)
+	fmax := 0.05
+	shiftSets := [][]float64{
+		{0},
+		{0, fmax},
+		{0, fmax / 30, fmax / 5, fmax},
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	for si, shifts := range shiftSets {
+		for _, clusters := range []int{0, 2} {
+			o := Options{FMax: fmax, Tol: 0.05, Shifts: shifts, PortClusters: clusters, MaxPoles: 12}
+			runtime.GOMAXPROCS(1)
+			ref := reduceMP(t, sys, o)
+			for _, procs := range []int{2, 4, 8} {
+				runtime.GOMAXPROCS(procs)
+				got := reduceMP(t, sys, o)
+				name := "shifts#" + string(rune('1'+si)) + "/clusters" + string(rune('0'+clusters)) +
+					"/procs" + string(rune('0'+procs))
+				pinModelBits(t, name, got, ref)
+			}
+		}
+	}
+}
+
+// TestMultiPointShiftOrderInvariance pins that listing the expansion
+// points in any order produces the bit-identical model — the
+// CanonicalShifts contract observed end to end.
+func TestMultiPointShiftOrderInvariance(t *testing.T) {
+	t.Parallel()
+	sys := multiPointFixture(t)
+	fmax := 0.05
+	base := Options{FMax: fmax, Tol: 0.05, MaxPoles: 12}
+	perms := [][]float64{
+		{0, fmax / 10, fmax},
+		{fmax, 0, fmax / 10},
+		{fmax / 10, fmax, 0, fmax}, // duplicate collapses too
+	}
+	o := base
+	o.Shifts = perms[0]
+	ref := reduceMP(t, sys, o)
+	for i, p := range perms[1:] {
+		o := base
+		o.Shifts = p
+		got := reduceMP(t, sys, o)
+		pinModelBits(t, "permutation "+string(rune('1'+i)), got, ref)
+	}
+}
+
+func TestCanonicalShifts(t *testing.T) {
+	t.Parallel()
+	got, err := CanonicalShifts([]float64{3, 0, 1e9, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 3, 1e9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	for _, bad := range [][]float64{{-1}, {math.NaN()}, {math.Inf(1)}} {
+		if _, err := CanonicalShifts(bad); err == nil {
+			t.Fatalf("CanonicalShifts(%v) must reject", bad)
+		}
+	}
+}
+
+// TestMultiPointMatchesSinglePointSubspace pins the congruence algebra:
+// with the DC shift only and enough moments to saturate, the multi-point
+// model must reproduce the exact admittance as well as its basis allows,
+// and stay passive. (The accuracy ordering against single-point is pinned
+// by the oracle suite; this is the smoke test of the projection itself.)
+func TestMultiPointBasicAccuracy(t *testing.T) {
+	t.Parallel()
+	sys := gradedLadderSystem(t, 40, 2)
+	fmax := 0.05
+	model := reduceMP(t, sys, Options{FMax: fmax, Tol: 0.05, Shifts: []float64{0, fmax}, ShiftMoments: 3})
+	e, err := OracleMaxRelErr(sys, model, OracleFreqs(fmax, 2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 5e-2 {
+		t.Fatalf("saturated multi-point model error %.3e, want < 5e-2 (the Tol-band target)", e)
+	}
+	if !model.CheckPassive(1e-9) {
+		t.Fatal("multi-point model not passive")
+	}
+}
+
+// TestMultiPointPortlessSystem pins the m = 0 / n = 0 edges of the
+// multi-point path.
+func TestMultiPointTrivialSystems(t *testing.T) {
+	t.Parallel()
+	// All nodes are ports: no internal block, model must be exact A/B.
+	st := newRCStamper(3)
+	st.resistor(0, 1, 1)
+	st.resistor(1, 2, 2)
+	st.resistor(2, -1, 1)
+	st.capacitor(0, 1)
+	st.capacitor(2, 0.5)
+	sys := st.system(t, []int{0, 1, 2})
+	if sys.N != 0 {
+		t.Fatalf("fixture has %d internal nodes, want 0", sys.N)
+	}
+	model := reduceMP(t, sys, Options{FMax: 1, Tol: 0.05, Shifts: []float64{0, 1}})
+	if model.K() != 0 {
+		t.Fatalf("trivial system produced %d poles", model.K())
+	}
+	if !model.CheckPassive(1e-12) {
+		t.Fatal("trivial multi-point model not passive")
+	}
+}

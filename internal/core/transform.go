@@ -68,6 +68,31 @@ type Options struct {
 	// the kept eigenvalues descending and keeps the largest). Zero keeps
 	// everything above the cutoff.
 	MaxPoles int
+	// Shifts, when non-empty, switches Transform 2 to the
+	// multi-expansion-point mode: D + s₀E is factored at s₀ = j2πf for
+	// each listed frequency f (Hz; 0 is the paper's DC expansion), a
+	// moment basis is built per shift, the bases are unioned with a
+	// D-orthonormal modified Gram–Schmidt, and the pencil is
+	// congruence-projected onto the union — so passivity is preserved by
+	// construction exactly as in the single-point path. The shift set is
+	// canonicalized (sorted ascending, duplicates dropped) before use, so
+	// the projected model is independent of listing order.
+	Shifts []float64
+	// ShiftMoments is the number of block moments matched per expansion
+	// point in multi-point mode (default 1: the zeroth moment of the
+	// internal response at each shift).
+	ShiftMoments int
+	// BasisDropTol is the relative drop tolerance of the basis union's
+	// Gram–Schmidt: a candidate whose D-norm after orthogonalization
+	// falls below this fraction of its original D-norm is discarded as
+	// numerically dependent (default 1e-8).
+	BasisDropTol float64
+	// PortClusters, when > 1, clusters the ports into this many groups by
+	// electrical proximity on the conductance graph (TurboMOR-style) and
+	// thins the multi-point candidate basis per cluster before the global
+	// union — cutting the quadratic Gram–Schmidt cost on decks with
+	// hundreds of ports. Only meaningful together with Shifts.
+	PortClusters int
 	// ResiduePruneTol, when positive, additionally drops retained poles
 	// whose worst-case admittance contribution below FMax is smaller than
 	// this fraction of the port-block admittance scale — an extension
@@ -96,6 +121,12 @@ func (o *Options) withDefaults() Options {
 	if out.Seed == 0 {
 		out.Seed = 1
 	}
+	if out.ShiftMoments == 0 {
+		out.ShiftMoments = 1
+	}
+	if out.BasisDropTol == 0 {
+		out.BasisDropTol = 1e-8
+	}
 	return out
 }
 
@@ -108,9 +139,9 @@ type Stats struct {
 	PolesFound    int     `json:"poles_found"`
 	CutoffHz      float64 `json:"cutoff_hz"`
 	LambdaC       float64 `json:"lambda_c"`
-	PolesPruned   int     `json:"poles_pruned"`  // poles dropped by residue pruning
-	Solves        int     `json:"solves"`        // sparse triangular solve pairs (D backsolves)
-	MatVecs       int     `json:"matvecs"`       // E (or E') matrix-vector products
+	PolesPruned   int     `json:"poles_pruned"` // poles dropped by residue pruning
+	Solves        int     `json:"solves"`       // sparse triangular solve pairs (D backsolves)
+	MatVecs       int     `json:"matvecs"`      // E (or E') matrix-vector products
 	LanczosIters  int     `json:"lanczos_iters"`
 	Reorths       int     `json:"reorths"`
 	PeakVectors   int     `json:"peak_vectors"` // length-n vectors simultaneously live in Lanczos
@@ -127,6 +158,15 @@ type Stats struct {
 	FactorFlops  float64 `json:"factor_flops"` // estimated flop count of the numeric factorization
 	DenseEig     bool    `json:"dense_eig"`    // eigenproblem solved densely (small n)
 	XCached      bool    `json:"x_cached"`
+	// Multi-expansion-point counters (zero in single-point runs): the
+	// canonicalized shift count, how many shifts were dropped by the
+	// degradation ladder, the candidate columns generated, the columns the
+	// basis union kept, and the port clusters used by the basis thinning.
+	Shifts        int `json:"shifts,omitempty"`
+	ShiftsDropped int `json:"shifts_dropped,omitempty"`
+	BasisColumns  int `json:"basis_columns,omitempty"`
+	BasisKept     int `json:"basis_kept,omitempty"`
+	PortClusters  int `json:"port_clusters,omitempty"`
 	// Recoveries lists every recovery ladder that fired during the
 	// reduction, with the perturbation applied (Gamma) and its worst-case
 	// DC admittance error bound (ErrBound) where applicable. An empty list
@@ -152,6 +192,11 @@ type StageTimes struct {
 	OrderNs    int64 `json:"order,omitempty"`
 	SymbolicNs int64 `json:"symbolic,omitempty"`
 	FactorNs   int64 `json:"factor,omitempty"`
+	// Multi-expansion-point stages: the shifted complex factorizations
+	// of D + s₀E (symbolic analysis shared across every shift) and the
+	// Gram–Schmidt basis union.
+	ShiftFactorNs int64 `json:"shift_factor,omitempty"`
+	BasisUnionNs  int64 `json:"basis_union,omitempty"`
 }
 
 // CutoffFactor maps a relative error tolerance to the ratio f_c/f_max.
@@ -208,6 +253,7 @@ type Transformed struct {
 	APrime, BPrime *dense.Mat
 
 	fact     *chol.Factor
+	dp       *sparse.CSR // permuted (possibly γ-regularized) D, the factored matrix
 	ep       *sparse.CSR
 	qpT, rpT *sparse.CSR
 	xCache   [][]float64
@@ -234,7 +280,12 @@ func ReduceContext(ctx context.Context, sys *System, opts Options) (*ReducedMode
 	if err != nil {
 		return nil, nil, err
 	}
-	model, err := t.Transform2Context(ctx, opts)
+	var model *ReducedModel
+	if len(opts.Shifts) > 0 {
+		model, err = t.transform2MultiPoint(ctx, opts)
+	} else {
+		model, err = t.Transform2Context(ctx, opts)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -390,7 +441,7 @@ func Transform1Context(ctx context.Context, sys *System, opts Options) (*Transfo
 
 	t := &Transformed{
 		M: m, N: n,
-		fact: fact, ep: ep, qpT: qpT, rpT: rpT,
+		fact: fact, dp: dp, ep: ep, qpT: qpT, rpT: rpT,
 		stats: stats,
 	}
 	// Column cache for X = D⁻¹Q. When it fits the budget the second pass

@@ -38,6 +38,7 @@ var Registry = []struct {
 	{"awe", "Ablation: AWE Padé instability vs PACT guarantees", AWEStability},
 	{"sparsify", "Ablation: sparsity-enhancement threshold vs accuracy", Sparsify},
 	{"ordering", "Ablation: fill-reducing ordering choice", Ordering},
+	{"multipoint", "Multi-expansion-point vs single-point on the wide-band many-port bench", MultiPoint},
 }
 
 // Run executes the named experiment ("all" runs everything).

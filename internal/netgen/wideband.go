@@ -1,0 +1,131 @@
+package netgen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netlist"
+)
+
+// WideBandOpts configures the wide-band many-port workload: an NX×NY RC
+// grid whose segment resistances grade exponentially along x and whose
+// node capacitances grade along y, spreading the network time constants
+// over GradeDecades decades — the workload single-expansion-point
+// reduction struggles with (PACT matches moments at s = 0 only) and the
+// multi-point mode exists for. A PX×PY subgrid of nodes is marked as
+// ports, so port count scales quadratically into the hundreds.
+type WideBandOpts struct {
+	NX, NY int
+	PX, PY int
+	// RSeg is the segment resistance at the low-resistance edge (x = 0);
+	// segments at x = NX−1 are 10^GradeDecades times larger.
+	RSeg float64
+	// CNode is the node capacitance at y = 0, graded the same way in y.
+	CNode float64
+	// GradeDecades is the exponential spread applied to each axis
+	// (default behavior of the preset: 2 decades, ~4 decades of time
+	// constant spread corner to corner).
+	GradeDecades float64
+}
+
+// WideBandPreset sizes the workload for at least the requested port
+// count: the port subgrid is the smallest square holding them and the
+// grid adds a 4-node margin per side, at typical wire parasitics and a
+// 2-decade grade. WideBandPreset(256) is the 16×16-port, 24×24-node
+// bench of the experiments tables.
+func WideBandPreset(ports int) WideBandOpts {
+	p := 1
+	for p*p < ports {
+		p++
+	}
+	return WideBandOpts{
+		NX: p + 8, NY: p + 8,
+		PX: p, PY: p,
+		RSeg: 0.8, CNode: 60e-15, GradeDecades: 2,
+	}
+}
+
+// WideBandNodes returns the node count of the workload.
+func WideBandNodes(o WideBandOpts) int { return o.NX * o.NY }
+
+// WideBand builds the graded grid deck and returns it with the port node
+// names (row-major over the port subgrid). Nodes are named w<x>_<y>;
+// ports are spread evenly over the interior so every cluster of the
+// port-clustered reduction sees a distinct electrical neighborhood.
+func WideBand(o WideBandOpts) (*netlist.Deck, []string, error) {
+	if o.NX < 2 || o.NY < 2 {
+		return nil, nil, fmt.Errorf("netgen: wideband grid needs at least 2x2 nodes, got %dx%d", o.NX, o.NY)
+	}
+	if o.PX < 1 || o.PY < 1 || o.PX > o.NX || o.PY > o.NY {
+		return nil, nil, fmt.Errorf("netgen: %dx%d port subgrid does not fit a %dx%d grid", o.PX, o.PY, o.NX, o.NY)
+	}
+	if o.RSeg <= 0 || o.CNode <= 0 {
+		return nil, nil, fmt.Errorf("netgen: wideband rseg %g and cnode %g must be positive", o.RSeg, o.CNode)
+	}
+	if o.GradeDecades < 0 || o.GradeDecades > 6 {
+		return nil, nil, fmt.Errorf("netgen: wideband grade %g decades out of range [0, 6]", o.GradeDecades)
+	}
+	deck := &netlist.Deck{
+		Title:   fmt.Sprintf("wide-band graded grid %dx%d, %dx%d ports", o.NX, o.NY, o.PX, o.PY),
+		Models:  map[string]*netlist.Model{},
+		Subckts: map[string]*netlist.Subckt{},
+	}
+	names := make([]string, o.NX*o.NY)
+	for y := 0; y < o.NY; y++ {
+		for x := 0; x < o.NX; x++ {
+			names[y*o.NX+x] = fmt.Sprintf("w%d_%d", x, y)
+		}
+	}
+	// grade(t) spans [1, 10^GradeDecades] as t runs over [0, 1].
+	gradeX := func(x float64) float64 {
+		return math.Pow(10, o.GradeDecades*x/float64(o.NX-1))
+	}
+	gradeY := func(y float64) float64 {
+		return math.Pow(10, o.GradeDecades*y/float64(o.NY-1))
+	}
+	nres := (o.NX-1)*o.NY + o.NX*(o.NY-1)
+	elems := make([]netlist.Element, 0, nres+o.NX*o.NY+o.PX*o.PY)
+	re := 0
+	for y := 0; y < o.NY; y++ {
+		for x := 0; x < o.NX; x++ {
+			n := names[y*o.NX+x]
+			if x+1 < o.NX {
+				re++
+				elems = append(elems, &netlist.Resistor{
+					Ident: fmt.Sprintf("rw%d", re), N1: n, N2: names[y*o.NX+x+1],
+					Value: o.RSeg * gradeX(float64(x)+0.5),
+				})
+			}
+			if y+1 < o.NY {
+				re++
+				elems = append(elems, &netlist.Resistor{
+					Ident: fmt.Sprintf("rw%d", re), N1: n, N2: names[(y+1)*o.NX+x],
+					Value: o.RSeg * gradeX(float64(x)),
+				})
+			}
+			elems = append(elems, &netlist.Capacitor{
+				Ident: "c" + n, N1: n, N2: netlist.Ground,
+				Value: o.CNode * gradeY(float64(y)),
+			})
+		}
+	}
+	// Port subgrid, spread evenly over the grid interior, row-major so
+	// the port order (and everything keyed on it downstream: clustering,
+	// basis layout, cache keys) is deterministic.
+	ports := make([]string, 0, o.PX*o.PY)
+	k := 0
+	for py := 0; py < o.PY; py++ {
+		for px := 0; px < o.PX; px++ {
+			x := (px*(o.NX-1) + (o.PX-1)/2) / max(1, o.PX-1+boolInt(o.PX == 1))
+			y := (py*(o.NY-1) + (o.PY-1)/2) / max(1, o.PY-1+boolInt(o.PY == 1))
+			tap := names[y*o.NX+x]
+			ports = append(ports, tap)
+			elems = append(elems, &netlist.ISource{
+				Ident: fmt.Sprintf("ip%d", k), N1: tap, N2: netlist.Ground,
+			})
+			k++
+		}
+	}
+	deck.Elements = elems
+	return deck, ports, nil
+}

@@ -1,0 +1,108 @@
+package netgen
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/stamp"
+)
+
+func TestWideBandStructure(t *testing.T) {
+	o := WideBandOpts{NX: 9, NY: 9, PX: 3, PY: 3, RSeg: 0.8, CNode: 60e-15, GradeDecades: 2}
+	deck, ports, err := WideBand(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ports) != 9 {
+		t.Fatalf("got %d ports, want 9", len(ports))
+	}
+	wantR := 8*9 + 9*8
+	nr, nc, ni := 0, 0, 0
+	var rmin, rmax float64
+	for _, e := range deck.Elements {
+		switch el := e.(type) {
+		case *netlist.Resistor:
+			nr++
+			if rmin == 0 || el.Value < rmin {
+				rmin = el.Value
+			}
+			if el.Value > rmax {
+				rmax = el.Value
+			}
+		case *netlist.Capacitor:
+			nc++
+		case *netlist.ISource:
+			ni++
+		}
+	}
+	if nr != wantR || nc != 81 || ni != 9 {
+		t.Fatalf("deck has %d R, %d C, %d probes; want %d R, 81 C, 9 probes", nr, nc, ni, wantR)
+	}
+	// The grade must actually spread the parts by ~GradeDecades decades.
+	if spread := rmax / rmin; spread < 50 || spread > 200 {
+		t.Fatalf("resistance spread %g, want ~10^2", spread)
+	}
+	deck2, err := netlist.ParseString(deck.String())
+	if err != nil {
+		t.Fatalf("wideband deck does not re-parse: %v", err)
+	}
+	if len(deck2.Elements) != len(deck.Elements) {
+		t.Fatalf("round trip changed element count %d -> %d", len(deck.Elements), len(deck2.Elements))
+	}
+	ex, err := stamp.Extract(deck, ports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Sys.M != 9 || ex.Sys.M+ex.Sys.N != 81 {
+		t.Fatalf("extraction: %d ports + %d internal, want 9 ports over 81 nodes", ex.Sys.M, ex.Sys.N)
+	}
+}
+
+func TestWideBandPresetSizes(t *testing.T) {
+	o := WideBandPreset(256)
+	if o.PX != 16 || o.PY != 16 || o.NX != 24 || o.NY != 24 {
+		t.Fatalf("preset(256) = %+v, want 16x16 ports on a 24x24 grid", o)
+	}
+	if WideBandNodes(o) != 576 {
+		t.Fatalf("preset(256) nodes = %d, want 576", WideBandNodes(o))
+	}
+	deck, ports, err := WideBand(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ports) != 256 {
+		t.Fatalf("preset(256) marked %d ports, want 256", len(ports))
+	}
+	// Port taps must be distinct nodes.
+	seen := map[string]bool{}
+	for _, p := range ports {
+		if seen[p] {
+			t.Fatalf("port tap %s marked twice", p)
+		}
+		seen[p] = true
+	}
+	if len(deck.Elements) == 0 {
+		t.Fatal("empty deck")
+	}
+	// Degenerate preset: a single port still fits.
+	if o := WideBandPreset(1); o.PX != 1 || o.PY != 1 {
+		t.Fatalf("preset(1) = %+v, want a 1x1 port subgrid", o)
+	}
+	if _, ports, err := WideBand(WideBandPreset(1)); err != nil || len(ports) != 1 {
+		t.Fatalf("preset(1) build: %v, %d ports", err, len(ports))
+	}
+}
+
+func TestWideBandValidation(t *testing.T) {
+	bad := []WideBandOpts{
+		{NX: 1, NY: 9, PX: 1, PY: 1, RSeg: 1, CNode: 1},
+		{NX: 9, NY: 9, PX: 10, PY: 1, RSeg: 1, CNode: 1},
+		{NX: 9, NY: 9, PX: 2, PY: 2, RSeg: 0, CNode: 1},
+		{NX: 9, NY: 9, PX: 2, PY: 2, RSeg: 1, CNode: 1, GradeDecades: 7},
+	}
+	for i, o := range bad {
+		if _, _, err := WideBand(o); err == nil {
+			t.Fatalf("case %d: %+v must be rejected", i, o)
+		}
+	}
+}

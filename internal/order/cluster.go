@@ -1,0 +1,105 @@
+package order
+
+// ClusterGreedy partitions the items 0..m-1 into exactly k clusters by
+// deterministic greedy agglomeration: every item starts as its own
+// cluster, and while more than k clusters remain the pair with the
+// largest inter-cluster weight merges. Inter-cluster weight is single
+// linkage (the maximum pairwise weight between members), ties break
+// toward the lexicographically lowest index pair, and a merge absorbs
+// the higher-indexed cluster into the lower-indexed one — so the result
+// is a pure function of (m, k, weight) with no dependence on map order,
+// goroutine count, or the sign structure of ties.
+//
+// The multi-expansion-point reduction uses it to cluster ports by
+// electrical proximity on the conductance graph (weight = normalized
+// |A′_ij| coupling); weight must be symmetric in its arguments and is
+// only ever called with i < j. Weights that are zero or negative still
+// merge when needed to reach k — the partition is total.
+//
+// Clusters are returned with members ascending, ordered by their lowest
+// member. k < 1 is treated as 1; k >= m returns singletons.
+func ClusterGreedy(m, k int, weight func(i, j int) float64) [][]int {
+	if m <= 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > m {
+		k = m
+	}
+	// Dense inter-cluster weight matrix, indexed by cluster root (the
+	// lowest original member). w[a][b] with a < b is live while both
+	// roots are active.
+	w := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		w[i] = make([]float64, m)
+		for j := i + 1; j < m; j++ {
+			w[i][j] = weight(i, j)
+		}
+	}
+	active := make([]bool, m)
+	members := make([][]int, m)
+	for i := range active {
+		active[i] = true
+		members[i] = []int{i}
+	}
+	for remaining := m; remaining > k; remaining-- {
+		// Scan for the best active pair; strict > keeps the first (lowest)
+		// pair on ties.
+		ba, bb := -1, -1
+		best := 0.0
+		for a := 0; a < m; a++ {
+			if !active[a] {
+				continue
+			}
+			for b := a + 1; b < m; b++ {
+				if !active[b] {
+					continue
+				}
+				if ba < 0 || w[a][b] > best {
+					ba, bb, best = a, b, w[a][b]
+				}
+			}
+		}
+		// Absorb bb into ba: single-linkage update against every other
+		// active root, then retire bb.
+		for c := 0; c < m; c++ {
+			if !active[c] || c == ba || c == bb {
+				continue
+			}
+			lo, hi := ba, c
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			clo, chi := bb, c
+			if chi < clo {
+				clo, chi = chi, clo
+			}
+			if w[clo][chi] > w[lo][hi] {
+				w[lo][hi] = w[clo][chi]
+			}
+		}
+		members[ba] = append(members[ba], members[bb]...)
+		members[bb] = nil
+		active[bb] = false
+	}
+	out := make([][]int, 0, k)
+	for i := 0; i < m; i++ {
+		if active[i] {
+			sortInts(members[i])
+			out = append(out, members[i])
+		}
+	}
+	return out
+}
+
+// sortInts is an insertion sort: cluster member lists are short and the
+// package avoids pulling in sort for one call site.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func clusterInvariants(t *testing.T, m int, clusters [][]int) {
+	t.Helper()
+	seen := make([]bool, m)
+	prevLow := -1
+	for ci, cl := range clusters {
+		if len(cl) == 0 {
+			t.Fatalf("cluster %d is empty", ci)
+		}
+		for i, v := range cl {
+			if v < 0 || v >= m {
+				t.Fatalf("cluster %d holds out-of-range member %d", ci, v)
+			}
+			if seen[v] {
+				t.Fatalf("member %d appears twice", v)
+			}
+			seen[v] = true
+			if i > 0 && cl[i-1] >= v {
+				t.Fatalf("cluster %d members not ascending: %v", ci, cl)
+			}
+		}
+		if cl[0] <= prevLow {
+			t.Fatalf("clusters not ordered by lowest member: %v", clusters)
+		}
+		prevLow = cl[0]
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("member %d missing from every cluster", v)
+		}
+	}
+}
+
+// TestClusterGreedyMergesByWeight pins the single-linkage behavior on a
+// hand-checkable instance: two tight pairs and an outlier must collapse
+// into exactly those groups.
+func TestClusterGreedyMergesByWeight(t *testing.T) {
+	t.Parallel()
+	// Weights: {0,1} and {2,4} are tight, 3 is far from everyone.
+	w := [][]float64{
+		{0, 10, 1, 0.1, 1},
+		{10, 0, 1, 0.1, 1},
+		{1, 1, 0, 0.1, 9},
+		{0.1, 0.1, 0.1, 0, 0.1},
+		{1, 1, 9, 0.1, 0},
+	}
+	got := ClusterGreedy(5, 3, func(i, j int) float64 { return w[i][j] })
+	clusterInvariants(t, 5, got)
+	want := [][]int{{0, 1}, {2, 4}, {3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for ci := range want {
+		if len(got[ci]) != len(want[ci]) {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+		for i := range want[ci] {
+			if got[ci][i] != want[ci][i] {
+				t.Fatalf("got %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+// TestClusterGreedyEdges pins the degenerate shapes: k clamped to
+// [1, m], empty input, and the k ≥ m identity.
+func TestClusterGreedyEdges(t *testing.T) {
+	t.Parallel()
+	if got := ClusterGreedy(0, 4, nil); got != nil {
+		t.Fatalf("m=0 must return nil, got %v", got)
+	}
+	flat := func(i, j int) float64 { return 1 }
+	one := ClusterGreedy(4, 0, flat)
+	clusterInvariants(t, 4, one)
+	if len(one) != 1 || len(one[0]) != 4 {
+		t.Fatalf("k=0 must clamp to one cluster, got %v", one)
+	}
+	ident := ClusterGreedy(3, 7, flat)
+	clusterInvariants(t, 3, ident)
+	if len(ident) != 3 {
+		t.Fatalf("k>m must keep singletons, got %v", ident)
+	}
+}
+
+// TestClusterGreedyInvariantsRandom fuzzes partition invariants: every
+// member appears exactly once, clusters are ascending and ordered by
+// lowest member, and the requested count is hit exactly.
+func TestClusterGreedyInvariantsRandom(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(m)
+		w := make([][]float64, m)
+		for i := range w {
+			w[i] = make([]float64, m)
+		}
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				w[i][j] = rng.Float64()
+				w[j][i] = w[i][j]
+			}
+		}
+		got := ClusterGreedy(m, k, func(i, j int) float64 { return w[i][j] })
+		clusterInvariants(t, m, got)
+		if len(got) != k {
+			t.Fatalf("trial %d: got %d clusters, want %d", trial, len(got), k)
+		}
+	}
+}

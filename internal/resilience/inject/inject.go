@@ -79,6 +79,12 @@ const (
 	// panics models a leader crash mid-flight, which must fail followers
 	// over to a fresh attempt instead of hanging them.
 	SvcFlightLeader Point = "svc.flight.leader"
+	// MPShiftFactor fails the shifted factorization of D + s₀E for
+	// expansion point k of a multi-expansion-point reduction before any
+	// numeric work runs. The basis union must degrade to the surviving
+	// shifts (recording a Recovery) and only surface a typed StageError
+	// when every expansion point fails.
+	MPShiftFactor Point = "mp.shiftfactor"
 	// StampAssemble fails stamping chunk i of the parallel element loop
 	// in stamp.Extract before any of its triplets are emitted. The other
 	// chunks still run to completion and the lowest-indexed armed chunk
@@ -96,7 +102,7 @@ func Catalog() []Point {
 		CholPivot, CholPoison, CholComplexPivot, CholDAGTask,
 		LanczosIter, NewtonIter, SimSparseLUPivot, SimACComplexSolve,
 		ParItem, SvcAdmit, SvcCacheStore, SvcFlightLeader,
-		StampAssemble,
+		MPShiftFactor, StampAssemble,
 	}
 }
 

@@ -61,6 +61,11 @@ const (
 	// every follower of a deduplicated flight observes the same
 	// StageError the leader produced.
 	StageService Stage = "service(reduce)"
+	// StageMultiPoint is the multi-expansion-point basis construction
+	// (core, shifted factorizations of D + s₀E plus the basis union). Its
+	// ladder degrades to the expansion points whose factorizations
+	// survived; only when every shift fails is the stage terminal.
+	StageMultiPoint Stage = "multipoint(D+sE)"
 	// StageExtract is the deck-to-matrices front end (stamp.Extract):
 	// element classification, port detection and the parallel bucketed
 	// stamping of the conductance/susceptance matrices. It has no ladder

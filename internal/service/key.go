@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"repro/internal/core"
 	"repro/internal/netlist"
 )
 
@@ -37,15 +38,35 @@ type Params struct {
 	Tol float64
 	// MaxPoles caps the retained poles (0 = no cap).
 	MaxPoles int
+	// Shifts selects multi-expansion-point reduction (Hz). The slice is
+	// canonicalized (sorted, deduplicated) before keying, so listing
+	// order never splits cache entries for the same expansion-point set.
+	Shifts []float64
+	// PortClusters enables TurboMOR-style port clustering of the
+	// multi-point basis union (0 disables).
+	PortClusters int
 }
 
 // id renders the parameters exactly: floats in hex form, so two Params
 // collide only when they are bit-equal and no decimal rounding can
 // alias distinct tolerances onto one key.
 func (p Params) id() string {
-	return "fmax=" + strconv.FormatFloat(p.FMax, 'x', -1, 64) +
+	s := "fmax=" + strconv.FormatFloat(p.FMax, 'x', -1, 64) +
 		";tol=" + strconv.FormatFloat(p.Tol, 'x', -1, 64) +
 		";maxpoles=" + strconv.Itoa(p.MaxPoles)
+	if len(p.Shifts) > 0 {
+		s += ";shifts="
+		for i, f := range p.Shifts {
+			if i > 0 {
+				s += ","
+			}
+			s += strconv.FormatFloat(f, 'x', -1, 64)
+		}
+	}
+	if p.PortClusters > 0 {
+		s += ";portcluster=" + strconv.Itoa(p.PortClusters)
+	}
+	return s
 }
 
 // Canonicalize renders a parsed deck in the repository's canonical SPICE
@@ -101,5 +122,28 @@ func (p Params) validate() error {
 	if p.MaxPoles < 0 {
 		return fmt.Errorf("service: maxpoles %d negative", p.MaxPoles)
 	}
+	if p.PortClusters < 0 {
+		return fmt.Errorf("service: portcluster %d negative", p.PortClusters)
+	}
+	if p.PortClusters > 0 && len(p.Shifts) == 0 {
+		return fmt.Errorf("service: portcluster requires a multi-point shift set")
+	}
+	return nil
+}
+
+// canonicalizeShifts rewrites the shift set into its canonical form so
+// that every listing order of the same expansion points shares one
+// cache key and one singleflight; it surfaces the pipeline's own
+// validation error for out-of-range entries.
+func (p *Params) canonicalizeShifts() error {
+	if len(p.Shifts) == 0 {
+		p.Shifts = nil
+		return nil
+	}
+	cs, err := core.CanonicalShifts(p.Shifts)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	p.Shifts = cs
 	return nil
 }

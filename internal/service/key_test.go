@@ -68,6 +68,8 @@ func TestKeysSeparateParams(t *testing.T) {
 		{FMax: 2e9, Tol: 0.05},
 		{FMax: 1e9, Tol: 0.1},
 		{FMax: 1e9, Tol: 0.05, MaxPoles: 3},
+		{FMax: 1e9, Tol: 0.05, Shifts: []float64{0, 1e9}},
+		{FMax: 1e9, Tol: 0.05, Shifts: []float64{0, 1e9}, PortClusters: 2},
 	} {
 		if CanonicalKey(d, base) == CanonicalKey(d, p) {
 			t.Fatalf("params %+v and %+v share a canonical key", base, p)
@@ -94,11 +96,13 @@ func TestCanonicalizeRoundTrip(t *testing.T) {
 
 func TestParamsValidate(t *testing.T) {
 	for _, p := range []Params{
-		{},                          // missing fmax
-		{FMax: -1},                  // negative fmax
-		{FMax: 1e9, Tol: -0.1},      // negative tol
-		{FMax: 1e9, Tol: 1},         // tol at 1
-		{FMax: 1e9, MaxPoles: -2},   // negative cap
+		{},                            // missing fmax
+		{FMax: -1},                    // negative fmax
+		{FMax: 1e9, Tol: -0.1},        // negative tol
+		{FMax: 1e9, Tol: 1},           // tol at 1
+		{FMax: 1e9, MaxPoles: -2},     // negative cap
+		{FMax: 1e9, PortClusters: -1}, // negative cluster count
+		{FMax: 1e9, PortClusters: 4},  // clustering without shifts
 	} {
 		if err := p.validate(); err == nil {
 			t.Errorf("params %+v accepted", p)
@@ -106,5 +110,40 @@ func TestParamsValidate(t *testing.T) {
 	}
 	if err := (Params{FMax: 1e9, Tol: 0.05}).validate(); err != nil {
 		t.Fatalf("good params rejected: %v", err)
+	}
+	if err := (Params{FMax: 1e9, Shifts: []float64{0, 1e9}, PortClusters: 4}).validate(); err != nil {
+		t.Fatalf("good multi-point params rejected: %v", err)
+	}
+}
+
+// TestShiftSetCanonicalizationSharesKeys pins the multi-point cache
+// contract: every listing order (and duplicate spelling) of one
+// expansion-point set canonicalizes to one shift slice and therefore one
+// canonical key, while a genuinely different set gets its own key.
+func TestShiftSetCanonicalizationSharesKeys(t *testing.T) {
+	d := mustParse(t, deckA)
+	mk := func(shifts ...float64) Params {
+		p := Params{FMax: 1e9, Tol: 0.05, Shifts: shifts}
+		if err := p.canonicalizeShifts(); err != nil {
+			t.Fatalf("canonicalize %v: %v", shifts, err)
+		}
+		return p
+	}
+	ref := CanonicalKey(d, mk(0, 1e8, 1e9))
+	for _, p := range []Params{
+		mk(1e9, 0, 1e8),
+		mk(1e8, 1e9, 0, 1e8), // duplicate collapses
+	} {
+		if CanonicalKey(d, p) != ref {
+			t.Fatalf("equivalent shift set %v split the cache key", p.Shifts)
+		}
+	}
+	if CanonicalKey(d, mk(0, 1e9)) == ref {
+		t.Fatal("distinct shift sets share a canonical key")
+	}
+	var bad Params
+	bad.Shifts = []float64{-1}
+	if err := bad.canonicalizeShifts(); err == nil {
+		t.Fatal("negative shift must be rejected at canonicalization")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -204,6 +205,9 @@ func (s *Server) runReduction(ctx context.Context, deck *netlist.Deck, p Params)
 		FMax:     p.FMax,
 		Tol:      p.Tol,
 		MaxPoles: p.MaxPoles,
+
+		Shifts:       p.Shifts,
+		PortClusters: p.PortClusters,
 	})
 	if err != nil {
 		return nil, err
@@ -515,6 +519,25 @@ func paramsFromQuery(r *http.Request) (Params, error) {
 			return p, fmt.Errorf("service: bad maxpoles %q: %w", mp, err)
 		}
 		p.MaxPoles = n
+	}
+	if sh := q.Get("shifts"); sh != "" {
+		for _, tok := range strings.Split(sh, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				return p, fmt.Errorf("service: bad shifts entry %q: %w", tok, err)
+			}
+			p.Shifts = append(p.Shifts, v)
+		}
+	}
+	if pc := q.Get("portcluster"); pc != "" {
+		n, err := strconv.Atoi(pc)
+		if err != nil {
+			return p, fmt.Errorf("service: bad portcluster %q: %w", pc, err)
+		}
+		p.PortClusters = n
+	}
+	if err := p.canonicalizeShifts(); err != nil {
+		return p, err
 	}
 	if err := p.validate(); err != nil {
 		return p, err

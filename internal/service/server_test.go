@@ -91,6 +91,35 @@ func TestReduceMissThenHit(t *testing.T) {
 	}
 }
 
+// TestReduceMultiPointSharesCacheAcrossShiftOrder drives the multi-point
+// request path end to end: the reduction succeeds with a shift set and
+// port clustering, and a permuted spelling of the same shift set is a
+// cache hit — the CanonicalShifts contract observed at the HTTP surface.
+func TestReduceMultiPointSharesCacheAcrossShiftOrder(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	ladder := netgen.Ladder(60, 250, 1.35e-12).String()
+	code, _, first, _ := post(t, s, ladder, "fmax=5e9&shifts=0,1e9,5e9&portcluster=2")
+	if code != http.StatusOK {
+		t.Fatalf("multi-point POST: %d", code)
+	}
+	if first.Cache != "miss" || first.Poles < 1 {
+		t.Fatalf("implausible multi-point reduction: cache %q, %d poles", first.Cache, first.Poles)
+	}
+	code, _, second, _ := post(t, s, ladder, "fmax=5e9&shifts=5e9,0,1e9,0&portcluster=2")
+	if code != http.StatusOK || second.Cache != "hit" {
+		t.Fatalf("permuted shift set: %d cache=%q, want 200 hit", code, second.Cache)
+	}
+	if second.Deck != first.Deck {
+		t.Fatal("permuted shift set returned a different reduced deck")
+	}
+	// Single-point remains a distinct content address.
+	code, _, third, _ := post(t, s, ladder, "fmax=5e9")
+	if code != http.StatusOK || third.Cache != "miss" {
+		t.Fatalf("single-point after multi-point: %d cache=%v, want 200 miss", code, third)
+	}
+}
+
 func TestReduceRejectsBadRequests(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()
@@ -99,10 +128,14 @@ func TestReduceRejectsBadRequests(t *testing.T) {
 		deck, query string
 		want        int
 	}{
-		{ladder, "", http.StatusBadRequest},                  // missing fmax
-		{ladder, "fmax=abc", http.StatusBadRequest},          // unparsable fmax
-		{ladder, "fmax=1e9&tol=2", http.StatusBadRequest},    // tol out of range
+		{ladder, "", http.StatusBadRequest},               // missing fmax
+		{ladder, "fmax=abc", http.StatusBadRequest},       // unparsable fmax
+		{ladder, "fmax=1e9&tol=2", http.StatusBadRequest}, // tol out of range
 		{ladder, "fmax=1e9&maxpoles=x", http.StatusBadRequest},
+		{ladder, "fmax=1e9&shifts=0,zap", http.StatusBadRequest},  // unparsable shift
+		{ladder, "fmax=1e9&shifts=-1e9", http.StatusBadRequest},   // negative shift
+		{ladder, "fmax=1e9&portcluster=4", http.StatusBadRequest}, // clustering without shifts
+		{ladder, "fmax=1e9&shifts=0,1e9&portcluster=-1", http.StatusBadRequest},
 		{"t\nz1 bogus\n.end\n", "fmax=1e9", http.StatusBadRequest}, // bad deck
 	} {
 		code, _, _, eresp := post(t, s, tc.deck, tc.query)
@@ -293,4 +326,3 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(200 * time.Microsecond)
 	}
 }
-

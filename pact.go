@@ -94,6 +94,20 @@ type Options struct {
 	TwoPass bool
 	// MaxPoles optionally caps the number of retained poles.
 	MaxPoles int
+	// Shifts selects multi-expansion-point reduction: the projection basis
+	// is built from moment responses at each listed frequency (Hz; 0 is
+	// the DC point of classic PACT) instead of the s = 0 eigenanalysis
+	// alone. Listing order and duplicates are irrelevant — the set is
+	// canonicalized. Empty keeps the single-point path.
+	Shifts []float64
+	// ShiftMoments is the number of moment vectors per expansion point
+	// (default 1).
+	ShiftMoments int
+	// PortClusters, when positive, thins the multi-point basis cluster by
+	// cluster after grouping ports by electrical proximity on the exact
+	// port conductance block (TurboMOR-style port clustering) before the
+	// global union. Only meaningful together with Shifts.
+	PortClusters int
 	// ResiduePruneTol additionally drops retained poles whose worst-case
 	// contribution below FMax is smaller than this fraction of the
 	// admittance scale (0 disables). See core.Options.ResiduePruneTol.
@@ -124,6 +138,10 @@ func (o Options) coreOptions() core.Options {
 		TwoPass:     o.TwoPass,
 		MaxPoles:    o.MaxPoles,
 		Seed:        o.Seed,
+
+		Shifts:       o.Shifts,
+		ShiftMoments: o.ShiftMoments,
+		PortClusters: o.PortClusters,
 
 		ResiduePruneTol: o.ResiduePruneTol,
 	}
